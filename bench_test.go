@@ -1,0 +1,333 @@
+package donorsense_test
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches listed in DESIGN.md §4. Each bench times the
+// computation that regenerates its artifact over a shared synthetic
+// corpus; run cmd/benchtables to see the artifacts themselves.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"donorsense/internal/cluster"
+	"donorsense/internal/core"
+	"donorsense/internal/gen"
+	"donorsense/internal/mat"
+	"donorsense/internal/organ"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+// benchScale keeps `go test -bench=.` minutes, not hours; cmd/benchtables
+// runs the same code at scale 0.5–1.0.
+const benchScale = 0.05
+
+var (
+	benchOnce    sync.Once
+	benchCorpus  *gen.Corpus
+	benchDataset *pipeline.Dataset
+	benchAtt     *core.Attention
+	benchStates  map[int64]string
+	benchRows    [][]float64
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCorpus = gen.Generate(gen.DefaultConfig(benchScale))
+		benchDataset = pipeline.NewDataset()
+		for _, t := range benchCorpus.Tweets {
+			benchDataset.Process(t)
+		}
+		att, err := benchDataset.BuildAttention()
+		if err != nil {
+			panic(err)
+		}
+		benchAtt = att
+		benchStates = benchDataset.StateOf()
+		benchRows = att.Rows()
+	})
+	b.ResetTimer()
+}
+
+// BenchmarkTableI_DatasetStats times the full collect → augment → filter
+// pass that produces Table I.
+func BenchmarkTableI_DatasetStats(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := pipeline.NewDataset()
+		for _, t := range benchCorpus.Tweets {
+			d.Process(t)
+		}
+		if s := d.Stats(); s.Users == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkFigure1_KeywordProduct times building the Context × Subject
+// collection filter and compiling it to Stream API track phrases.
+func BenchmarkFigure1_KeywordProduct(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := twitter.NewTrackFilter(organ.TrackTerms())
+		if f.NumPhrases() != len(organ.Keywords()) {
+			b.Fatal("keyword product mismatch")
+		}
+	}
+}
+
+// BenchmarkFigure2a_OrganPopularity times the users-per-organ histogram
+// and its Spearman validation against OPTN transplant counts.
+func BenchmarkFigure2a_OrganPopularity(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counts := benchDataset.UsersPerOrgan()
+		if counts[organ.Heart.Index()] == 0 {
+			b.Fatal("no heart users")
+		}
+		if _, err := benchDataset.PopularityCorrelation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2b_MultiOrganMentions times the tweets-vs-users
+// multi-organ histograms.
+func BenchmarkFigure2b_MultiOrganMentions(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tweets, users := benchDataset.MultiOrganHistogram()
+		if tweets[0] == 0 || users[0] == 0 {
+			b.Fatal("degenerate histogram")
+		}
+	}
+}
+
+// BenchmarkFigure3_OrganCharacterization times Û construction plus the
+// Equation 1 membership and Equation 3 aggregation.
+func BenchmarkFigure3_OrganCharacterization(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		oc, err := core.CharacterizeOrgans(benchAtt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = oc.CoMentionRank(organ.Heart)
+	}
+}
+
+// BenchmarkFigure4_StateCharacterization times the Equation 2 membership
+// and aggregation into per-state signatures.
+func BenchmarkFigure4_StateCharacterization(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CharacterizeRegions(benchAtt, benchStates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5_RelativeRisk times the full per-(state, organ) RR
+// analysis with confidence intervals.
+func BenchmarkFigure5_RelativeRisk(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := core.HighlightOrgans(benchAtt, benchStates)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = h.StatesHighlighting(organ.Kidney)
+	}
+}
+
+// BenchmarkFigure6_StateClustering times the Bhattacharyya distance
+// matrix and agglomerative clustering of states.
+func BenchmarkFigure6_StateClustering(b *testing.B) {
+	benchSetup(b)
+	rc, err := core.CharacterizeRegions(benchAtt, benchStates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, _ := rc.NonEmptyRows()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := cluster.PairwiseMatrix(rows, cluster.Bhattacharyya)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dg, err := cluster.Agglomerative(m, cluster.AverageLinkage)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = dg.LeafOrder()
+	}
+}
+
+// BenchmarkFigure7_UserClustering times K-Means (k=12, the paper's
+// choice) over the user attention rows plus a sampled silhouette.
+func BenchmarkFigure7_UserClustering(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.KMeans(benchRows, cluster.KMeansConfig{K: 12, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cluster.SilhouetteSampled(benchRows, res.Labels, cluster.Euclidean, 500, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblation_UserVsTweetCharacterization contrasts the paper's
+// user-based Û with the naive tweet-based alternative it argues against
+// (§III-B): the tweet-based matrix is much larger and dominated by heavy
+// tweeters.
+func BenchmarkAblation_UserVsTweetCharacterization(b *testing.B) {
+	benchSetup(b)
+	b.Run("user-based", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bld := core.NewAttentionBuilder()
+			benchDataset.EachUser(func(u *pipeline.UserRecord) {
+				bld.Observe(u.ID, u.Mentions)
+			})
+			if _, err := bld.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tweet-based", func(b *testing.B) {
+		ex := text.NewExtractor()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Every tweet becomes its own matrix row — the
+			// characterization the paper rejects as biased toward heavy
+			// tweeters (and ~1.9× the rows).
+			bld := core.NewAttentionBuilder()
+			var row int64
+			for _, t := range benchCorpus.Tweets {
+				e := ex.Extract(t.Text)
+				if !e.InContext() {
+					continue
+				}
+				row++
+				bld.Observe(row, e.Mentions)
+			}
+			if _, err := bld.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_DistanceMetrics compares the affinity metrics for the
+// Figure 6 state clustering (§IV-B2 argues for Bhattacharyya).
+func BenchmarkAblation_DistanceMetrics(b *testing.B) {
+	benchSetup(b)
+	rc, err := core.CharacterizeRegions(benchAtt, benchStates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, _ := rc.NonEmptyRows()
+	metrics := []struct {
+		name string
+		d    cluster.Distance
+	}{
+		{"bhattacharyya", cluster.Bhattacharyya},
+		{"hellinger", cluster.Hellinger},
+		{"euclidean", cluster.Euclidean},
+		{"jensen-shannon", cluster.JensenShannon},
+	}
+	for _, m := range metrics {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dm, err := cluster.PairwiseMatrix(rows, m.d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cluster.Agglomerative(dm, cluster.AverageLinkage); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_RRVsWinnerTakesAll contrasts the paper's relative-
+// risk highlighting with the raw-count baseline (§IV-B1).
+func BenchmarkAblation_RRVsWinnerTakesAll(b *testing.B) {
+	benchSetup(b)
+	b.Run("relative-risk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.HighlightOrgans(benchAtt, benchStates); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("winner-takes-all", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.WinnerTakesAll(benchAtt, benchStates); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_AggregateFastPath contrasts the sparse group-mean
+// fast path for Equation 3 with the literal (LᵀL)⁻¹LᵀÛ dense algebra.
+func BenchmarkAblation_AggregateFastPath(b *testing.B) {
+	benchSetup(b)
+	u := benchAtt.Matrix()
+	// Build the Equation 1 membership once (mirrors what
+	// core.CharacterizeOrgans does internally).
+	l := mat.NewMembership(benchAtt.Users(), organ.Count)
+	for row := 0; row < benchAtt.Users(); row++ {
+		l.Assign(row, benchAtt.PrimaryOrgan(row).Index())
+	}
+	b.Run("fast-diagonal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := l.Aggregate(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("general-inverse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.AggregateGeneral(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_KMeansKSweep times the model-selection sweep behind
+// the paper's k = 12 choice.
+func BenchmarkAblation_KMeansKSweep(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.SweepK(benchRows, []int{6, 12, 16}, 1, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/twitter"
+)
+
+func TestCollectAgainstLiveServer(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.01))
+	b := twitter.NewBroadcaster()
+	srv := twitter.NewStreamServer(b)
+	srv.SubscriberBuffer = 1 << 16
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	go func() {
+		// Wait for the collector to subscribe, then replay and close.
+		deadline := time.Now().Add(5 * time.Second)
+		for b.NumSubscribers() == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		for _, tw := range corpus.Tweets {
+			b.Publish(tw)
+		}
+		b.Close()
+	}()
+
+	out := captureStdout(t, func() error {
+		return cmdCollect([]string{"-url", hs.URL, "-k", "6", "-sweep", ""})
+	})
+	for _, want := range []string{"Table I", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("collect output missing %q", want)
+		}
+	}
+}
+
+func TestCollectBadURL(t *testing.T) {
+	// An unroutable URL with one connect attempt must fail cleanly. The
+	// client keeps retrying transient errors, so use a 4xx-producing
+	// server for a permanent failure instead.
+	hs := httptest.NewServer(nil) // 404 on every path
+	defer hs.Close()
+	err := cmdCollect([]string{"-url", hs.URL})
+	if err == nil {
+		t.Error("collect against 404 server succeeded")
+	}
+}

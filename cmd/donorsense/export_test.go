@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAnalyzeExportFlag(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.ndjson")
+	if err := cmdGenerate([]string{"-scale", "0.01", "-out", corpus}); err != nil {
+		t.Fatal(err)
+	}
+	exportDir := filepath.Join(dir, "results")
+	_ = captureStdout(t, func() error {
+		return cmdAnalyze([]string{"-in", corpus, "-sweep", "", "-k", "6", "-extensions", "-export", exportDir})
+	})
+	for _, name := range []string{
+		"state_signatures.csv", "relative_risk.csv", "user_clusters.csv",
+		"daily_series.csv", "summary.json",
+	} {
+		info, err := os.Stat(filepath.Join(exportDir, name))
+		if err != nil {
+			t.Errorf("export file %s missing: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("export file %s empty", name)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(exportDir, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum map[string]any
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("summary.json invalid: %v", err)
+	}
+	if _, ok := sum["table_i"]; !ok {
+		t.Error("summary.json missing table_i")
+	}
+}
+
+func TestAnalyzeExportWithoutExtensions(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.ndjson")
+	if err := cmdGenerate([]string{"-scale", "0.005", "-out", corpus}); err != nil {
+		t.Fatal(err)
+	}
+	exportDir := filepath.Join(dir, "results")
+	_ = captureStdout(t, func() error {
+		return cmdAnalyze([]string{"-in", corpus, "-sweep", "", "-k", "6", "-export", exportDir})
+	})
+	// No temporal series without -extensions, so no daily_series.csv.
+	if _, err := os.Stat(filepath.Join(exportDir, "daily_series.csv")); !os.IsNotExist(err) {
+		t.Error("daily_series.csv written without -extensions")
+	}
+	if _, err := os.Stat(filepath.Join(exportDir, "summary.json")); err != nil {
+		t.Errorf("summary.json missing: %v", err)
+	}
+}

@@ -1,0 +1,408 @@
+// Command donorsense is the command-line interface to the organ-donation
+// social sensor. It chains the stages of the paper's pipeline:
+//
+//	donorsense generate -scale 0.05 -seed 1 -out corpus.ndjson
+//	    synthesize a tweet corpus (the Twitter-stream stand-in)
+//
+//	donorsense analyze -in corpus.ndjson [-k 12] [-sweep 6,8,12]
+//	    run collect → augment → filter → characterize and print every
+//	    table and figure of the paper
+//
+//	donorsense collect -url http://127.0.0.1:7700 -max 10000
+//	    consume a live stream server (see cmd/streamsim) and analyze the
+//	    collected tweets
+//
+//	donorsense keywords
+//	    print the Figure 1 keyword product / Stream API track parameter
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"donorsense/internal/core"
+	"donorsense/internal/export"
+	"donorsense/internal/gen"
+	"donorsense/internal/organ"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/report"
+	"donorsense/internal/temporal"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "keywords":
+		err = cmdKeywords(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "donorsense: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "donorsense:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: donorsense <command> [flags]
+
+commands:
+  generate   synthesize a tweet corpus to NDJSON
+  analyze    analyze an NDJSON corpus and print the paper's tables/figures
+  collect    consume a stream server, then analyze
+  keywords   print the Figure 1 keyword product (Stream API track syntax)
+  replay     serve an NDJSON corpus over the Stream API protocol
+`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.05, "population scale (1.0 = paper magnitude, ≈1M tweets)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "corpus.ndjson", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := gen.DefaultConfig(*scale)
+	cfg.Seed = *seed
+	corpus := gen.Generate(cfg)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := twitter.WriteNDJSON(w, corpus.Tweets); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d tweets (%d users) at scale %g → %s\n",
+		len(corpus.Tweets), len(corpus.Profiles), *scale, *out)
+	return nil
+}
+
+// parseKs parses a comma-separated k list like "6,8,12".
+func parseKs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		k, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad k %q: %w", p, err)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func analyzeDataset(d *pipeline.Dataset, k int, sweep string, silhouetteSample int, series *temporal.Series, exportDir string) error {
+	cfg := report.DefaultAnalysisConfig()
+	cfg.KUsers = k
+	cfg.SilhouetteSample = silhouetteSample
+	ks, err := parseKs(sweep)
+	if err != nil {
+		return err
+	}
+	cfg.SweepKs = ks
+	a, err := report.Analyze(d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.Render())
+
+	var bursts []temporal.Burst
+	if series != nil {
+		fmt.Println("\n=== Extensions ===")
+		counts := map[string]int{}
+		for _, m := range []core.Correction{core.NoCorrection, core.BHCorrection, core.BonferroniCorrection} {
+			adj, err := a.Highlight.AdjustedHighlights(m)
+			if err != nil {
+				return err
+			}
+			counts[m.String()] = core.CountHighlights(adj)
+		}
+		fmt.Print(report.CorrectionComparisonText(counts))
+
+		det := temporal.DefaultDetectorConfig()
+		if bursts, err = temporal.DetectAll(series, det); err != nil {
+			return fmt.Errorf("burst detection: %w", err)
+		}
+		fmt.Print(report.TemporalText(series, bursts))
+	}
+	if exportDir != "" {
+		if err := exportResults(exportDir, a, series, bursts); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "exported CSV/JSON results to %s\n", exportDir)
+	}
+	return nil
+}
+
+// exportResults writes the machine-readable artifacts of a run.
+func exportResults(dir string, a *report.Analysis, series *temporal.Series, bursts []temporal.Burst) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("export dir: %w", err)
+	}
+	write := func(name string, fn func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("create %s: %w", name, err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+	if err := write("state_signatures.csv", func(w *os.File) error {
+		return export.StateSignaturesCSV(w, a.Regions)
+	}); err != nil {
+		return err
+	}
+	if err := write("relative_risk.csv", func(w *os.File) error {
+		return export.RelativeRiskCSV(w, a.Highlight)
+	}); err != nil {
+		return err
+	}
+	if a.Clusters != nil {
+		if err := write("user_clusters.csv", func(w *os.File) error {
+			return export.ClustersCSV(w, a.Clusters)
+		}); err != nil {
+			return err
+		}
+	}
+	if series != nil {
+		if err := write("daily_series.csv", func(w *os.File) error {
+			return export.SeriesCSV(w, series)
+		}); err != nil {
+			return err
+		}
+	}
+	return write("summary.json", func(w *os.File) error {
+		sum := export.BuildSummary(a.Stats, a.Popularity, a.Spearman.R, a.Spearman.P,
+			a.Highlight, series, bursts, time.Now().UTC())
+		return export.WriteSummaryJSON(w, sum)
+	})
+}
+
+// newSeriesFor builds an empty temporal series spanning the corpus window
+// (derived from the tweet timestamps).
+func newSeriesFor(tweets []twitter.Tweet) (*temporal.Series, error) {
+	if len(tweets) == 0 {
+		return nil, fmt.Errorf("empty corpus")
+	}
+	first, last := tweets[0].CreatedAt, tweets[0].CreatedAt
+	for _, t := range tweets {
+		if t.CreatedAt.Before(first) {
+			first = t.CreatedAt
+		}
+		if t.CreatedAt.After(last) {
+			last = t.CreatedAt
+		}
+	}
+	days := int(last.Sub(first).Hours()/24) + 1
+	return temporal.NewSeries(first.UTC().Truncate(24*time.Hour), days)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "corpus.ndjson", "input NDJSON corpus (- for stdin)")
+	k := fs.Int("k", 12, "user cluster count (Figure 7)")
+	sweep := fs.String("sweep", "6,8,10,12,14,16", "comma-separated ks for the model-selection sweep (empty to skip)")
+	sil := fs.Int("silhouette-sample", 2000, "silhouette sample size (0 = exact)")
+	extensions := fs.Bool("extensions", false, "also print multiple-testing corrections and the temporal burst sensor")
+	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS)")
+	exportDir := fs.String("export", "", "directory to write CSV/JSON results into (empty = no export)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("open input: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tweets, err := twitter.ReadNDJSON(r)
+	if err != nil {
+		return err
+	}
+	d := pipeline.NewDataset()
+	var series *temporal.Series
+	if *extensions {
+		if series, err = newSeriesFor(tweets); err != nil {
+			return err
+		}
+		d.OnUSTweet = func(tw twitter.Tweet, ex text.Extraction) {
+			series.Observe(tw, ex)
+		}
+	}
+	d.ProcessAll(tweets, *workers)
+	return analyzeDataset(d, *k, *sweep, *sil, series, *exportDir)
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:7700", "stream server base URL")
+	maxTweets := fs.Int("max", 0, "stop after this many collected tweets (0 = until stream ends)")
+	k := fs.Int("k", 12, "user cluster count (Figure 7)")
+	sweep := fs.String("sweep", "", "comma-separated ks for the model-selection sweep")
+	sil := fs.Int("silhouette-sample", 2000, "silhouette sample size (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	client := &twitter.StreamClient{BaseURL: *url}
+	tweets := make(chan twitter.Tweet, 1024)
+	errc := make(chan error, 1)
+	go func() { errc <- client.Filter(ctx, organ.TrackTerms(), tweets) }()
+
+	d := pipeline.NewDataset()
+	n := 0
+	for t := range tweets {
+		d.Process(t)
+		n++
+		if n%1000 == 0 {
+			fmt.Fprintf(os.Stderr, "collected %d tweets, %d US users\n", n, d.Users())
+		}
+		if *maxTweets > 0 && n >= *maxTweets {
+			stop()
+			// Drain remaining deliveries so the client can exit.
+			go func() {
+				for range tweets {
+				}
+			}()
+			break
+		}
+	}
+	if err := <-errc; err != nil && ctx.Err() == nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "stream ended after %d tweets; analyzing\n", n)
+	if d.Users() == 0 {
+		return fmt.Errorf("no US users collected; nothing to analyze")
+	}
+	return analyzeDataset(d, *k, *sweep, *sil, nil, "")
+}
+
+// cmdReplay serves an archived NDJSON corpus over the Stream API
+// protocol, so any collector (donorsense collect, or a third-party
+// client) can re-consume a stored collection.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "corpus.ndjson", "input NDJSON corpus")
+	addr := fs.String("addr", ":7700", "listen address")
+	rate := fs.Float64("rate", 0, "tweets per second (0 = as fast as clients drain)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return fmt.Errorf("open corpus: %w", err)
+	}
+	tweets, err := twitter.ReadNDJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d tweets on %s\n", len(tweets), *addr)
+
+	b := twitter.NewBroadcaster()
+	srv := twitter.NewStreamServer(b)
+	srv.KeepAlive = 30 * time.Second
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		b.Close()
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shCtx)
+	}()
+	go func() {
+		// Wait for a first subscriber so the head of the corpus is not
+		// replayed to nobody.
+		for b.NumSubscribers() == 0 && ctx.Err() == nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+		var tick *time.Ticker
+		if *rate > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer tick.Stop()
+		}
+		for _, t := range tweets {
+			if tick != nil {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					return
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			b.Publish(t)
+		}
+		fmt.Fprintln(os.Stderr, "replay complete; closing stream")
+		b.Close()
+	}()
+	err = httpSrv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+func cmdKeywords(args []string) error {
+	fs := flag.NewFlagSet("keywords", flag.ExitOnError)
+	asTrack := fs.Bool("track", false, "print as a single Stream API track parameter")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asTrack {
+		fmt.Println(organ.TrackTerms())
+		return nil
+	}
+	fmt.Printf("Context terms (%d): %s\n", len(organ.ContextWords()), strings.Join(organ.ContextWords(), ", "))
+	fmt.Printf("Subject terms (%d): %s\n", len(organ.SubjectWords()), strings.Join(organ.SubjectWords(), ", "))
+	fmt.Printf("Keyword product: %d pairs\n", len(organ.Keywords()))
+	return nil
+}

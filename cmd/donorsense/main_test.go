@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"donorsense/internal/twitter"
+)
+
+func TestParseKs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"12", []int{12}, false},
+		{"6, 8,12", []int{6, 8, 12}, false},
+		{"6,x", nil, true},
+		{"6,,8", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseKs(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseKs(%q) err = %v", tt.in, err)
+			continue
+		}
+		if !tt.wantErr && !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseKs(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNewSeriesFor(t *testing.T) {
+	base := time.Date(2015, 4, 22, 10, 0, 0, 0, time.UTC)
+	tweets := []twitter.Tweet{
+		{CreatedAt: base},
+		{CreatedAt: base.AddDate(0, 0, 9)},
+		{CreatedAt: base.AddDate(0, 0, 4)},
+	}
+	s, err := newSeriesFor(tweets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Days() != 10 {
+		t.Errorf("Days = %d, want 10", s.Days())
+	}
+	if _, err := newSeriesFor(nil); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestGenerateAnalyzeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.ndjson")
+	if err := cmdGenerate([]string{"-scale", "0.01", "-seed", "7", "-out", corpus}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(corpus)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("corpus not written: %v", err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdAnalyze([]string{"-in", corpus, "-sweep", "", "-k", "6"})
+	})
+	for _, want := range []string{"Table I", "Figure 2(a)", "Figure 5", "Spearman"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeExtensionsFlag(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.ndjson")
+	if err := cmdGenerate([]string{"-scale", "0.01", "-out", corpus}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdAnalyze([]string{"-in", corpus, "-sweep", "", "-k", "6", "-extensions"})
+	})
+	for _, want := range []string{"=== Extensions ===", "multiple-testing", "Temporal sensor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions output missing %q", want)
+		}
+	}
+}
+
+func TestKeywordsCommand(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdKeywords(nil) })
+	if !strings.Contains(out, "Context terms (17)") || !strings.Contains(out, "323 pairs") {
+		t.Errorf("keywords output wrong:\n%s", out)
+	}
+	track := captureStdout(t, func() error { return cmdKeywords([]string{"-track"}) })
+	if !strings.Contains(track, "donor kidney") && !strings.Contains(track, "donor heart") {
+		t.Errorf("track output wrong: %.120s", track)
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	if err := cmdAnalyze([]string{"-in", "/nonexistent/file.ndjson"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

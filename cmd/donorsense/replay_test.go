@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/twitter"
+)
+
+func TestReplayServesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.ndjson")
+	if err := cmdGenerate([]string{"-scale", "0.002", "-out", corpus}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a free port.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdReplay([]string{"-in", corpus, "-addr", addr})
+	}()
+
+	// Consume the replay with the stream client.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	client := &twitter.StreamClient{
+		BaseURL:        "http://" + addr,
+		InitialBackoff: 20 * time.Millisecond,
+	}
+	out := make(chan twitter.Tweet, 4096)
+	errc := make(chan error, 1)
+	go func() { errc <- client.Filter(ctx, organ.TrackTerms(), out) }()
+
+	got := 0
+	for range out {
+		got++
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if got == 0 {
+		t.Fatal("replay delivered no tweets")
+	}
+	// The replay server exits once interrupted; send it a synthetic
+	// shutdown by cancelling is not wired — it closed the broadcaster
+	// after the corpus, so the HTTP server is still up. Just verify the
+	// goroutine hasn't errored yet.
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("replay exited with %v", err)
+		}
+	default:
+		// still serving; fine
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if err := cmdReplay([]string{"-in", "/nonexistent.ndjson", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("missing corpus accepted")
+	}
+}

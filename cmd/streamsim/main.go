@@ -1,0 +1,92 @@
+// Command streamsim runs the simulated Twitter Stream API server: it
+// synthesizes a corpus and replays it over HTTP in the v1.1 streaming
+// format (chunked, newline-delimited JSON) at a configurable rate.
+// Clients connect to /1.1/statuses/filter.json?track=... exactly as they
+// would to the real endpoint.
+//
+//	streamsim -addr :7700 -scale 0.02 -rate 500
+//	donorsense collect -url http://127.0.0.1:7700 -max 5000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/twitter"
+)
+
+func main() {
+	addr := flag.String("addr", ":7700", "listen address")
+	scale := flag.Float64("scale", 0.02, "corpus scale (1.0 = paper magnitude)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	rate := flag.Float64("rate", 500, "tweets per second to replay (0 = as fast as possible)")
+	loop := flag.Bool("loop", false, "replay the corpus forever instead of once")
+	flag.Parse()
+
+	if err := run(*addr, *scale, *seed, *rate, *loop); err != nil {
+		fmt.Fprintln(os.Stderr, "streamsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, scale float64, seed uint64, rate float64, loop bool) error {
+	cfg := gen.DefaultConfig(scale)
+	cfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "generating corpus at scale %g...\n", scale)
+	corpus := gen.Generate(cfg)
+	fmt.Fprintf(os.Stderr, "corpus ready: %d tweets, %d users\n", len(corpus.Tweets), len(corpus.Profiles))
+
+	b := twitter.NewBroadcaster()
+	srv := &http.Server{Addr: addr, Handler: twitter.NewStreamServer(b).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		b.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	go func() {
+		var tick *time.Ticker
+		if rate > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
+			defer tick.Stop()
+		}
+		for {
+			for _, t := range corpus.Tweets {
+				if tick != nil {
+					select {
+					case <-tick.C:
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				b.Publish(t)
+			}
+			if !loop {
+				break
+			}
+		}
+		fmt.Fprintln(os.Stderr, "replay complete; closing stream")
+		b.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "serving stream API on %s (filter: %s)\n", addr, twitter.FilterPath)
+	err := srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,17 @@
+// Package donorsense reproduces "Characterizing Organ Donation Awareness
+// from Social Media" (Pacheco, Pinheiro, Cadeiras, Menezes — ICDE 2017):
+// a social sensor that characterizes organ-donation awareness from
+// Twitter conversations.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the runnable entry points are:
+//
+//   - cmd/donorsense — generate / analyze / collect CLI
+//   - cmd/streamsim — the simulated Twitter Stream API server
+//   - cmd/benchtables — regenerate every table and figure of the paper
+//   - examples/ — quickstart, statemap, campaign, streaming
+//
+// The root-level benchmarks in bench_test.go time the computation behind
+// each table and figure of the paper's evaluation, plus the ablations
+// listed in DESIGN.md.
+package donorsense

@@ -1,0 +1,3 @@
+module donorsense
+
+go 1.22

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Linkage selects how agglomerative clustering measures inter-cluster
+// distance.
+type Linkage int
+
+// Supported linkages. Average linkage (UPGMA) is the default the paper's
+// scikit-learn AgglomerativeClustering uses with a precomputed affinity.
+const (
+	AverageLinkage Linkage = iota
+	SingleLinkage
+	CompleteLinkage
+	// WardLinkage minimizes within-cluster variance. It assumes the
+	// input matrix holds Euclidean distances (the Lance–Williams Ward
+	// recurrence operates on their squares); with other metrics the
+	// result is a Ward-like heuristic, as in scipy.
+	WardLinkage
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case AverageLinkage:
+		return "average"
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case WardLinkage:
+		return "ward"
+	}
+	return "linkage(?)"
+}
+
+// Merge records one agglomeration step: clusters A and B merged at the
+// given Height (inter-cluster distance). Cluster ids 0..n−1 are leaves;
+// merge i creates cluster n+i.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Dendrogram is the full merge tree of an agglomerative run over n items.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Agglomerative performs hierarchical clustering on a precomputed
+// symmetric distance matrix using the Lance–Williams recurrence for the
+// chosen linkage. It returns the dendrogram.
+func Agglomerative(dist [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty distance matrix")
+	}
+	for i, row := range dist {
+		if len(row) != n {
+			return nil, fmt.Errorf("cluster: distance matrix row %d has %d cols, want %d", i, len(row), n)
+		}
+	}
+	if n == 1 {
+		return &Dendrogram{N: 1}, nil
+	}
+
+	// Working copy. d[i][j] holds the current inter-cluster distance for
+	// active clusters.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		copy(d[i], dist[i])
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	id := make([]int, n) // current dendrogram id of slot i
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		id[i] = i
+	}
+
+	dg := &Dendrogram{N: n}
+	next := n
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair. Distances may be +Inf (e.g.
+		// Bhattacharyya on disjoint supports); when nothing finite
+		// remains, merge the first active pair at +Inf, as scipy does.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if bi == -1 || d[i][j] < best {
+					best, bi, bj = d[i][j], i, j
+				}
+			}
+		}
+		dg.Merges = append(dg.Merges, Merge{A: id[bi], B: id[bj], Height: best})
+
+		// Lance–Williams update into slot bi; deactivate bj.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(d[bi][k], d[bj][k])
+			case CompleteLinkage:
+				nd = math.Max(d[bi][k], d[bj][k])
+			case WardLinkage:
+				si, sj, sk := float64(size[bi]), float64(size[bj]), float64(size[k])
+				n := si + sj + sk
+				nd2 := ((si+sk)*d[bi][k]*d[bi][k] + (sj+sk)*d[bj][k]*d[bj][k] - sk*best*best) / n
+				if nd2 < 0 {
+					nd2 = 0
+				}
+				nd = math.Sqrt(nd2)
+			default: // AverageLinkage
+				si, sj := float64(size[bi]), float64(size[bj])
+				nd = (si*d[bi][k] + sj*d[bj][k]) / (si + sj)
+			}
+			d[bi][k], d[k][bi] = nd, nd
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+		id[bi] = next
+		next++
+	}
+	return dg, nil
+}
+
+// Cut returns cluster labels (0-based, contiguous) for exactly k clusters,
+// by undoing the last k−1 merges.
+func (dg *Dendrogram) Cut(k int) ([]int, error) {
+	if k < 1 || k > dg.N {
+		return nil, fmt.Errorf("cluster: cut at k=%d with n=%d", k, dg.N)
+	}
+	// Union-find over the first n−k merges.
+	parent := make([]int, dg.N+len(dg.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < dg.N-k; i++ {
+		m := dg.Merges[i]
+		newID := dg.N + i
+		parent[find(m.A)] = newID
+		parent[find(m.B)] = newID
+	}
+	labels := make([]int, dg.N)
+	remap := map[int]int{}
+	for i := 0; i < dg.N; i++ {
+		root := find(i)
+		if _, ok := remap[root]; !ok {
+			remap[root] = len(remap)
+		}
+		labels[i] = remap[root]
+	}
+	return labels, nil
+}
+
+// LeafOrder returns the leaves in dendrogram order (depth-first through
+// the final merge), the ordering used to arrange rows/columns of the
+// Figure 6 similarity heatmap so that similar states sit together.
+func (dg *Dendrogram) LeafOrder() []int {
+	if dg.N == 1 {
+		return []int{0}
+	}
+	children := map[int][2]int{}
+	for i, m := range dg.Merges {
+		children[dg.N+i] = [2]int{m.A, m.B}
+	}
+	var order []int
+	var walk func(int)
+	walk = func(node int) {
+		if node < dg.N {
+			order = append(order, node)
+			return
+		}
+		c := children[node]
+		walk(c[0])
+		walk(c[1])
+	}
+	walk(dg.N + len(dg.Merges) - 1)
+	return order
+}
+
+// Heights returns the merge heights in order, useful for picking a cut by
+// the largest gap.
+func (dg *Dendrogram) Heights() []float64 {
+	hs := make([]float64, len(dg.Merges))
+	for i, m := range dg.Merges {
+		hs[i] = m.Height
+	}
+	return hs
+}
+
+// CopheneticDistances returns the cophenetic distance (merge height at
+// which two leaves first join) for every pair, as a condensed map keyed by
+// [i][j] with i<j. Used by tests to validate dendrogram structure.
+func (dg *Dendrogram) CopheneticDistances() map[[2]int]float64 {
+	// members[c] = leaves under cluster id c.
+	members := make(map[int][]int, dg.N+len(dg.Merges))
+	for i := 0; i < dg.N; i++ {
+		members[i] = []int{i}
+	}
+	out := map[[2]int]float64{}
+	for i, m := range dg.Merges {
+		for _, a := range members[m.A] {
+			for _, b := range members[m.B] {
+				x, y := a, b
+				if x > y {
+					x, y = y, x
+				}
+				out[[2]int{x, y}] = m.Height
+			}
+		}
+		merged := append(append([]int{}, members[m.A]...), members[m.B]...)
+		sort.Ints(merged)
+		members[dg.N+i] = merged
+	}
+	return out
+}

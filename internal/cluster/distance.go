@@ -1,0 +1,115 @@
+// Package cluster implements the two clustering algorithms the paper uses
+// — agglomerative hierarchical clustering (Figure 6, states) and K-Means
+// (Figure 7, users) — together with the distance metrics they need. The
+// paper clusters discrete probability distributions (rows of the
+// characterization matrix K), for which it argues the Bhattacharyya
+// distance is better suited than Euclidean; both are provided, along with
+// Hellinger and Jensen–Shannon for the ablation benchmarks.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distance computes the dissimilarity of two equal-length vectors. All
+// implementations in this package are symmetric and zero on identical
+// inputs.
+type Distance func(a, b []float64) float64
+
+// Euclidean is the L2 distance.
+func Euclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredEuclidean is the L2 distance squared (K-Means inertia metric).
+func SquaredEuclidean(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// bhattCoeff returns the Bhattacharyya coefficient Σ√(p_i·q_i), clamped
+// to [0, 1] against floating-point drift.
+func bhattCoeff(p, q []float64) float64 {
+	bc := 0.0
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			bc += math.Sqrt(p[i] * q[i])
+		}
+	}
+	if bc > 1 {
+		bc = 1
+	}
+	return bc
+}
+
+// Bhattacharyya is the Bhattacharyya distance −ln(BC) between two discrete
+// probability distributions. Disjoint supports give +Inf; identical
+// distributions give 0. The paper uses it as the affinity for clustering
+// states (citing Kailath 1967).
+func Bhattacharyya(p, q []float64) float64 {
+	bc := bhattCoeff(p, q)
+	if bc == 0 {
+		return math.Inf(1)
+	}
+	return -math.Log(bc)
+}
+
+// Hellinger is the Hellinger distance √(1−BC), a bounded ([0,1]) metric
+// relative of Bhattacharyya.
+func Hellinger(p, q []float64) float64 {
+	return math.Sqrt(1 - bhattCoeff(p, q))
+}
+
+// JensenShannon is the Jensen–Shannon divergence (base-2 logarithm,
+// bounded [0,1]) between two discrete distributions.
+func JensenShannon(p, q []float64) float64 {
+	kl := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			if a[i] > 0 && b[i] > 0 {
+				s += a[i] * math.Log2(a[i]/b[i])
+			}
+		}
+		return s
+	}
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = (p[i] + q[i]) / 2
+	}
+	return kl(p, m)/2 + kl(q, m)/2
+}
+
+// PairwiseMatrix computes the full symmetric distance matrix of the rows.
+func PairwiseMatrix(rows [][]float64, d Distance) ([][]float64, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no rows")
+	}
+	w := len(rows[0])
+	for i, r := range rows {
+		if len(r) != w {
+			return nil, fmt.Errorf("cluster: row %d has %d cols, want %d", i, len(r), w)
+		}
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := d(rows[i], rows[j])
+			m[i][j], m[j][i] = v, v
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// KMeansResult is the outcome of one K-Means run.
+type KMeansResult struct {
+	K          int
+	Centroids  [][]float64
+	Labels     []int
+	Inertia    float64 // sum of squared distances to assigned centroids
+	Iterations int
+	Sizes      []int // points per cluster
+}
+
+// KMeansConfig parameterizes a K-Means run.
+type KMeansConfig struct {
+	K int
+	// MaxIterations bounds Lloyd iterations (default 100).
+	MaxIterations int
+	// Tolerance stops iteration when no centroid moves more than this
+	// (squared distance; default 1e-9).
+	Tolerance float64
+	// Seed drives the k-means++ initialization.
+	Seed uint64
+	// Restarts runs the algorithm this many times with different seeds
+	// and keeps the lowest-inertia result (default 1).
+	Restarts int
+}
+
+// KMeans clusters the rows into cfg.K clusters using k-means++
+// initialization and Lloyd's algorithm. This is the algorithm behind the
+// paper's Figure 7 user clustering (k = 12, chosen via silhouette /
+// inertia / average-cluster-size sweeps).
+func KMeans(rows [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: kmeans on empty data")
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("cluster: kmeans k=%d with n=%d", cfg.K, n)
+	}
+	dim := len(rows[0])
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("cluster: row %d has %d cols, want %d", i, len(r), dim)
+		}
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+
+	var best *KMeansResult
+	for attempt := 0; attempt < restarts; attempt++ {
+		r := rand.New(rand.NewPCG(cfg.Seed, uint64(attempt)))
+		res := kmeansOnce(rows, cfg.K, maxIter, tol, r)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(rows [][]float64, k, maxIter int, tol float64, r *rand.Rand) *KMeansResult {
+	n, dim := len(rows), len(rows[0])
+	centroids := kmeansPlusPlusInit(rows, k, r)
+	labels := make([]int, n)
+	sizes := make([]int, k)
+
+	var inertia float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// Assignment step.
+		inertia = 0
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, row := range rows {
+			bi, bd := 0, math.Inf(1)
+			for c := range centroids {
+				if d := SquaredEuclidean(row, centroids[c]); d < bd {
+					bd, bi = d, c
+				}
+			}
+			labels[i] = bi
+			sizes[bi]++
+			inertia += bd
+		}
+		// Update step.
+		newCentroids := make([][]float64, k)
+		for c := range newCentroids {
+			newCentroids[c] = make([]float64, dim)
+		}
+		for i, row := range rows {
+			c := newCentroids[labels[i]]
+			for j, v := range row {
+				c[j] += v
+			}
+		}
+		moved := 0.0
+		for c := range newCentroids {
+			if sizes[c] == 0 {
+				// Empty cluster: re-seed at the point farthest from its
+				// centroid, the standard repair.
+				far, fd := 0, -1.0
+				for i, row := range rows {
+					if d := SquaredEuclidean(row, centroids[labels[i]]); d > fd {
+						fd, far = d, i
+					}
+				}
+				copy(newCentroids[c], rows[far])
+				moved += 1 // force another iteration
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range newCentroids[c] {
+				newCentroids[c][j] *= inv
+			}
+			moved += SquaredEuclidean(centroids[c], newCentroids[c])
+		}
+		centroids = newCentroids
+		if moved <= tol {
+			break
+		}
+	}
+
+	// Final assignment against the last centroids.
+	inertia = 0
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for i, row := range rows {
+		bi, bd := 0, math.Inf(1)
+		for c := range centroids {
+			if d := SquaredEuclidean(row, centroids[c]); d < bd {
+				bd, bi = d, c
+			}
+		}
+		labels[i] = bi
+		sizes[bi]++
+		inertia += bd
+	}
+	return &KMeansResult{
+		K:          k,
+		Centroids:  centroids,
+		Labels:     labels,
+		Inertia:    inertia,
+		Iterations: iter + 1,
+		Sizes:      sizes,
+	}
+}
+
+// kmeansPlusPlusInit seeds centroids with the k-means++ scheme: first
+// centroid uniform, each next one sampled proportionally to the squared
+// distance from the nearest already-chosen centroid.
+func kmeansPlusPlusInit(rows [][]float64, k int, r *rand.Rand) [][]float64 {
+	n := len(rows)
+	centroids := make([][]float64, 0, k)
+	first := rows[r.IntN(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+
+	d2 := make([]float64, n)
+	for i, row := range rows {
+		d2[i] = SquaredEuclidean(row, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total == 0 {
+			// All remaining points coincide with centroids; pick uniform.
+			idx = r.IntN(n)
+		} else {
+			x := r.Float64() * total
+			for i, d := range d2 {
+				x -= d
+				if x <= 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), rows[idx]...)
+		centroids = append(centroids, c)
+		for i, row := range rows {
+			if d := SquaredEuclidean(row, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// Silhouette computes the mean silhouette coefficient of a labelling
+// under the given distance. For large n, SilhouetteSampled is cheaper.
+func Silhouette(rows [][]float64, labels []int, d Distance) (float64, error) {
+	return silhouette(rows, labels, d, nil)
+}
+
+// SilhouetteSampled estimates the silhouette coefficient from a random
+// sample of at most sampleSize points (deterministic for a given seed).
+// The paper reports a silhouette for 72k users; the exact computation is
+// O(n²) and needs sampling at that scale.
+func SilhouetteSampled(rows [][]float64, labels []int, d Distance, sampleSize int, seed uint64) (float64, error) {
+	if sampleSize <= 0 || sampleSize >= len(rows) {
+		return silhouette(rows, labels, d, nil)
+	}
+	r := rand.New(rand.NewPCG(seed, 0x51))
+	idx := r.Perm(len(rows))[:sampleSize]
+	return silhouette(rows, labels, d, idx)
+}
+
+// silhouette computes the mean silhouette over the given sample indices
+// (nil means all points). Distances a(i)/b(i) are computed against the
+// full dataset, only the averaging is sampled.
+func silhouette(rows [][]float64, labels []int, d Distance, sample []int) (float64, error) {
+	n := len(rows)
+	if n != len(labels) {
+		return 0, fmt.Errorf("cluster: %d rows, %d labels", n, len(labels))
+	}
+	k := 0
+	for _, l := range labels {
+		if l < 0 {
+			return 0, fmt.Errorf("cluster: negative label")
+		}
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs at least 2 clusters")
+	}
+	counts := make([]int, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+
+	indices := sample
+	if indices == nil {
+		indices = make([]int, n)
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	sum := 0.0
+	used := 0
+	sums := make([]float64, k)
+	for _, i := range indices {
+		if counts[labels[i]] < 2 {
+			continue // silhouette undefined for singleton's member
+		}
+		for c := range sums {
+			sums[c] = 0
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += d(rows[i], rows[j])
+		}
+		a := sums[labels[i]] / float64(counts[labels[i]]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == labels[i] || counts[c] == 0 {
+				continue
+			}
+			if v := sums[c] / float64(counts[c]); v < b {
+				b = v
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			sum += (b - a) / den
+		}
+		used++
+	}
+	if used == 0 {
+		return 0, fmt.Errorf("cluster: no valid silhouette points")
+	}
+	return sum / float64(used), nil
+}
+
+// SweepResult summarizes one k in a model-selection sweep.
+type SweepResult struct {
+	K          int
+	Inertia    float64
+	Silhouette float64
+	AvgSize    float64
+	MinSize    int
+}
+
+// SweepK runs K-Means for each k in ks and reports the selection metrics
+// the paper compares (inertia, silhouette coefficient, average cluster
+// size). silhouetteSample bounds the silhouette computation (0 = exact).
+func SweepK(rows [][]float64, ks []int, seed uint64, silhouetteSample int) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(ks))
+	for _, k := range ks {
+		res, err := KMeans(rows, KMeansConfig{K: k, Seed: seed, Restarts: 2})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sweep k=%d: %w", k, err)
+		}
+		sil, err := SilhouetteSampled(rows, res.Labels, Euclidean, silhouetteSample, seed)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sweep silhouette k=%d: %w", k, err)
+		}
+		minSize := res.Sizes[0]
+		for _, s := range res.Sizes {
+			if s < minSize {
+				minSize = s
+			}
+		}
+		out = append(out, SweepResult{
+			K:          k,
+			Inertia:    res.Inertia,
+			Silhouette: sil,
+			AvgSize:    float64(len(rows)) / float64(k),
+			MinSize:    minSize,
+		})
+	}
+	return out, nil
+}

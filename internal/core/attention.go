@@ -1,0 +1,177 @@
+// Package core implements the paper's contribution: the characterization
+// of social-media users by their attention to solid organs, and its
+// aggregations.
+//
+// Users are represented by a row-normalized contingency matrix
+// Û = [û_ij] (m users × n organs) where û_ij is the fraction of user i's
+// organ mentions that go to organ j (§III-B). Aggregation happens through
+// a membership-indicator matrix L via Equation 3,
+//
+//	K = (LᵀL)⁻¹ Lᵀ Û,
+//
+// with L built either from each user's most-cited organ (Equation 1, the
+// organ perspective of Figure 3) or from each user's state (Equation 2,
+// the region perspective of Figures 4–6). Per-state organ highlighting
+// uses the relative risk of Equation 4 (Figure 5).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"donorsense/internal/mat"
+	"donorsense/internal/organ"
+)
+
+// AttentionBuilder accumulates per-user organ mention counts from a tweet
+// stream and produces the normalized attention matrix Û.
+type AttentionBuilder struct {
+	counts map[int64]*[organ.Count]float64
+}
+
+// NewAttentionBuilder returns an empty builder.
+func NewAttentionBuilder() *AttentionBuilder {
+	return &AttentionBuilder{counts: make(map[int64]*[organ.Count]float64)}
+}
+
+// Observe records organ mentions for a user. mentions is indexed by
+// canonical organ order (the text.Extraction.Mentions layout). Users with
+// all-zero mentions are ignored.
+func (b *AttentionBuilder) Observe(userID int64, mentions [organ.Count]int) {
+	total := 0
+	for _, m := range mentions {
+		total += m
+	}
+	if total == 0 {
+		return
+	}
+	row := b.counts[userID]
+	if row == nil {
+		row = new([organ.Count]float64)
+		b.counts[userID] = row
+	}
+	for i, m := range mentions {
+		row[i] += float64(m)
+	}
+}
+
+// Users returns the number of users observed so far.
+func (b *AttentionBuilder) Users() int { return len(b.counts) }
+
+// Build produces the Attention matrix. The builder may keep accumulating
+// afterwards; Build snapshots the current state. It errors when no users
+// have been observed.
+func (b *AttentionBuilder) Build() (*Attention, error) {
+	if len(b.counts) == 0 {
+		return nil, fmt.Errorf("core: no users observed")
+	}
+	ids := make([]int64, 0, len(b.counts))
+	for id := range b.counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	m := mat.New(len(ids), organ.Count)
+	index := make(map[int64]int, len(ids))
+	for r, id := range ids {
+		index[id] = r
+		row := b.counts[id]
+		for c, v := range row {
+			m.Set(r, c, v)
+		}
+	}
+	if zero := m.NormalizeRows(); len(zero) != 0 {
+		// Observe rejects all-zero mention vectors, so this is a bug.
+		return nil, fmt.Errorf("core: %d zero attention rows", len(zero))
+	}
+	return &Attention{ids: ids, index: index, u: m}, nil
+}
+
+// Attention is the normalized user-attention matrix Û. Each row is a
+// discrete probability distribution over the six organs.
+type Attention struct {
+	ids   []int64
+	index map[int64]int
+	u     *mat.Matrix
+}
+
+// Users returns the number of users (rows).
+func (a *Attention) Users() int { return len(a.ids) }
+
+// UserIDs returns the user IDs in row order. The slice is shared; do not
+// mutate.
+func (a *Attention) UserIDs() []int64 { return a.ids }
+
+// RowOf returns the row index of the user, or -1 if unknown.
+func (a *Attention) RowOf(userID int64) int {
+	if r, ok := a.index[userID]; ok {
+		return r
+	}
+	return -1
+}
+
+// Row returns a copy of the attention distribution of the given row.
+func (a *Attention) Row(row int) []float64 { return a.u.Row(row) }
+
+// Matrix returns the underlying Û. Callers must not mutate it.
+func (a *Attention) Matrix() *mat.Matrix { return a.u }
+
+// Rows materializes Û as a slice of rows for the clustering APIs. The
+// rows are copies.
+func (a *Attention) Rows() [][]float64 {
+	out := make([][]float64, a.u.Rows())
+	for i := range out {
+		out[i] = a.u.Row(i)
+	}
+	return out
+}
+
+// PrimaryOrgan returns the arg-max organ of a row (Equation 1's
+// aggregation key). Exact ties (common for low-activity users, e.g. one
+// heart tweet plus one kidney tweet) resolve by a deterministic hash of
+// the user ID rather than NumPy's lowest-index convention: first-index
+// tie-breaking funnels every 50/50 user into the lower-indexed organ's
+// group, which systematically distorts the Figure 3 co-mention ranks.
+// The hash split keeps the aggregation unbiased while staying
+// reproducible.
+func (a *Attention) PrimaryOrgan(row int) organ.Organ {
+	r := a.u.RowView(row)
+	best, bi := r[0], 0
+	tied := 1
+	for i := 1; i < len(r); i++ {
+		switch {
+		case r[i] > best:
+			best, bi, tied = r[i], i, 1
+		case r[i] == best:
+			tied++
+		}
+	}
+	if tied == 1 {
+		return organ.Organ(bi)
+	}
+	h := splitmix64(uint64(a.ids[row]))
+	pick := int(h % uint64(tied))
+	for i := bi; i < len(r); i++ {
+		if r[i] == best {
+			if pick == 0 {
+				return organ.Organ(i)
+			}
+			pick--
+		}
+	}
+	return organ.Organ(bi)
+}
+
+// splitmix64 is the standard 64-bit mix used for deterministic hashing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MentionsOrgan reports whether the user row has any attention on the
+// organ.
+func (a *Attention) MentionsOrgan(row int, o organ.Organ) bool {
+	return a.u.At(row, o.Index()) > 0
+}

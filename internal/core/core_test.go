@@ -1,0 +1,430 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+)
+
+func mentions(pairs ...any) [organ.Count]int {
+	var m [organ.Count]int
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i].(organ.Organ).Index()] = pairs[i+1].(int)
+	}
+	return m
+}
+
+func TestBuilderNormalizesRows(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Heart, 3, organ.Kidney, 1))
+	b.Observe(2, mentions(organ.Liver, 2))
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Users() != 2 {
+		t.Fatalf("Users = %d, want 2", a.Users())
+	}
+	r := a.Row(a.RowOf(1))
+	if r[organ.Heart.Index()] != 0.75 || r[organ.Kidney.Index()] != 0.25 {
+		t.Errorf("user 1 row = %v", r)
+	}
+	r2 := a.Row(a.RowOf(2))
+	if r2[organ.Liver.Index()] != 1 {
+		t.Errorf("user 2 row = %v", r2)
+	}
+}
+
+func TestBuilderAccumulatesAcrossObservations(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(7, mentions(organ.Heart, 1))
+	b.Observe(7, mentions(organ.Heart, 1, organ.Lung, 2))
+	a, _ := b.Build()
+	r := a.Row(a.RowOf(7))
+	if r[organ.Heart.Index()] != 0.5 || r[organ.Lung.Index()] != 0.5 {
+		t.Errorf("accumulated row = %v", r)
+	}
+}
+
+func TestBuilderIgnoresZeroMentions(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, [organ.Count]int{})
+	if b.Users() != 0 {
+		t.Error("zero-mention observation created a user")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("empty build accepted")
+	}
+}
+
+func TestRowOfUnknownUser(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Heart, 1))
+	a, _ := b.Build()
+	if a.RowOf(99) != -1 {
+		t.Error("unknown user has a row")
+	}
+}
+
+func TestPrimaryOrganArgmaxAndTies(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Kidney, 5, organ.Heart, 2))
+	b.Observe(2, mentions(organ.Heart, 1, organ.Lung, 1)) // tie
+	a, _ := b.Build()
+	if got := a.PrimaryOrgan(a.RowOf(1)); got != organ.Kidney {
+		t.Errorf("primary of user 1 = %v, want kidney", got)
+	}
+	// A tie must resolve to one of the tied organs, deterministically.
+	tie1 := a.PrimaryOrgan(a.RowOf(2))
+	if tie1 != organ.Heart && tie1 != organ.Lung {
+		t.Errorf("tie primary = %v, want heart or lung", tie1)
+	}
+	if again := a.PrimaryOrgan(a.RowOf(2)); again != tie1 {
+		t.Errorf("tie break not deterministic: %v then %v", tie1, again)
+	}
+}
+
+func TestPrimaryOrganTieBreakUnbiased(t *testing.T) {
+	// Across many users, 50/50 heart–kidney ties must split roughly
+	// evenly between the two groups (the Figure 3 debiasing property).
+	b := NewAttentionBuilder()
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		b.Observe(i+1, mentions(organ.Heart, 1, organ.Kidney, 1))
+	}
+	a, _ := b.Build()
+	heart := 0
+	for row := 0; row < a.Users(); row++ {
+		switch a.PrimaryOrgan(row) {
+		case organ.Heart:
+			heart++
+		case organ.Kidney:
+		default:
+			t.Fatal("tie resolved to an un-tied organ")
+		}
+	}
+	frac := float64(heart) / n
+	if frac < 0.44 || frac > 0.56 {
+		t.Errorf("heart share of ties = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestUserIDsSorted(t *testing.T) {
+	b := NewAttentionBuilder()
+	for _, id := range []int64{42, 7, 99, 13} {
+		b.Observe(id, mentions(organ.Heart, 1))
+	}
+	a, _ := b.Build()
+	ids := a.UserIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("user IDs not sorted: %v", ids)
+		}
+	}
+	for i, id := range ids {
+		if a.RowOf(id) != i {
+			t.Errorf("RowOf(%d) = %d, want %d", id, a.RowOf(id), i)
+		}
+	}
+}
+
+func TestCharacterizeOrgansHandComputed(t *testing.T) {
+	// Two heart-primary users and one kidney-primary user.
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Heart, 3, organ.Kidney, 1)) // [.75 .25 ...]
+	b.Observe(2, mentions(organ.Heart, 1))                  // [1 0 ...]
+	b.Observe(3, mentions(organ.Kidney, 4, organ.Liver, 1)) // kidney primary
+	a, _ := b.Build()
+	oc, err := CharacterizeOrgans(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heartRow := oc.Signature(organ.Heart)
+	if !floatEq(heartRow[organ.Heart.Index()], 0.875) || !floatEq(heartRow[organ.Kidney.Index()], 0.125) {
+		t.Errorf("heart signature = %v", heartRow)
+	}
+	kidneyRow := oc.Signature(organ.Kidney)
+	if !floatEq(kidneyRow[organ.Kidney.Index()], 0.8) || !floatEq(kidneyRow[organ.Liver.Index()], 0.2) {
+		t.Errorf("kidney signature = %v", kidneyRow)
+	}
+	if oc.GroupSizes[organ.Heart.Index()] != 2 || oc.GroupSizes[organ.Kidney.Index()] != 1 {
+		t.Errorf("group sizes = %v", oc.GroupSizes)
+	}
+}
+
+func floatEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestCoMentionRank(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Heart, 10, organ.Kidney, 3, organ.Liver, 1))
+	a, _ := b.Build()
+	oc, _ := CharacterizeOrgans(a)
+	rank := oc.CoMentionRank(organ.Heart)
+	if len(rank) != organ.Count-1 {
+		t.Fatalf("rank length %d", len(rank))
+	}
+	if rank[0] != organ.Kidney || rank[1] != organ.Liver {
+		t.Errorf("co-mention rank = %v", rank)
+	}
+	for _, o := range rank {
+		if o == organ.Heart {
+			t.Error("self organ appears in co-mention rank")
+		}
+	}
+}
+
+func TestKRowsAreDistributions(t *testing.T) {
+	// Property: every non-empty row of K is a probability distribution,
+	// since Equation 3 averages distributions.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 21))
+		b := NewAttentionBuilder()
+		n := 5 + r.IntN(50)
+		for i := 0; i < n; i++ {
+			var m [organ.Count]int
+			for j := range m {
+				m[j] = r.IntN(5)
+			}
+			m[r.IntN(organ.Count)]++ // ensure non-zero
+			b.Observe(int64(i), m)
+		}
+		a, err := b.Build()
+		if err != nil {
+			return false
+		}
+		oc, err := CharacterizeOrgans(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < organ.Count; i++ {
+			if oc.GroupSizes[i] == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, v := range oc.K.Row(i) {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildRegionFixture(t *testing.T) (*Attention, map[int64]string) {
+	t.Helper()
+	b := NewAttentionBuilder()
+	states := map[int64]string{}
+	id := int64(0)
+	add := func(state string, m [organ.Count]int) {
+		id++
+		b.Observe(id, m)
+		states[id] = state
+	}
+	// Kansas: kidney-heavy (kidney-only users so heart isn't also
+	// universally mentioned there).
+	for i := 0; i < 30; i++ {
+		add("KS", mentions(organ.Kidney, 2))
+	}
+	for i := 0; i < 10; i++ {
+		add("KS", mentions(organ.Heart, 1))
+	}
+	// Texas: heart-heavy, larger.
+	for i := 0; i < 80; i++ {
+		add("TX", mentions(organ.Heart, 2))
+	}
+	for i := 0; i < 20; i++ {
+		add("TX", mentions(organ.Kidney, 1))
+	}
+	// California: mixed.
+	for i := 0; i < 50; i++ {
+		add("CA", mentions(organ.Heart, 1, organ.Liver, 1))
+	}
+	for i := 0; i < 30; i++ {
+		add("CA", mentions(organ.Kidney, 1))
+	}
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, states
+}
+
+func TestCharacterizeRegions(t *testing.T) {
+	a, states := buildRegionFixture(t)
+	rc, err := CharacterizeRegions(a, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := rc.Signature("KS")
+	// 30 kidney-only users plus 10 heart-only users: kidney = 30/40 = .75
+	if !floatEq(ks[organ.Kidney.Index()], 0.75) {
+		t.Errorf("KS kidney attention = %v, want 0.75", ks[organ.Kidney.Index()])
+	}
+	tx := rc.Signature("TX")
+	if !floatEq(tx[organ.Heart.Index()], 0.8) {
+		t.Errorf("TX heart attention = %v, want 0.8", tx[organ.Heart.Index()])
+	}
+	// States with no users are listed empty.
+	foundWY := false
+	for _, e := range rc.EmptyStates {
+		if rc.StateCodes[e] == "WY" {
+			foundWY = true
+		}
+	}
+	if !foundWY {
+		t.Error("WY not reported empty")
+	}
+	if rc.Signature("ZZ") != nil {
+		t.Error("unknown state has a signature")
+	}
+	rows, codes := rc.NonEmptyRows()
+	if len(rows) != 3 || len(codes) != 3 {
+		t.Errorf("NonEmptyRows = %d rows, %v", len(rows), codes)
+	}
+}
+
+func TestCharacterizeRegionsSkipsUnknownStates(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Heart, 1))
+	b.Observe(2, mentions(organ.Kidney, 1))
+	a, _ := b.Build()
+	rc, err := CharacterizeRegions(a, map[int64]string{1: "KS", 2: "XX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.GroupSizes[geo.StateIndex("KS")] != 1 {
+		t.Error("KS user not counted")
+	}
+	// No state assignment at all → error.
+	if _, err := CharacterizeRegions(a, map[int64]string{}); err == nil {
+		t.Error("no assignable users accepted")
+	}
+}
+
+func TestHighlightOrgansFindsKansasKidney(t *testing.T) {
+	a, states := buildRegionFixture(t)
+	h, err := HighlightOrgans(a, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 40 KS users vs national: kidney mention rate inside = 30/40,
+	// outside = 50/180 — strongly significant.
+	ksOrgans := h.HighlightedOrgans("KS")
+	if !reflect.DeepEqual(ksOrgans, []organ.Organ{organ.Kidney}) {
+		t.Errorf("KS highlighted = %v, want [kidney]", ksOrgans)
+	}
+	if got := h.StatesHighlighting(organ.Kidney); !reflect.DeepEqual(got, []string{"KS"}) {
+		t.Errorf("kidney states = %v, want [KS]", got)
+	}
+	// TX mentions heart everywhere but so does everyone; with CA liver
+	// mixed in, heart inside TX = 80/100 vs outside = 90/120 — RR ≈ 1.07,
+	// not significant at these magnitudes... verify it is not *kidney*.
+	for _, o := range h.HighlightedOrgans("TX") {
+		if o == organ.Kidney {
+			t.Error("TX spuriously highlights kidney")
+		}
+	}
+	// Empty states have undefined risks, never highlighted.
+	if got := h.HighlightedOrgans("WY"); got != nil {
+		t.Errorf("WY highlighted = %v, want none", got)
+	}
+	if h.HighlightedOrgans("ZZ") != nil {
+		t.Error("unknown state highlighted")
+	}
+}
+
+func TestHighlightErrorsWithNoStates(t *testing.T) {
+	b := NewAttentionBuilder()
+	b.Observe(1, mentions(organ.Heart, 1))
+	a, _ := b.Build()
+	if _, err := HighlightOrgans(a, map[int64]string{}); err == nil {
+		t.Error("no-state highlight accepted")
+	}
+	if _, err := WinnerTakesAll(a, map[int64]string{}); err == nil {
+		t.Error("no-state winner-takes-all accepted")
+	}
+}
+
+func TestWinnerTakesAllDominatedByPrevalentOrgan(t *testing.T) {
+	a, states := buildRegionFixture(t)
+	w, err := WinnerTakesAll(a, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heart wins TX and CA (CA: 50 heart+liver vs 30 kidney); kidney wins
+	// KS by raw counts too in this small fixture (30 kidney vs 40 heart
+	// mentions — careful: all 40 KS users mention heart... 30+10).
+	if w["TX"] != organ.Heart {
+		t.Errorf("TX winner = %v, want heart", w["TX"])
+	}
+	if w["KS"] != organ.Kidney {
+		// In this fixture kidney users outnumber heart users in KS, so
+		// even the raw-count baseline sees it. (The baseline's blind
+		// spot — heart winning everywhere on national prevalence — is
+		// demonstrated on the full synthetic corpus in the pipeline
+		// tests and the Figure 5 ablation bench.)
+		t.Errorf("KS winner = %v, want kidney", w["KS"])
+	}
+	if w["WY"] != organ.Organ(-1) {
+		t.Errorf("WY winner = %v, want -1 sentinel", w["WY"])
+	}
+}
+
+func TestHighlightUsesUsersNotTweets(t *testing.T) {
+	// One hyperactive kidney user in Texas must not flip the state: the
+	// prevalence unit is users.
+	b := NewAttentionBuilder()
+	states := map[int64]string{}
+	for i := int64(1); i <= 20; i++ {
+		b.Observe(i, mentions(organ.Heart, 1))
+		states[i] = "TX"
+	}
+	// The heavy tweeter: 500 kidney mentions, still one user.
+	b.Observe(100, mentions(organ.Kidney, 500))
+	states[100] = "TX"
+	for i := int64(200); i < 260; i++ {
+		b.Observe(i, mentions(organ.Heart, 1, organ.Kidney, 1))
+		states[i] = "CA"
+	}
+	a, _ := b.Build()
+	h, err := HighlightOrgans(a, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range h.HighlightedOrgans("TX") {
+		if o == organ.Kidney {
+			t.Error("a single heavy tweeter flipped TX to kidney")
+		}
+	}
+}
+
+func BenchmarkCharacterizeOrgans(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	bld := NewAttentionBuilder()
+	for i := 0; i < 70000; i++ {
+		var m [organ.Count]int
+		m[r.IntN(organ.Count)] = 1 + r.IntN(5)
+		if r.Float64() < 0.15 {
+			m[r.IntN(organ.Count)] += 1
+		}
+		bld.Observe(int64(i), m)
+	}
+	a, _ := bld.Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CharacterizeOrgans(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

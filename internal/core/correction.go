@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/stats"
+)
+
+// Correction selects a multiple-testing correction for the Figure 5
+// highlighting. The paper applies none — with 312 (state, organ)
+// hypotheses at α = 0.05 a handful of false highlights are expected —
+// so this is an extension that quantifies how much of the map survives
+// a principled correction.
+type Correction int
+
+// Correction methods.
+const (
+	// NoCorrection reproduces the paper's rule exactly.
+	NoCorrection Correction = iota
+	// BonferroniCorrection controls the family-wise error rate.
+	BonferroniCorrection
+	// BHCorrection controls the false-discovery rate
+	// (Benjamini–Hochberg).
+	BHCorrection
+)
+
+// String returns the correction name.
+func (c Correction) String() string {
+	switch c {
+	case NoCorrection:
+		return "none"
+	case BonferroniCorrection:
+		return "bonferroni"
+	case BHCorrection:
+		return "benjamini-hochberg"
+	}
+	return "correction(?)"
+}
+
+// alphaOneSided matches the paper's CI rule: log lower bound > 0 at
+// z = 1.96 is a one-sided test at 2.5%.
+const alphaOneSided = 0.025
+
+// AdjustedHighlights re-evaluates the Figure 5 highlighting under a
+// multiple-testing correction. It returns, per state code, the organs
+// that remain significant. With NoCorrection the result matches
+// HighlightedOrgans for every state.
+func (h *HighlightResult) AdjustedHighlights(method Correction) (map[string][]organ.Organ, error) {
+	type cell struct {
+		state int
+		organ organ.Organ
+	}
+	var cells []cell
+	var ps []float64
+	for s := range h.Risks {
+		for _, r := range h.Risks[s] {
+			if !r.Defined {
+				continue
+			}
+			cells = append(cells, cell{s, r.Organ})
+			ps = append(ps, stats.PValueFromZ(stats.ZFromLogRR(r.RR.LogRR, r.RR.SE)))
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("core: no defined relative risks to adjust")
+	}
+	var adj []float64
+	switch method {
+	case NoCorrection:
+		adj = ps
+	case BonferroniCorrection:
+		adj = stats.Bonferroni(ps)
+	case BHCorrection:
+		adj = stats.BenjaminiHochberg(ps)
+	default:
+		return nil, fmt.Errorf("core: unknown correction %d", int(method))
+	}
+	out := make(map[string][]organ.Organ)
+	for i, c := range cells {
+		if adj[i] < alphaOneSided {
+			code := h.StateCodes[c.state]
+			out[code] = append(out[code], c.organ)
+		}
+	}
+	return out, nil
+}
+
+// CountHighlights returns the total number of (state, organ) highlights
+// in an AdjustedHighlights result.
+func CountHighlights(m map[string][]organ.Organ) int {
+	n := 0
+	for _, os := range m {
+		n += len(os)
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"donorsense/internal/core"
+	"donorsense/internal/organ"
+)
+
+// ExampleAttentionBuilder shows the paper's §III-B user characterization:
+// mention counts become a row-normalized attention distribution Û.
+func ExampleAttentionBuilder() {
+	b := core.NewAttentionBuilder()
+	var mentions [organ.Count]int
+	mentions[organ.Heart.Index()] = 3
+	mentions[organ.Kidney.Index()] = 1
+	b.Observe(42, mentions)
+
+	a, _ := b.Build()
+	row := a.Row(a.RowOf(42))
+	fmt.Printf("heart=%.2f kidney=%.2f primary=%s\n",
+		row[organ.Heart.Index()], row[organ.Kidney.Index()], a.PrimaryOrgan(a.RowOf(42)))
+	// Output:
+	// heart=0.75 kidney=0.25 primary=heart
+}
+
+// ExampleHighlightOrgans demonstrates the Figure 5 relative-risk rule on
+// a toy two-state population.
+func ExampleHighlightOrgans() {
+	b := core.NewAttentionBuilder()
+	states := map[int64]string{}
+	id := int64(0)
+	add := func(state string, o organ.Organ, n int) {
+		for i := 0; i < n; i++ {
+			id++
+			var m [organ.Count]int
+			m[o.Index()] = 1
+			b.Observe(id, m)
+			states[id] = state
+		}
+	}
+	add("KS", organ.Kidney, 30) // kidney-heavy Kansas
+	add("KS", organ.Heart, 10)
+	add("TX", organ.Heart, 150) // heart-typical Texas
+	add("TX", organ.Kidney, 50)
+
+	a, _ := b.Build()
+	h, _ := core.HighlightOrgans(a, states)
+	for _, o := range h.HighlightedOrgans("KS") {
+		fmt.Println("Kansas highlights:", o)
+	}
+	// Output:
+	// Kansas highlights: kidney
+}
+
+// ExampleCharacterizeOrgans shows a Figure 3 organ signature.
+func ExampleCharacterizeOrgans() {
+	b := core.NewAttentionBuilder()
+	var m [organ.Count]int
+	m[organ.Heart.Index()] = 8
+	m[organ.Kidney.Index()] = 2
+	b.Observe(1, m)
+
+	a, _ := b.Build()
+	oc, _ := core.CharacterizeOrgans(a)
+	rank := oc.CoMentionRank(organ.Heart)
+	fmt.Println("heart users co-mention first:", rank[0])
+	// Output:
+	// heart users co-mention first: kidney
+}

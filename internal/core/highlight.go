@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+	"donorsense/internal/stats"
+)
+
+// StateOrganRisk is the relative-risk analysis of one (state, organ) pair
+// (Equation 4 / Figure 5).
+type StateOrganRisk struct {
+	StateCode string
+	Organ     organ.Organ
+	// RR carries the point estimate and confidence interval. Undefined
+	// (zero-count) cells leave Defined false.
+	RR      stats.RelativeRisk
+	Defined bool
+}
+
+// Highlighted reports the paper's Figure 5 criterion: the organ's
+// conversation prevalence significantly exceeds the national expectation
+// in this state.
+func (s StateOrganRisk) Highlighted() bool {
+	return s.Defined && s.RR.Significant()
+}
+
+// HighlightResult holds the full Figure 5 analysis.
+type HighlightResult struct {
+	// Risks is indexed [stateRow][organ] in geo.StateCodes() ×
+	// canonical organ order.
+	Risks [][]StateOrganRisk
+	// StateCodes gives the row order.
+	StateCodes []string
+}
+
+// HighlightedOrgans returns the organs significantly over-represented in
+// the state's conversations, in canonical organ order.
+func (h *HighlightResult) HighlightedOrgans(code string) []organ.Organ {
+	row := geo.StateIndex(code)
+	if row < 0 {
+		return nil
+	}
+	var out []organ.Organ
+	for _, r := range h.Risks[row] {
+		if r.Highlighted() {
+			out = append(out, r.Organ)
+		}
+	}
+	return out
+}
+
+// StatesHighlighting returns the state codes where the organ is
+// significantly over-represented.
+func (h *HighlightResult) StatesHighlighting(o organ.Organ) []string {
+	var out []string
+	for row, code := range h.StateCodes {
+		if h.Risks[row][o.Index()].Highlighted() {
+			out = append(out, code)
+		}
+	}
+	return out
+}
+
+// HighlightOrgans computes, for every state and organ, the relative risk
+// of a user mentioning the organ inside the state versus outside it
+// (Equation 4), with the paper's α = 0.05 log-normal significance rule.
+//
+// The prevalence unit is users (not tweets), matching the paper's
+// user-based characterization: a is the number of users in state r who
+// mention organ i, b the users in r who do not, c and d the same outside
+// r.
+func HighlightOrgans(a *Attention, stateOf map[int64]string) (*HighlightResult, error) {
+	codes := geo.StateCodes()
+	nStates := len(codes)
+
+	// mention[s][o] = users in state s mentioning organ o;
+	// users[s] = users in state s.
+	mention := make([][organ.Count]int, nStates)
+	users := make([]int, nStates)
+	totalMention := [organ.Count]int{}
+	totalUsers := 0
+
+	for row, id := range a.UserIDs() {
+		code, ok := stateOf[id]
+		if !ok {
+			continue
+		}
+		s := geo.StateIndex(code)
+		if s < 0 {
+			continue
+		}
+		users[s]++
+		totalUsers++
+		for _, o := range organ.All() {
+			if a.MentionsOrgan(row, o) {
+				mention[s][o.Index()]++
+				totalMention[o.Index()]++
+			}
+		}
+	}
+	if totalUsers == 0 {
+		return nil, fmt.Errorf("core: no users could be assigned to a state")
+	}
+
+	res := &HighlightResult{
+		Risks:      make([][]StateOrganRisk, nStates),
+		StateCodes: codes,
+	}
+	for s := 0; s < nStates; s++ {
+		res.Risks[s] = make([]StateOrganRisk, organ.Count)
+		for _, o := range organ.All() {
+			j := o.Index()
+			aCnt := mention[s][j]
+			bCnt := users[s] - aCnt
+			cCnt := totalMention[j] - aCnt
+			dCnt := (totalUsers - users[s]) - cCnt
+			risk := StateOrganRisk{StateCode: codes[s], Organ: o}
+			if rr, err := stats.NewRelativeRisk(aCnt, bCnt, cCnt, dCnt); err == nil {
+				risk.RR = rr
+				risk.Defined = true
+			}
+			res.Risks[s][j] = risk
+		}
+	}
+	return res, nil
+}
+
+// WinnerTakesAll is the baseline the paper argues against (§IV-B1): the
+// most-mentioned organ per state by raw user counts. Because organ
+// prevalence is skewed, this declares heart nearly everywhere; the bench
+// harness contrasts it with the RR highlighting. States with no users map
+// to -1.
+func WinnerTakesAll(a *Attention, stateOf map[int64]string) (map[string]organ.Organ, error) {
+	codes := geo.StateCodes()
+	counts := make([][organ.Count]int, len(codes))
+	seen := make([]bool, len(codes))
+	for row, id := range a.UserIDs() {
+		code, ok := stateOf[id]
+		if !ok {
+			continue
+		}
+		s := geo.StateIndex(code)
+		if s < 0 {
+			continue
+		}
+		seen[s] = true
+		for _, o := range organ.All() {
+			if a.MentionsOrgan(row, o) {
+				counts[s][o.Index()]++
+			}
+		}
+	}
+	out := make(map[string]organ.Organ, len(codes))
+	any := false
+	for s, code := range codes {
+		if !seen[s] {
+			out[code] = organ.Organ(-1)
+			continue
+		}
+		any = true
+		best, bi := -1, 0
+		for j, c := range counts[s] {
+			if c > best {
+				best, bi = c, j
+			}
+		}
+		out[code] = organ.Organ(bi)
+	}
+	if !any {
+		return nil, fmt.Errorf("core: no users could be assigned to a state")
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package export writes analysis artifacts in machine-readable form —
+// CSV for the tabular results (state signatures, the relative-risk
+// table, cluster centroids, daily series) and JSON for the full analysis
+// summary — so downstream tooling (R, pandas, plotting) can consume a
+// run without parsing the text reports.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"donorsense/internal/cluster"
+	"donorsense/internal/core"
+	"donorsense/internal/organ"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/temporal"
+)
+
+// writeAll writes records through a csv.Writer, returning the first
+// error.
+func writeAll(w io.Writer, records [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(records); err != nil {
+		return fmt.Errorf("export: write csv: %w", err)
+	}
+	return nil
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// StateSignaturesCSV writes the Figure 4 matrix: one row per state with
+// its attention distribution and user count.
+func StateSignaturesCSV(w io.Writer, rc *core.RegionCharacterization) error {
+	header := append([]string{"state", "users"}, organ.Names()...)
+	records := [][]string{header}
+	for i, code := range rc.StateCodes {
+		if rc.GroupSizes[i] == 0 {
+			continue
+		}
+		rec := []string{code, strconv.Itoa(rc.GroupSizes[i])}
+		for _, v := range rc.K.Row(i) {
+			rec = append(rec, f64(v))
+		}
+		records = append(records, rec)
+	}
+	return writeAll(w, records)
+}
+
+// RelativeRiskCSV writes the Figure 5 table: one row per defined
+// (state, organ) cell with the RR, CI, and significance flag.
+func RelativeRiskCSV(w io.Writer, h *core.HighlightResult) error {
+	records := [][]string{{
+		"state", "organ", "rr", "ci_lower", "ci_upper", "log_rr", "se",
+		"a", "b", "c", "d", "significant",
+	}}
+	for s := range h.Risks {
+		for _, r := range h.Risks[s] {
+			if !r.Defined {
+				continue
+			}
+			records = append(records, []string{
+				r.StateCode, r.Organ.String(),
+				f64(r.RR.RR), f64(r.RR.Lower), f64(r.RR.Upper),
+				f64(r.RR.LogRR), f64(r.RR.SE),
+				strconv.Itoa(r.RR.A), strconv.Itoa(r.RR.B),
+				strconv.Itoa(r.RR.C), strconv.Itoa(r.RR.D),
+				strconv.FormatBool(r.Highlighted()),
+			})
+		}
+	}
+	return writeAll(w, records)
+}
+
+// ClustersCSV writes the Figure 7 result: one row per cluster with size
+// and centroid.
+func ClustersCSV(w io.Writer, res *cluster.KMeansResult) error {
+	header := append([]string{"cluster", "size"}, organ.Names()...)
+	records := [][]string{header}
+	for c := range res.Centroids {
+		rec := []string{strconv.Itoa(c), strconv.Itoa(res.Sizes[c])}
+		for _, v := range res.Centroids[c] {
+			rec = append(rec, f64(v))
+		}
+		records = append(records, rec)
+	}
+	return writeAll(w, records)
+}
+
+// SeriesCSV writes the temporal series: one row per day with per-organ
+// counts and the total.
+func SeriesCSV(w io.Writer, s *temporal.Series) error {
+	header := append([]string{"date", "day"}, organ.Names()...)
+	header = append(header, "total")
+	records := [][]string{header}
+	for d := 0; d < s.Days(); d++ {
+		date := s.Start().AddDate(0, 0, d)
+		rec := []string{date.Format("2006-01-02"), strconv.Itoa(d)}
+		for _, o := range organ.All() {
+			rec = append(rec, strconv.Itoa(s.Count(d, o)))
+		}
+		rec = append(rec, strconv.Itoa(s.Total(d)))
+		records = append(records, rec)
+	}
+	return writeAll(w, records)
+}
+
+// Summary is the JSON export of a run's headline results.
+type Summary struct {
+	GeneratedAt time.Time       `json:"generated_at"`
+	TableI      pipeline.TableI `json:"table_i"`
+	// UsersPerOrgan is keyed by organ name.
+	UsersPerOrgan map[string]int `json:"users_per_organ"`
+	// SpearmanR/SpearmanP validate against OPTN transplant counts.
+	SpearmanR float64 `json:"spearman_r"`
+	SpearmanP float64 `json:"spearman_p"`
+	// Highlights maps state code to the organs significantly
+	// over-represented there (Figure 5).
+	Highlights map[string][]string `json:"highlights"`
+	// Bursts lists detected conversation spikes, if temporal analysis
+	// ran.
+	Bursts []BurstJSON `json:"bursts,omitempty"`
+}
+
+// BurstJSON is the JSON shape of a temporal burst.
+type BurstJSON struct {
+	Organ string    `json:"organ"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Peak  int       `json:"peak_per_day"`
+	Z     float64   `json:"z"`
+}
+
+// BuildSummary assembles the JSON summary from analysis components.
+// series and bursts may be nil.
+func BuildSummary(stats pipeline.TableI, popularity [organ.Count]int, spearmanR, spearmanP float64,
+	h *core.HighlightResult, s *temporal.Series, bursts []temporal.Burst, now time.Time) Summary {
+	sum := Summary{
+		GeneratedAt:   now,
+		TableI:        stats,
+		UsersPerOrgan: map[string]int{},
+		SpearmanR:     spearmanR,
+		SpearmanP:     spearmanP,
+		Highlights:    map[string][]string{},
+	}
+	for _, o := range organ.All() {
+		sum.UsersPerOrgan[o.String()] = popularity[o.Index()]
+	}
+	if h != nil {
+		for _, code := range h.StateCodes {
+			for _, o := range h.HighlightedOrgans(code) {
+				sum.Highlights[code] = append(sum.Highlights[code], o.String())
+			}
+		}
+	}
+	if s != nil {
+		for _, b := range bursts {
+			sum.Bursts = append(sum.Bursts, BurstJSON{
+				Organ: b.Organ.String(),
+				Start: s.Start().AddDate(0, 0, b.StartDay),
+				End:   s.Start().AddDate(0, 0, b.EndDay),
+				Peak:  b.Peak,
+				Z:     b.Z,
+			})
+		}
+	}
+	return sum
+}
+
+// WriteSummaryJSON writes the summary as indented JSON.
+func WriteSummaryJSON(w io.Writer, sum Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		return fmt.Errorf("export: write summary: %w", err)
+	}
+	return nil
+}

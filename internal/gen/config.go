@@ -1,0 +1,180 @@
+// Package gen synthesizes the Twitter corpus that stands in for the
+// paper's 385-day Stream API collection. The generator produces a
+// population of users with organ-interest profiles, heavy-tailed activity,
+// messy self-reported profile locations, sparse GPS geo-tags, and
+// template-based tweet text — calibrated so that every statistic the paper
+// reports (Table I, Figure 2, the organ popularity ranks, the state-level
+// organ anomalies like Kansas/kidney) emerges from the synthetic data.
+//
+// Everything is driven by a seeded PCG generator, so a (Config, Seed) pair
+// reproduces the corpus bit-for-bit.
+package gen
+
+import (
+	"time"
+
+	"donorsense/internal/organ"
+)
+
+// Config parameterizes corpus generation. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+
+	// Scale multiplies the population sizes. 1.0 reproduces the paper's
+	// magnitudes (≈72k US users, ≈975k collected tweets); tests run at
+	// 0.01–0.05.
+	Scale float64
+
+	// Start and Days delimit the collection window. The paper collected
+	// Apr 22 2015 – May 11 2016 (385 days).
+	Start time.Time
+	Days  int
+
+	// USUsers is the number of US-resident users generated (before
+	// geocoding losses). NonUSUsers post in the donation context from
+	// outside the USA or from unresolvable locations; the paper could
+	// identify only 134,986 of 975,021 collected tweets as US (≈13.8%),
+	// so non-US users dominate the raw stream.
+	USUsers    int
+	NonUSUsers int
+
+	// ActivityAlpha is the discrete power-law exponent for tweets per
+	// user (P(k) ∝ k^−α, k ≥ 1). 2.58, after the role activity multipliers, gives the paper's mean of ≈1.88.
+	ActivityAlpha float64
+	// ActivityMax truncates the activity distribution.
+	ActivityMax int
+
+	// GeoTagRate is the fraction of tweets carrying GPS coordinates
+	// (≈1.4% per Morstatter et al.).
+	GeoTagRate float64
+
+	// MultiOrganTweetRate is the chance a single tweet mentions a second
+	// organ (calibrates organs/tweet ≈ 1.03).
+	MultiOrganTweetRate float64
+
+	// SecondaryFocusRate is the chance a user has a secondary organ
+	// interest in addition to the primary (calibrates organs/user ≈ 1.13
+	// together with the per-tweet rates).
+	SecondaryFocusRate float64
+
+	// SecondaryDrawRate is the chance a tweet of a secondary-focus user
+	// is about the secondary organ rather than the primary.
+	SecondaryDrawRate float64
+
+	// NoiseRate is the fraction of extra near-miss tweets (organ word
+	// without donation context, or context without organ) injected into
+	// the firehose to exercise the collection filter; they must be
+	// rejected by it.
+	NoiseRate float64
+
+	// UnparseableLocRate is the fraction of US users whose profile
+	// location is junk the geocoder cannot resolve ("wonderland", empty).
+	// Those users drop out of the dataset unless rescued by a geo-tag.
+	UnparseableLocRate float64
+
+	// Events are awareness campaigns that concentrate each organ's tweet
+	// volume into spike windows (National Kidney Month and the like);
+	// they redistribute when tweets happen without changing totals, so
+	// Table I calibration is unaffected. Nil means a flat year.
+	Events []Event
+}
+
+// DefaultConfig returns the calibration that reproduces the paper's
+// dataset statistics at the given scale.
+func DefaultConfig(scale float64) Config {
+	return Config{
+		Seed:  1,
+		Scale: scale,
+		Start: time.Date(2015, 4, 22, 0, 0, 0, 0, time.UTC),
+		Days:  385,
+		// 74.5k intended US users ≈ 71.9k surviving geocoding at the
+		// default 3.5% junk-location rate.
+		USUsers:             int(74500 * scale),
+		NonUSUsers:          int(447000 * scale),
+		ActivityAlpha:       2.58,
+		ActivityMax:         2000,
+		GeoTagRate:          0.014,
+		MultiOrganTweetRate: 0.028,
+		SecondaryFocusRate:  0.25,
+		SecondaryDrawRate:   0.35,
+		NoiseRate:           0.02,
+		UnparseableLocRate:  0.035,
+		Events:              DefaultEvents(),
+	}
+}
+
+// basePopularity is the share of users whose primary interest is each
+// organ, in canonical organ order. Heart leads on Twitter (first in
+// conversation, third in transplants — the paper's headline mismatch),
+// intestine trails by more than an order of magnitude.
+var basePopularity = [organ.Count]float64{
+	organ.Heart:     0.360,
+	organ.Kidney:    0.250,
+	organ.Liver:     0.160,
+	organ.Lung:      0.125,
+	organ.Pancreas:  0.077,
+	organ.Intestine: 0.028,
+}
+
+// coupling[primary][secondary] weights the choice of a secondary interest
+// given the primary. It encodes the dual-transplant pairs the paper
+// highlights (heart–kidney, liver–kidney, kidney–pancreas) and the
+// comorbidity cascades (heart→kidney→liver) of §IV-A, so Figure 3's
+// asymmetric co-mention structure reproduces.
+var coupling = [organ.Count][organ.Count]float64{
+	organ.Heart:     {0, 0.46, 0.22, 0.20, 0.07, 0.05},
+	organ.Kidney:    {0.38, 0, 0.26, 0.10, 0.20, 0.06},
+	organ.Liver:     {0.24, 0.48, 0, 0.14, 0.09, 0.05},
+	organ.Lung:      {0.44, 0.26, 0.18, 0, 0.07, 0.05},
+	organ.Pancreas:  {0.22, 0.50, 0.16, 0.07, 0, 0.05},
+	organ.Intestine: {0.42, 0.26, 0.18, 0.09, 0.05, 0},
+}
+
+// regionBias multiplies state population when sampling user home states,
+// reproducing the demographic skew the paper cites (Mislove et al.):
+// Twitter over-represents the coasts and under-represents the Midwest.
+var regionBias = map[string]float64{
+	"Northeast": 1.18,
+	"South":     1.02,
+	"West":      1.10,
+	"Midwest":   0.78,
+	"Territory": 0.55,
+}
+
+// stateOrganBoost holds per-state organ multipliers that create the
+// geographic anomalies of Figures 5 and 6: the Kansas kidney excess (the
+// only Midwestern state with one, matching the deceased-donor surplus),
+// Louisiana kidney, Massachusetts kidney+lung, the liver zone
+// (DE/RI/CO/ND), the lung zone (OR/GA/VA/WI), a kidney zone (NY/MD
+// corridor), and a heart zone (MN→CA).
+//
+// The boosts keep the paper's tension intact: organ prevalence is so
+// skewed that heart stays the raw-count winner in *most* states (the
+// paper's §IV-B1: "most states in the USA have their first and
+// second-most-mentioned organ as heart and kidney"), so the anomalies are
+// only reliably visible through the relative risk of Equation 4, and only
+// with enough users per state — the paper needed its full 72k users;
+// reproducing CI significance here needs scale ≥ 0.5.
+var stateOrganBoost = map[string]map[organ.Organ]float64{
+	"KS": {organ.Kidney: 1.70},
+	"LA": {organ.Kidney: 1.45},
+	"MA": {organ.Kidney: 1.32, organ.Lung: 1.55},
+	"DE": {organ.Liver: 1.85},
+	"RI": {organ.Liver: 1.80},
+	"CO": {organ.Liver: 1.50},
+	"ND": {organ.Liver: 1.50},
+	"OR": {organ.Lung: 1.60},
+	"GA": {organ.Lung: 1.40},
+	"VA": {organ.Lung: 1.35, organ.Kidney: 1.12},
+	"WI": {organ.Lung: 1.30},
+	"NY": {organ.Kidney: 1.22},
+	"MD": {organ.Kidney: 1.22},
+	"MN": {organ.Heart: 1.32},
+	"CA": {organ.Heart: 1.22},
+	"WA": {organ.Heart: 1.18},
+	"TN": {organ.Heart: 1.20},
+	"MS": {organ.Kidney: 1.38},
+	"AZ": {organ.Liver: 1.30},
+}

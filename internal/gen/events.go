@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"donorsense/internal/organ"
+)
+
+// Event is an awareness campaign that lifts conversation volume for one
+// organ (or all organs) during a span of days — the signal a real-time
+// organ-donation sensor (the paper's stated goal) must be able to pick
+// up. Real-world anchors: National Kidney Month (March) and National
+// Donate Life Month (April).
+type Event struct {
+	// StartDay is the offset from Config.Start (0-based).
+	StartDay int
+	// Days is the event duration.
+	Days int
+	// Organ is the promoted organ; AllOrgans lifts everything.
+	Organ organ.Organ
+	// Lift multiplies tweet volume for matching tweets during the event
+	// (1.0 = no effect).
+	Lift float64
+}
+
+// AllOrgans marks an event that promotes donation generally.
+const AllOrgans organ.Organ = -1
+
+// DefaultEvents returns the awareness campaigns in the paper's collection
+// window (Apr 22 2015 – May 11 2016): National Donate Life Month
+// (April 2016, all organs), National Kidney Month (March 2016), and
+// American Heart Month (February 2016).
+func DefaultEvents() []Event {
+	// Day 0 = Apr 22 2015. Feb 1 2016 = day 285, Mar 1 = day 314,
+	// Apr 1 = day 345.
+	return []Event{
+		{StartDay: 285, Days: 29, Organ: organ.Heart, Lift: 1.5},
+		{StartDay: 314, Days: 31, Organ: organ.Kidney, Lift: 1.8},
+		{StartDay: 345, Days: 30, Organ: AllOrgans, Lift: 1.6},
+	}
+}
+
+// dayPicker samples tweet days from per-organ day-weight distributions
+// shaped by the events.
+type dayPicker struct {
+	days int
+	// cum[o] is the cumulative day distribution for organ o.
+	cum [organ.Count][]float64
+}
+
+func newDayPicker(days int, events []Event) *dayPicker {
+	p := &dayPicker{days: days}
+	for o := 0; o < organ.Count; o++ {
+		w := make([]float64, days)
+		for d := range w {
+			w[d] = 1
+		}
+		for _, e := range events {
+			if e.Organ != AllOrgans && e.Organ.Index() != o {
+				continue
+			}
+			for d := e.StartDay; d < e.StartDay+e.Days && d < days; d++ {
+				if d >= 0 {
+					w[d] *= e.Lift
+				}
+			}
+		}
+		cum := make([]float64, days)
+		total := 0.0
+		for d, v := range w {
+			total += v
+			cum[d] = total
+		}
+		for d := range cum {
+			cum[d] /= total
+		}
+		p.cum[o] = cum
+	}
+	return p
+}
+
+// pick samples a day for a tweet about organ o.
+func (p *dayPicker) pick(r *rand.Rand, o organ.Organ) int {
+	cum := p.cum[o.Index()]
+	x := r.Float64()
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"donorsense/internal/geo"
+)
+
+// usLocationString renders a US user's self-reported profile location in
+// one of the messy formats real Twitter profiles use. The mix is chosen
+// so the geocoder sees every format it supports.
+func usLocationString(r *rand.Rand, city geo.City) string {
+	st, _ := geo.StateByCode(city.StateCode)
+	cityTitle := titleCase(city.Name)
+	switch pick := r.Float64(); {
+	case pick < 0.34: // "Wichita, KS"
+		return fmt.Sprintf("%s, %s", cityTitle, city.StateCode)
+	case pick < 0.46: // "Wichita"
+		return cityTitle
+	case pick < 0.56: // "Kansas"
+		return st.Name
+	case pick < 0.63: // "KS"
+		return city.StateCode
+	case pick < 0.70: // "Wichita, Kansas"
+		return fmt.Sprintf("%s, %s", cityTitle, st.Name)
+	case pick < 0.77: // "wichita ks"
+		return strings.ToLower(fmt.Sprintf("%s %s", city.Name, city.StateCode))
+	case pick < 0.84: // decorated: "📍 Wichita, KS ✈"
+		return fmt.Sprintf("📍 %s, %s ✈", cityTitle, city.StateCode)
+	case pick < 0.88: // "Wichita, KS, USA"
+		return fmt.Sprintf("%s, %s, USA", cityTitle, city.StateCode)
+	case pick < 0.92: // state + USA
+		return fmt.Sprintf("%s, USA", st.Name)
+	case pick < 0.96: // with a ZIP: "Wichita, KS 67202"
+		return fmt.Sprintf("%s, %s %s", cityTitle, city.StateCode, randomZIP(r, city.StateCode))
+	case pick < 0.98: // bare ZIP
+		return randomZIP(r, city.StateCode)
+	default: // "Wichita | USA"
+		return fmt.Sprintf("%s | USA", cityTitle)
+	}
+}
+
+// randomZIP fabricates a ZIP code inside the state's allocation.
+func randomZIP(r *rand.Rand, state string) string {
+	ranges := geo.ZIPRangesFor(state)
+	if len(ranges) == 0 {
+		return "00000"
+	}
+	rg := ranges[r.IntN(len(ranges))]
+	prefix := rg[0] + r.IntN(rg[1]-rg[0]+1)
+	return fmt.Sprintf("%03d%02d", prefix, r.IntN(100))
+}
+
+// junkLocations are the unresolvable strings real profiles are full of.
+var junkLocations = []string{
+	"", "", "", // empty is the most common junk
+	"wonderland", "in my head", "somewhere over the rainbow",
+	"probably napping", "between two worlds", "your heart",
+	"hogwarts", "the upside down", "127.0.0.1", "she/her",
+	"stream my mixtape", "DMs open", "est. 1998",
+}
+
+// foreignLocationTemplates yields plausible non-US profile locations.
+var foreignLocationStrings = []string{
+	"London", "London, England", "Toronto", "Toronto, Canada", "Canada",
+	"Manchester uk", "Glasgow", "Dublin", "Sydney", "Melbourne",
+	"Melbourne, Australia", "Vancouver", "Paris", "Paris, France",
+	"Berlin", "Madrid", "Rome", "Amsterdam", "Stockholm", "Tokyo",
+	"Seoul", "Mumbai", "Delhi", "Karachi", "Manila", "Jakarta",
+	"Lagos, Nigeria", "Nairobi", "Cape Town", "Mexico City",
+	"São Paulo", "Rio de Janeiro", "Buenos Aires", "Bogota", "Lima",
+	"england", "scotland", "ireland", "australia", "new zealand",
+	"india", "philippines", "south africa", "brasil", "worldwide",
+	"UK", "Hong Kong", "Singapore", "Dubai", "Istanbul", "Cairo",
+}
+
+// foreignLocationString picks a non-US profile location; about a third of
+// non-US users leave junk/empty locations instead of a real place.
+func foreignLocationString(r *rand.Rand) string {
+	if r.Float64() < 0.35 {
+		return junkLocations[r.IntN(len(junkLocations))]
+	}
+	return foreignLocationStrings[r.IntN(len(foreignLocationStrings))]
+}
+
+// titleCase capitalizes each word of a lowercase gazetteer name.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if w == "st" {
+			words[i] = "St."
+			continue
+		}
+		words[i] = strings.ToUpper(w[:1]) + w[1:]
+	}
+	return strings.Join(words, " ")
+}

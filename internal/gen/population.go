@@ -1,0 +1,215 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+)
+
+// Profile is the ground truth behind one synthetic user. The pipeline
+// never sees it; tests use it to validate geocoding and characterization
+// against what the generator intended.
+type Profile struct {
+	UserID     int64
+	ScreenName string
+	// Role is the user class (general public, patient, donor family,
+	// practitioner, advocacy organization).
+	Role Role
+	// US reports whether the user truly lives in the USA.
+	US bool
+	// StateCode is the true home state when US.
+	StateCode string
+	// City is the gazetteer home city when US (geo-tags jitter around it).
+	City geo.City
+	// Location is the self-reported profile location string.
+	Location string
+	// Primary is the user's main organ of interest.
+	Primary organ.Organ
+	// Secondary is a second interest; valid only when HasSecondary.
+	Secondary    organ.Organ
+	HasSecondary bool
+	// TweetCount is how many in-context tweets the user will produce.
+	TweetCount int
+}
+
+// statePicker samples home states proportionally to population times the
+// Twitter demographic bias.
+type statePicker struct {
+	states []geo.State
+	cum    []float64
+}
+
+func newStatePicker() *statePicker {
+	sts := geo.States()
+	p := &statePicker{states: sts, cum: make([]float64, len(sts))}
+	total := 0.0
+	for i, s := range sts {
+		w := float64(s.Population) * regionBias[s.Region.String()]
+		total += w
+		p.cum[i] = total
+	}
+	for i := range p.cum {
+		p.cum[i] /= total
+	}
+	return p
+}
+
+func (p *statePicker) pick(r *rand.Rand) geo.State {
+	x := r.Float64()
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return p.states[lo]
+}
+
+// cityPicker caches the gazetteer cities per state, weighted by
+// population.
+type cityPicker struct {
+	byState map[string][]geo.City
+	cum     map[string][]float64
+}
+
+func newCityPicker() *cityPicker {
+	p := &cityPicker{byState: map[string][]geo.City{}, cum: map[string][]float64{}}
+	for _, c := range geo.Cities() {
+		p.byState[c.StateCode] = append(p.byState[c.StateCode], c)
+	}
+	for code, list := range p.byState {
+		cum := make([]float64, len(list))
+		total := 0.0
+		for i, c := range list {
+			total += float64(c.Population)
+			cum[i] = total
+		}
+		for i := range cum {
+			cum[i] /= total
+		}
+		p.cum[code] = cum
+	}
+	return p
+}
+
+func (p *cityPicker) pick(r *rand.Rand, state string) geo.City {
+	list := p.byState[state]
+	cum := p.cum[state]
+	x := r.Float64()
+	for i, c := range cum {
+		if x <= c {
+			return list[i]
+		}
+	}
+	return list[len(list)-1]
+}
+
+// activitySampler draws tweet counts from a truncated discrete power law
+// P(k) ∝ k^−α, k ∈ [1, max], by inversion over the precomputed CDF.
+type activitySampler struct {
+	cum []float64
+}
+
+func newActivitySampler(alpha float64, max int) *activitySampler {
+	if max < 1 {
+		max = 1
+	}
+	cum := make([]float64, max)
+	total := 0.0
+	for k := 1; k <= max; k++ {
+		total += math.Pow(float64(k), -alpha)
+		cum[k-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &activitySampler{cum: cum}
+}
+
+func (a *activitySampler) sample(r *rand.Rand) int {
+	x := r.Float64()
+	lo, hi := 0, len(a.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Mean returns the expected value of the sampler's distribution.
+func (a *activitySampler) Mean() float64 {
+	m := 0.0
+	prev := 0.0
+	for i, c := range a.cum {
+		m += float64(i+1) * (c - prev)
+		prev = c
+	}
+	return m
+}
+
+// pickWeighted samples an index from non-negative weights.
+func pickWeighted(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// primaryOrgan samples a user's primary organ given their home state,
+// applying the state-level anomaly boosts.
+func primaryOrgan(r *rand.Rand, stateCode string) organ.Organ {
+	w := make([]float64, organ.Count)
+	boosts := stateOrganBoost[stateCode]
+	for i := range w {
+		w[i] = basePopularity[i]
+		if b, ok := boosts[organ.Organ(i)]; ok {
+			w[i] *= b
+		}
+	}
+	return organ.Organ(pickWeighted(r, w))
+}
+
+// secondaryOrgan samples a secondary interest from the coupling row of
+// the primary. When a state code is given, the state's organ boosts also
+// weight the choice: local conditions shape which other organ a user
+// cares about, not just the primary (this is what lets the Figure 5
+// anomalies survive the dilution from secondary mentions).
+func secondaryOrgan(r *rand.Rand, primary organ.Organ, stateCode string) organ.Organ {
+	row := coupling[primary]
+	boosts := stateOrganBoost[stateCode]
+	if len(boosts) == 0 {
+		return organ.Organ(pickWeighted(r, row[:]))
+	}
+	w := row
+	for o, b := range boosts {
+		w[o.Index()] *= b
+	}
+	return organ.Organ(pickWeighted(r, w[:]))
+}
+
+// screenName fabricates a plausible Twitter handle.
+func screenName(r *rand.Rand, id int64) string {
+	adjectives := []string{"happy", "real", "the", "its", "just", "only", "mr", "ms", "dr", "tx"}
+	nouns := []string{"donor", "hope", "life", "heart", "nurse", "runner", "mom", "dad", "fan", "advocate"}
+	a := adjectives[r.IntN(len(adjectives))]
+	n := nouns[r.IntN(len(nouns))]
+	return fmt.Sprintf("%s_%s_%d", a, n, id%100000)
+}

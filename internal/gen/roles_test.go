@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/text"
+)
+
+func TestRoleSharesSumToOne(t *testing.T) {
+	sum := 0.0
+	for _, s := range roleShares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("role shares sum to %v", sum)
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for r := Role(0); r < NumRoles; r++ {
+		if strings.HasPrefix(r.String(), "role(") {
+			t.Errorf("role %d unnamed", int(r))
+		}
+	}
+	if !strings.HasPrefix(Role(99).String(), "role(") {
+		t.Error("invalid role should render as role(n)")
+	}
+}
+
+// TestActivityMultipliersPreserveMean: Σ share·mult ≈ 1 so the Table I
+// tweets-per-user figure does not drift when roles are enabled. (The ≥1
+// floor still inflates slightly; ActivityAlpha compensates — see
+// TestActivityMeanMatchesPaper.)
+func TestActivityMultipliersPreserveMean(t *testing.T) {
+	mean := 0.0
+	for r, share := range roleShares {
+		mean += share * traits[r].activityMult
+	}
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("share-weighted activity multiplier = %.3f, want ≈1", mean)
+	}
+}
+
+func TestSampleRoleDistribution(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	counts := make([]int, NumRoles)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[sampleRole(r)]++
+	}
+	for role, share := range roleShares {
+		got := float64(counts[role]) / n
+		if math.Abs(got-share) > 0.01 {
+			t.Errorf("role %v share = %.3f, want %.3f", Role(role), got, share)
+		}
+	}
+}
+
+func TestCampaignHashtagsCarryNoOrganMentions(t *testing.T) {
+	ex := text.NewExtractor()
+	for _, tag := range campaignHashtags {
+		e := ex.Extract("hello world " + tag)
+		if len(e.Organs) != 0 {
+			t.Errorf("hashtag %q introduces organ mentions", tag)
+		}
+	}
+}
+
+func TestRoleTweetOrganBroadVsFocused(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	cfg := DefaultConfig(0.01)
+	focused := &Profile{Role: Patient, Primary: organ.Liver}
+	for i := 0; i < 100; i++ {
+		if got := roleTweetOrgan(r, focused, cfg); got != organ.Liver {
+			t.Fatalf("patient without secondary tweeted about %v", got)
+		}
+	}
+	broad := &Profile{Role: Advocacy, Primary: organ.Liver}
+	seen := map[organ.Organ]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[roleTweetOrgan(r, broad, cfg)] = true
+	}
+	if len(seen) != organ.Count {
+		t.Errorf("advocacy account covered %d organs, want all %d", len(seen), organ.Count)
+	}
+}
+
+func TestRoleBehaviourInCorpus(t *testing.T) {
+	ex := text.NewExtractor()
+	// Aggregate per-role stats from the shared corpus ground truth.
+	type agg struct {
+		users, tweets, clinical, mentions, hashtags int
+	}
+	stats := make([]agg, NumRoles)
+	perUserTweets := map[int64]int{}
+	for _, tw := range testCorpus.Tweets {
+		p := testCorpus.Profiles[tw.User.ID]
+		if p.TweetCount == 0 {
+			continue
+		}
+		e := ex.Extract(tw.Text)
+		a := &stats[p.Role]
+		a.tweets++
+		a.clinical += e.ClinicalMentions
+		a.mentions += e.TotalMentions()
+		a.hashtags += e.Hashtags
+		perUserTweets[tw.User.ID]++
+	}
+	for id, p := range testCorpus.Profiles {
+		if p.TweetCount > 0 && perUserTweets[id] > 0 {
+			stats[p.Role].users++
+		}
+	}
+	// Practitioners use clinical language far more than the public.
+	pr := stats[Practitioner]
+	gp := stats[GeneralPublic]
+	if pr.mentions == 0 || gp.mentions == 0 {
+		t.Fatal("degenerate corpus")
+	}
+	prClin := float64(pr.clinical) / float64(pr.mentions)
+	gpClin := float64(gp.clinical) / float64(gp.mentions)
+	if prClin < gpClin*4 {
+		t.Errorf("practitioner clinical share %.3f not ≫ public %.3f", prClin, gpClin)
+	}
+	// Advocacy accounts are far more active and hashtag-heavy.
+	adv := stats[Advocacy]
+	if adv.users == 0 {
+		t.Fatal("no advocacy users")
+	}
+	advRate := float64(adv.tweets) / float64(adv.users)
+	gpRate := float64(gp.tweets) / float64(gp.users)
+	if advRate < gpRate*3 {
+		t.Errorf("advocacy tweets/user %.2f not ≫ public %.2f", advRate, gpRate)
+	}
+	advTag := float64(adv.hashtags) / float64(adv.tweets)
+	gpTag := float64(gp.hashtags) / float64(gp.tweets)
+	if advTag < gpTag*2 {
+		t.Errorf("advocacy hashtag rate %.3f not ≫ public %.3f", advTag, gpTag)
+	}
+}
+
+// --- Events ---
+
+func TestDefaultEventsInsideWindow(t *testing.T) {
+	cfg := DefaultConfig(0.01)
+	for _, e := range cfg.Events {
+		if e.StartDay < 0 || e.StartDay+e.Days > cfg.Days {
+			t.Errorf("event %+v outside the %d-day window", e, cfg.Days)
+		}
+		if e.Lift <= 1 {
+			t.Errorf("event %+v has no lift", e)
+		}
+	}
+}
+
+func TestDayPickerConcentratesEvents(t *testing.T) {
+	events := []Event{{StartDay: 100, Days: 30, Organ: organ.Kidney, Lift: 2.0}}
+	dp := newDayPicker(385, events)
+	r := rand.New(rand.NewPCG(7, 7))
+	inWindow := func(o organ.Organ) float64 {
+		hits := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			d := dp.pick(r, o)
+			if d >= 100 && d < 130 {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	baseShare := 30.0 / 385.0
+	kidneyShare := inWindow(organ.Kidney)
+	heartShare := inWindow(organ.Heart)
+	// Kidney days concentrate: 2x weight on 30 of 385 days →
+	// 60/(355+60) ≈ 0.145.
+	if math.Abs(kidneyShare-0.145) > 0.01 {
+		t.Errorf("kidney in-window share = %.3f, want ≈0.145", kidneyShare)
+	}
+	if math.Abs(heartShare-baseShare) > 0.01 {
+		t.Errorf("heart in-window share = %.3f, want ≈%.3f (unaffected)", heartShare, baseShare)
+	}
+}
+
+func TestDayPickerAllOrgansEvent(t *testing.T) {
+	events := []Event{{StartDay: 50, Days: 10, Organ: AllOrgans, Lift: 3.0}}
+	dp := newDayPicker(100, events)
+	r := rand.New(rand.NewPCG(8, 8))
+	for _, o := range organ.All() {
+		hits := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			d := dp.pick(r, o)
+			if d >= 50 && d < 60 {
+				hits++
+			}
+		}
+		share := float64(hits) / n
+		want := 30.0 / 120.0 // 10 days at 3x vs 90 at 1x
+		if math.Abs(share-want) > 0.015 {
+			t.Errorf("organ %v in-window share = %.3f, want ≈%.3f", o, share, want)
+		}
+	}
+}
+
+func TestNilEventsGiveFlatDays(t *testing.T) {
+	dp := newDayPicker(100, nil)
+	r := rand.New(rand.NewPCG(9, 9))
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[dp.pick(r, organ.Heart)]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)/n-0.01) > 0.003 {
+			t.Errorf("day %d share %.4f, want ≈0.01", d, float64(c)/n)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"donorsense/internal/organ"
+)
+
+// tweetTemplates produce in-context tweet text: every template contains a
+// %s slot for an organ subject word and a donation-context term, so the
+// rendered tweet always satisfies the Figure 1 collection predicate.
+var tweetTemplates = []string{
+	"Please register as an organ donor — one %s can save a life #DonateLife",
+	"My cousin just got her %s transplant after 3 years on the waiting list 🙏",
+	"Proud to be a %s donor family. Organ donation saves lives.",
+	"RT @donate_life: thousands are waiting for a %s transplant right now",
+	"Thinking of everyone on the %s waitlist tonight. Be a donor.",
+	"%s transplant recipients live full lives — sign up to donate today",
+	"One organ donor can save 8 lives. The %s shortage is real.",
+	"Just met an amazing %s recipient at the hospital. Donation works!",
+	"5 years since my %s transplant. Forever grateful to my donor ❤",
+	"Why aren't more people registered to donate? The %s waiting list keeps growing",
+	"Our hospital performed its 100th %s transplant this year! #donation",
+	"she finally got the call — a %s donor matched!! surgery tomorrow 🙏🙏",
+	"Learned today you can be a living %s donor. Thinking about it seriously.",
+	"In memory of my dad, a %s donor who saved three strangers.",
+	"National donor day: talk to your family about %s donation",
+}
+
+// dualTemplates mention two organs in one tweet (the ~3% multi-organ
+// tweets of Figure 2b).
+var dualTemplates = []string{
+	"Uncle needs a combined %s and %s transplant — please be an organ donor",
+	"Amazing: one donor gave a %s and a %s to two different patients",
+	"Both the %s and %s waiting lists got shorter this week thanks to donors",
+	"%s-%s transplant recipient doing great one year on. Register as a donor!",
+}
+
+// noiseTemplates render near-miss tweets: organ word without donation
+// context, or context word without an organ. The collection filter must
+// reject them.
+var noiseTemplates = []string{
+	"%s beans are so underrated honestly",
+	"my %s hurts after that workout lol",
+	"pouring my %s out in this essay rn",
+	"this song hits me right in the %s",
+	"donated some old clothes to the shelter today", // context, no organ
+	"blood donation drive at the library tomorrow",  // context, no organ
+	"donate to my gofundme please",                  // context, no organ
+}
+
+// organSurface picks a surface form for an organ. clinicalBias is the
+// chance of the clinical variant (renal, hepatic, ...); otherwise the
+// plain singular is favoured over the plural. Practitioner accounts set
+// a high bias, lay users a low one.
+func organSurface(r *rand.Rand, o organ.Organ, clinicalBias float64) string {
+	forms := surfaceForms[o]
+	if r.Float64() < clinicalBias {
+		return forms[2]
+	}
+	if r.Float64() < 0.25 {
+		return forms[1]
+	}
+	return forms[0]
+}
+
+// surfaceForms per organ: [singular, plural, clinical].
+var surfaceForms = [organ.Count][]string{
+	organ.Heart:     {"heart", "hearts", "cardiac"},
+	organ.Kidney:    {"kidney", "kidneys", "renal"},
+	organ.Liver:     {"liver", "livers", "hepatic"},
+	organ.Lung:      {"lung", "lungs", "pulmonary"},
+	organ.Pancreas:  {"pancreas", "pancreases", "pancreatic"},
+	organ.Intestine: {"intestine", "intestines", "intestinal"},
+}
+
+// renderTweet builds in-context tweet text about one organ.
+func renderTweet(r *rand.Rand, o organ.Organ, clinicalBias float64) string {
+	t := tweetTemplates[r.IntN(len(tweetTemplates))]
+	return fmt.Sprintf(t, organSurface(r, o, clinicalBias))
+}
+
+// renderDualTweet builds in-context tweet text mentioning two organs.
+func renderDualTweet(r *rand.Rand, a, b organ.Organ, clinicalBias float64) string {
+	t := dualTemplates[r.IntN(len(dualTemplates))]
+	return fmt.Sprintf(t, organSurface(r, a, clinicalBias), organSurface(r, b, clinicalBias))
+}
+
+// renderNoise builds a near-miss tweet that must not pass the filter.
+func renderNoise(r *rand.Rand) string {
+	t := noiseTemplates[r.IntN(len(noiseTemplates))]
+	if containsPercentS(t) {
+		o := organ.Organ(r.IntN(organ.Count))
+		return fmt.Sprintf(t, surfaceForms[o][0])
+	}
+	return t
+}
+
+func containsPercentS(s string) bool {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '%' && s[i+1] == 's' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,404 @@
+package geo
+
+import "strings"
+
+// City is a gazetteer entry for a US city. Coordinates are approximate
+// city centers; Population is an approximate 2015 estimate used to break
+// ties between same-named cities in different states (the most populous
+// wins when the location string gives no state hint, matching Nominatim's
+// importance ranking).
+type City struct {
+	Name       string // canonical lowercase name, e.g. "kansas city"
+	StateCode  string
+	Population int
+	Lat, Lon   float64
+}
+
+// cities is the city gazetteer. It intentionally includes the classic
+// ambiguous names (Springfield, Portland, Columbus, Charleston, Aurora,
+// Arlington, Richmond, Rochester, Columbia, Glendale, Peoria,
+// Fayetteville, Kansas City) so the disambiguation logic is exercised by
+// real data.
+var cities = []City{
+	// Alabama
+	{"birmingham", "AL", 212000, 33.5, -86.8},
+	{"montgomery", "AL", 200000, 32.4, -86.3},
+	{"mobile", "AL", 194000, 30.7, -88.1},
+	{"huntsville", "AL", 190000, 34.7, -86.6},
+	{"tuscaloosa", "AL", 98000, 33.2, -87.6},
+	// Alaska
+	{"anchorage", "AK", 298000, 61.2, -149.9},
+	{"fairbanks", "AK", 32000, 64.8, -147.7},
+	{"juneau", "AK", 32000, 58.3, -134.4},
+	// Arizona
+	{"phoenix", "AZ", 1563000, 33.4, -112.1},
+	{"tucson", "AZ", 531000, 32.2, -110.9},
+	{"mesa", "AZ", 471000, 33.4, -111.8},
+	{"scottsdale", "AZ", 236000, 33.5, -111.9},
+	{"glendale", "AZ", 240000, 33.5, -112.2},
+	{"tempe", "AZ", 175000, 33.4, -111.9},
+	{"flagstaff", "AZ", 70000, 35.2, -111.7},
+	{"peoria", "AZ", 168000, 33.6, -112.2},
+	// Arkansas
+	{"little rock", "AR", 198000, 34.7, -92.3},
+	{"fayetteville", "AR", 82000, 36.1, -94.2},
+	{"fort smith", "AR", 88000, 35.4, -94.4},
+	// California
+	{"los angeles", "CA", 3972000, 34.1, -118.2},
+	{"san diego", "CA", 1395000, 32.7, -117.2},
+	{"san jose", "CA", 1027000, 37.3, -121.9},
+	{"san francisco", "CA", 865000, 37.8, -122.4},
+	{"fresno", "CA", 520000, 36.7, -119.8},
+	{"sacramento", "CA", 490000, 38.6, -121.5},
+	{"long beach", "CA", 474000, 33.8, -118.2},
+	{"oakland", "CA", 420000, 37.8, -122.3},
+	{"bakersfield", "CA", 374000, 35.4, -119.0},
+	{"anaheim", "CA", 351000, 33.8, -117.9},
+	{"santa ana", "CA", 335000, 33.7, -117.9},
+	{"riverside", "CA", 322000, 34.0, -117.4},
+	{"richmond", "CA", 110000, 37.9, -122.3},
+	{"glendale", "CA", 201000, 34.1, -118.3},
+	{"pasadena", "CA", 142000, 34.1, -118.1},
+	{"berkeley", "CA", 121000, 37.9, -122.3},
+	// Colorado
+	{"denver", "CO", 682000, 39.7, -105.0},
+	{"colorado springs", "CO", 456000, 38.8, -104.8},
+	{"aurora", "CO", 360000, 39.7, -104.8},
+	{"fort collins", "CO", 161000, 40.6, -105.1},
+	{"boulder", "CO", 107000, 40.0, -105.3},
+	// Connecticut
+	{"bridgeport", "CT", 148000, 41.2, -73.2},
+	{"new haven", "CT", 130000, 41.3, -72.9},
+	{"hartford", "CT", 124000, 41.8, -72.7},
+	{"stamford", "CT", 129000, 41.1, -73.5},
+	// Delaware
+	{"wilmington", "DE", 72000, 39.7, -75.5},
+	{"dover", "DE", 37000, 39.2, -75.5},
+	{"newark", "DE", 33000, 39.7, -75.75},
+	// District of Columbia
+	{"washington", "DC", 672000, 38.9, -77.0},
+	// Florida
+	{"jacksonville", "FL", 868000, 30.3, -81.7},
+	{"miami", "FL", 441000, 25.8, -80.2},
+	{"tampa", "FL", 369000, 28.0, -82.5},
+	{"orlando", "FL", 271000, 28.5, -81.4},
+	{"st petersburg", "FL", 257000, 27.8, -82.6},
+	{"tallahassee", "FL", 190000, 30.4, -84.3},
+	{"fort lauderdale", "FL", 178000, 26.1, -80.1},
+	{"gainesville", "FL", 131000, 29.7, -82.3},
+	{"melbourne", "FL", 80000, 28.1, -80.6},
+	// Georgia
+	{"atlanta", "GA", 464000, 33.7, -84.4},
+	{"augusta", "GA", 197000, 33.5, -82.0},
+	{"columbus", "GA", 200000, 32.5, -84.9},
+	{"savannah", "GA", 146000, 32.1, -81.1},
+	{"athens", "GA", 122000, 34.0, -83.4},
+	{"macon", "GA", 153000, 32.8, -83.6},
+	// Hawaii
+	{"honolulu", "HI", 352000, 21.3, -157.9},
+	{"hilo", "HI", 45000, 19.7, -155.1},
+	// Idaho
+	{"boise", "ID", 218000, 43.6, -116.1},
+	{"idaho falls", "ID", 60000, 43.5, -112.0},
+	// Illinois
+	{"chicago", "IL", 2721000, 41.9, -87.6},
+	{"aurora", "IL", 201000, 41.8, -88.3},
+	{"rockford", "IL", 149000, 42.3, -89.1},
+	{"joliet", "IL", 148000, 41.5, -88.1},
+	{"naperville", "IL", 147000, 41.8, -88.1},
+	{"springfield", "IL", 117000, 39.8, -89.6},
+	{"peoria", "IL", 115000, 40.7, -89.6},
+	// Indiana
+	{"indianapolis", "IN", 853000, 39.8, -86.2},
+	{"fort wayne", "IN", 264000, 41.1, -85.1},
+	{"evansville", "IN", 120000, 38.0, -87.5},
+	{"south bend", "IN", 101000, 41.7, -86.3},
+	// Iowa
+	{"des moines", "IA", 210000, 41.6, -93.6},
+	{"cedar rapids", "IA", 130000, 42.0, -91.7},
+	{"davenport", "IA", 103000, 41.5, -90.6},
+	{"iowa city", "IA", 74000, 41.7, -91.5},
+	// Kansas
+	{"wichita", "KS", 390000, 37.7, -97.3},
+	{"overland park", "KS", 186000, 38.98, -94.7},
+	{"kansas city", "KS", 151000, 39.1, -94.7},
+	{"topeka", "KS", 127000, 39.0, -95.7},
+	{"olathe", "KS", 134000, 38.9, -94.8},
+	{"lawrence", "KS", 93000, 38.97, -95.2},
+	// Kentucky
+	{"louisville", "KY", 615000, 38.3, -85.8},
+	{"lexington", "KY", 314000, 38.0, -84.5},
+	{"bowling green", "KY", 65000, 37.0, -86.4},
+	// Louisiana
+	{"new orleans", "LA", 390000, 30.0, -90.1},
+	{"baton rouge", "LA", 229000, 30.5, -91.1},
+	{"shreveport", "LA", 197000, 32.5, -93.8},
+	{"lafayette", "LA", 127000, 30.2, -92.0},
+	// Maine
+	{"portland", "ME", 67000, 43.7, -70.3},
+	{"bangor", "ME", 32000, 44.8, -68.8},
+	// Maryland
+	{"baltimore", "MD", 621000, 39.3, -76.6},
+	{"annapolis", "MD", 39000, 38.97, -76.5},
+	{"frederick", "MD", 68000, 39.4, -77.4},
+	{"rockville", "MD", 65000, 39.1, -77.2},
+	// Massachusetts
+	{"boston", "MA", 667000, 42.4, -71.1},
+	{"worcester", "MA", 184000, 42.3, -71.8},
+	{"springfield", "MA", 154000, 42.1, -72.6},
+	{"cambridge", "MA", 110000, 42.4, -71.1},
+	{"lowell", "MA", 110000, 42.6, -71.3},
+	// Michigan
+	{"detroit", "MI", 677000, 42.3, -83.0},
+	{"grand rapids", "MI", 195000, 43.0, -85.7},
+	{"warren", "MI", 135000, 42.5, -83.0},
+	{"lansing", "MI", 115000, 42.7, -84.6},
+	{"ann arbor", "MI", 117000, 42.3, -83.7},
+	{"flint", "MI", 98000, 43.0, -83.7},
+	// Minnesota
+	{"minneapolis", "MN", 411000, 45.0, -93.3},
+	{"saint paul", "MN", 300000, 44.9, -93.1},
+	{"rochester", "MN", 112000, 44.0, -92.5},
+	{"duluth", "MN", 86000, 46.8, -92.1},
+	// Mississippi
+	{"jackson", "MS", 171000, 32.3, -90.2},
+	{"gulfport", "MS", 72000, 30.4, -89.1},
+	{"biloxi", "MS", 45000, 30.4, -88.9},
+	// Missouri
+	{"kansas city", "MO", 475000, 39.1, -94.6},
+	{"st louis", "MO", 316000, 38.6, -90.2},
+	{"springfield", "MO", 166000, 37.2, -93.3},
+	{"columbia", "MO", 119000, 38.95, -92.3},
+	{"jefferson city", "MO", 43000, 38.6, -92.2},
+	// Montana
+	{"billings", "MT", 110000, 45.8, -108.5},
+	{"missoula", "MT", 71000, 46.9, -114.0},
+	{"bozeman", "MT", 43000, 45.7, -111.0},
+	{"helena", "MT", 31000, 46.6, -112.0},
+	// Nebraska
+	{"omaha", "NE", 444000, 41.3, -96.0},
+	{"lincoln", "NE", 277000, 40.8, -96.7},
+	// Nevada
+	{"las vegas", "NV", 623000, 36.2, -115.1},
+	{"henderson", "NV", 285000, 36.0, -115.0},
+	{"reno", "NV", 241000, 39.5, -119.8},
+	{"carson city", "NV", 54000, 39.2, -119.8},
+	// New Hampshire
+	{"manchester", "NH", 110000, 43.0, -71.5},
+	{"nashua", "NH", 87000, 42.8, -71.5},
+	{"concord", "NH", 43000, 43.2, -71.5},
+	// New Jersey
+	{"newark", "NJ", 281000, 40.7, -74.2},
+	{"jersey city", "NJ", 264000, 40.7, -74.1},
+	{"paterson", "NJ", 147000, 40.9, -74.2},
+	{"trenton", "NJ", 84000, 40.2, -74.8},
+	{"atlantic city", "NJ", 39000, 39.4, -74.4},
+	// New Mexico
+	{"albuquerque", "NM", 559000, 35.1, -106.6},
+	{"las cruces", "NM", 101000, 32.3, -106.8},
+	{"santa fe", "NM", 84000, 35.7, -106.0},
+	// New York
+	{"new york", "NY", 8550000, 40.7, -74.0},
+	{"brooklyn", "NY", 2637000, 40.65, -73.95},
+	{"buffalo", "NY", 258000, 42.9, -78.9},
+	{"rochester", "NY", 210000, 43.2, -77.6},
+	{"yonkers", "NY", 201000, 40.9, -73.9},
+	{"syracuse", "NY", 144000, 43.0, -76.1},
+	{"albany", "NY", 98000, 42.7, -73.8},
+	// North Carolina
+	{"charlotte", "NC", 827000, 35.2, -80.8},
+	{"raleigh", "NC", 452000, 35.8, -78.6},
+	{"greensboro", "NC", 285000, 36.1, -79.8},
+	{"durham", "NC", 257000, 36.0, -78.9},
+	{"winston salem", "NC", 241000, 36.1, -80.2},
+	{"fayetteville", "NC", 204000, 35.1, -78.9},
+	{"asheville", "NC", 89000, 35.6, -82.6},
+	// North Dakota
+	{"fargo", "ND", 118000, 46.9, -96.8},
+	{"bismarck", "ND", 71000, 46.8, -100.8},
+	// Ohio
+	{"columbus", "OH", 850000, 40.0, -83.0},
+	{"cleveland", "OH", 388000, 41.5, -81.7},
+	{"cincinnati", "OH", 298000, 39.1, -84.5},
+	{"toledo", "OH", 279000, 41.7, -83.6},
+	{"akron", "OH", 197000, 41.1, -81.5},
+	{"dayton", "OH", 141000, 39.8, -84.2},
+	// Oklahoma
+	{"oklahoma city", "OK", 631000, 35.5, -97.5},
+	{"tulsa", "OK", 403000, 36.2, -96.0},
+	{"norman", "OK", 120000, 35.2, -97.4},
+	// Oregon
+	{"portland", "OR", 632000, 45.5, -122.7},
+	{"salem", "OR", 164000, 44.9, -123.0},
+	{"eugene", "OR", 163000, 44.1, -123.1},
+	{"bend", "OR", 87000, 44.1, -121.3},
+	// Pennsylvania
+	{"philadelphia", "PA", 1567000, 40.0, -75.2},
+	{"pittsburgh", "PA", 304000, 40.4, -80.0},
+	{"allentown", "PA", 120000, 40.6, -75.5},
+	{"erie", "PA", 99000, 42.1, -80.1},
+	{"harrisburg", "PA", 49000, 40.3, -76.9},
+	// Puerto Rico
+	{"san juan", "PR", 355000, 18.4, -66.1},
+	{"ponce", "PR", 149000, 18.0, -66.6},
+	// Rhode Island
+	{"providence", "RI", 179000, 41.8, -71.4},
+	{"warwick", "RI", 81000, 41.7, -71.4},
+	// South Carolina
+	{"columbia", "SC", 134000, 34.0, -81.0},
+	{"charleston", "SC", 133000, 32.8, -80.0},
+	{"north charleston", "SC", 109000, 32.9, -80.1},
+	{"greenville", "SC", 67000, 34.9, -82.4},
+	{"myrtle beach", "SC", 31000, 33.7, -78.9},
+	// South Dakota
+	{"sioux falls", "SD", 171000, 43.5, -96.7},
+	{"rapid city", "SD", 74000, 44.1, -103.2},
+	// Tennessee
+	{"nashville", "TN", 655000, 36.2, -86.8},
+	{"memphis", "TN", 656000, 35.1, -90.0},
+	{"knoxville", "TN", 185000, 36.0, -83.9},
+	{"chattanooga", "TN", 176000, 35.05, -85.3},
+	// Texas
+	{"houston", "TX", 2296000, 29.8, -95.4},
+	{"san antonio", "TX", 1470000, 29.4, -98.5},
+	{"dallas", "TX", 1300000, 32.8, -96.8},
+	{"austin", "TX", 931000, 30.3, -97.7},
+	{"fort worth", "TX", 833000, 32.8, -97.3},
+	{"el paso", "TX", 681000, 31.8, -106.4},
+	{"arlington", "TX", 389000, 32.7, -97.1},
+	{"corpus christi", "TX", 324000, 27.8, -97.4},
+	{"plano", "TX", 284000, 33.0, -96.7},
+	{"lubbock", "TX", 249000, 33.6, -101.9},
+	// Utah
+	{"salt lake city", "UT", 193000, 40.8, -111.9},
+	{"provo", "UT", 116000, 40.2, -111.7},
+	{"ogden", "UT", 85000, 41.2, -112.0},
+	// Vermont
+	{"burlington", "VT", 42000, 44.5, -73.2},
+	{"montpelier", "VT", 8000, 44.3, -72.6},
+	// Virginia
+	{"virginia beach", "VA", 453000, 36.9, -76.0},
+	{"norfolk", "VA", 246000, 36.9, -76.3},
+	{"chesapeake", "VA", 236000, 36.8, -76.3},
+	{"richmond", "VA", 221000, 37.5, -77.4},
+	{"arlington", "VA", 230000, 38.9, -77.1},
+	{"alexandria", "VA", 154000, 38.8, -77.1},
+	{"roanoke", "VA", 100000, 37.3, -80.0},
+	// Washington
+	{"seattle", "WA", 684000, 47.6, -122.3},
+	{"spokane", "WA", 214000, 47.7, -117.4},
+	{"tacoma", "WA", 207000, 47.3, -122.4},
+	{"vancouver", "WA", 173000, 45.6, -122.6},
+	{"bellevue", "WA", 140000, 47.6, -122.2},
+	{"olympia", "WA", 51000, 47.0, -122.9},
+	// West Virginia
+	{"charleston", "WV", 49000, 38.3, -81.6},
+	{"huntington", "WV", 48000, 38.4, -82.4},
+	{"morgantown", "WV", 31000, 39.6, -79.95},
+	// Wisconsin
+	{"milwaukee", "WI", 600000, 43.0, -87.9},
+	{"madison", "WI", 249000, 43.1, -89.4},
+	{"green bay", "WI", 105000, 44.5, -88.0},
+	// Wyoming
+	{"cheyenne", "WY", 63000, 41.1, -104.8},
+	{"casper", "WY", 60000, 42.9, -106.3},
+}
+
+// cityIndex maps a lowercase city name to every gazetteer entry with that
+// name, sorted by descending population so the first entry is the default
+// disambiguation.
+var cityIndex = func() map[string][]*City {
+	m := make(map[string][]*City)
+	for i := range cities {
+		c := &cities[i]
+		m[c.Name] = append(m[c.Name], c)
+	}
+	for _, list := range m {
+		// Insertion sort by descending population; lists are tiny.
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && list[j].Population > list[j-1].Population; j-- {
+				list[j], list[j-1] = list[j-1], list[j]
+			}
+		}
+	}
+	return m
+}()
+
+// Cities returns a copy of the full city gazetteer.
+func Cities() []City {
+	out := make([]City, len(cities))
+	copy(out, cities)
+	return out
+}
+
+// CityLookup returns the gazetteer entries matching the (normalized) city
+// name, most populous first.
+func CityLookup(name string) []City {
+	list := cityIndex[normalizeCityName(name)]
+	out := make([]City, len(list))
+	for i, c := range list {
+		out[i] = *c
+	}
+	return out
+}
+
+// normalizeCityName canonicalizes a city name: lowercase, "saint"→"st",
+// punctuation stripped, whitespace collapsed.
+func normalizeCityName(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.ReplaceAll(s, ".", "")
+	s = strings.ReplaceAll(s, "-", " ")
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if f == "saint" {
+			fields[i] = "st"
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+// cityAliases maps informal names to canonical gazetteer (name, state)
+// pairs — the colloquialisms Twitter users actually write in profiles.
+var cityAliases = map[string]struct{ name, state string }{
+	"nyc":            {"new york", "NY"},
+	"new york city":  {"new york", "NY"},
+	"manhattan":      {"new york", "NY"},
+	"the bronx":      {"new york", "NY"},
+	"bronx":          {"new york", "NY"},
+	"queens":         {"new york", "NY"},
+	"big apple":      {"new york", "NY"},
+	"the big apple":  {"new york", "NY"},
+	"philly":         {"philadelphia", "PA"},
+	"vegas":          {"las vegas", "NV"},
+	"sin city":       {"las vegas", "NV"},
+	"atl":            {"atlanta", "GA"},
+	"hotlanta":       {"atlanta", "GA"},
+	"chitown":        {"chicago", "IL"},
+	"chi town":       {"chicago", "IL"},
+	"windy city":     {"chicago", "IL"},
+	"the windy city": {"chicago", "IL"},
+	"sf":             {"san francisco", "CA"},
+	"san fran":       {"san francisco", "CA"},
+	"frisco":         {"san francisco", "CA"},
+	"bay area":       {"san francisco", "CA"},
+	"the bay":        {"san francisco", "CA"},
+	"nola":           {"new orleans", "LA"},
+	"motor city":     {"detroit", "MI"},
+	"motown":         {"detroit", "MI"},
+	"beantown":       {"boston", "MA"},
+	"h town":         {"houston", "TX"},
+	"htown":          {"houston", "TX"},
+	"slc":            {"salt lake city", "UT"},
+	"okc":            {"oklahoma city", "OK"},
+	"kc":             {"kansas city", "MO"},
+	"stl":            {"st louis", "MO"},
+	"dfw":            {"dallas", "TX"},
+	"pdx":            {"portland", "OR"},
+	"twin cities":    {"minneapolis", "MN"},
+	"jax":            {"jacksonville", "FL"},
+	"hollywood":      {"los angeles", "CA"},
+	"socal":          {"los angeles", "CA"},
+	"norcal":         {"san francisco", "CA"},
+	"music city":     {"nashville", "TN"},
+	"steel city":     {"pittsburgh", "PA"},
+}

@@ -1,0 +1,49 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"donorsense/internal/geo"
+)
+
+// ExampleGeocoder_Locate resolves the messy self-reported profile
+// locations real Twitter users write.
+func ExampleGeocoder_Locate() {
+	g := geo.NewGeocoder()
+	for _, raw := range []string{
+		"Melbourne, FL",
+		"NYC ✈ worldwide",
+		"wichita ks 67202",
+		"London",
+		"probably napping",
+	} {
+		loc := g.Locate(raw)
+		switch {
+		case loc.IsUSState():
+			fmt.Printf("%-20s → %s\n", raw, loc.StateCode)
+		case loc.Country != "":
+			fmt.Printf("%-20s → country %s\n", raw, loc.Country)
+		default:
+			fmt.Printf("%-20s → unresolved\n", raw)
+		}
+	}
+	// Output:
+	// Melbourne, FL        → FL
+	// NYC ✈ worldwide      → NY
+	// wichita ks 67202     → KS
+	// London               → country GB
+	// probably napping     → unresolved
+}
+
+// ExampleGeocoder_Reverse resolves a GPS geo-tag the way the pipeline's
+// augmentation step does.
+func ExampleGeocoder_Reverse() {
+	g := geo.NewGeocoder()
+	loc, ok := g.Reverse(39.0, -95.7) // Topeka
+	fmt.Println(loc.StateCode, ok)
+	_, ok = g.Reverse(51.5, -0.1) // London: outside the USA
+	fmt.Println(ok)
+	// Output:
+	// KS true
+	// false
+}

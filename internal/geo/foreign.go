@@ -1,0 +1,106 @@
+package geo
+
+// foreignPlace is a well-known non-US city used to catch profile
+// locations like "London" or "Toronto" that would otherwise be mistaken
+// for (or shadow) US places.
+type foreignPlace struct {
+	Country    string
+	Population int
+}
+
+// foreignCities maps lowercase city names to their country. Population is
+// the metro magnitude used to arbitrate against same-named US cities
+// (Melbourne AU vs Melbourne FL, Vancouver BC vs Vancouver WA).
+var foreignCities = map[string]foreignPlace{
+	"london":         {"GB", 8700000},
+	"manchester uk":  {"GB", 2700000},
+	"birmingham uk":  {"GB", 1100000},
+	"glasgow":        {"GB", 1200000},
+	"edinburgh":      {"GB", 500000},
+	"dublin":         {"IE", 1300000},
+	"toronto":        {"CA", 2800000},
+	"montreal":       {"CA", 1700000},
+	"vancouver":      {"CA", 645000},
+	"ottawa":         {"CA", 930000},
+	"calgary":        {"CA", 1200000},
+	"sydney":         {"AU", 4900000},
+	"melbourne":      {"AU", 4500000},
+	"brisbane":       {"AU", 2300000},
+	"perth":          {"AU", 2000000},
+	"auckland":       {"NZ", 1500000},
+	"paris":          {"FR", 2200000},
+	"berlin":         {"DE", 3500000},
+	"munich":         {"DE", 1400000},
+	"madrid":         {"ES", 3200000},
+	"barcelona":      {"ES", 1600000},
+	"rome":           {"IT", 2900000},
+	"milan":          {"IT", 1300000},
+	"amsterdam":      {"NL", 820000},
+	"stockholm":      {"SE", 920000},
+	"tokyo":          {"JP", 13500000},
+	"osaka":          {"JP", 2700000},
+	"seoul":          {"KR", 10000000},
+	"beijing":        {"CN", 21500000},
+	"shanghai":       {"CN", 24200000},
+	"hong kong":      {"HK", 7300000},
+	"singapore":      {"SG", 5600000},
+	"mumbai":         {"IN", 12400000},
+	"delhi":          {"IN", 16800000},
+	"new delhi":      {"IN", 250000},
+	"bangalore":      {"IN", 8400000},
+	"karachi":        {"PK", 14900000},
+	"lahore":         {"PK", 11100000},
+	"manila":         {"PH", 1700000},
+	"jakarta":        {"ID", 10100000},
+	"bangkok":        {"TH", 8300000},
+	"dubai":          {"AE", 2500000},
+	"istanbul":       {"TR", 14700000},
+	"cairo":          {"EG", 9500000},
+	"lagos":          {"NG", 13000000},
+	"nairobi":        {"KE", 3100000},
+	"johannesburg":   {"ZA", 4400000},
+	"cape town":      {"ZA", 3700000},
+	"mexico city":    {"MX", 8900000},
+	"guadalajara":    {"MX", 1500000},
+	"monterrey":      {"MX", 1100000},
+	"sao paulo":      {"BR", 12000000},
+	"são paulo":      {"BR", 12000000},
+	"rio de janeiro": {"BR", 6500000},
+	"recife":         {"BR", 1600000},
+	"buenos aires":   {"AR", 2900000},
+	"bogota":         {"CO", 8000000},
+	"lima":           {"PE", 8900000},
+	"santiago":       {"CL", 5600000},
+	"caracas":        {"VE", 2900000},
+	"moscow":         {"RU", 12200000},
+	"kyiv":           {"UA", 2900000},
+}
+
+// foreignCountries maps lowercase country names/demonyms/aliases to a
+// country code, used to classify profile locations like "England" or
+// "somewhere in Canada" as non-US.
+var foreignCountries = map[string]string{
+	"uk": "GB", "united kingdom": "GB", "england": "GB", "scotland": "GB",
+	"wales": "GB", "great britain": "GB", "britain": "GB",
+	"ireland": "IE",
+	"canada":  "CA", "ontario": "CA", "quebec": "CA", "alberta": "CA",
+	"british columbia": "CA",
+	"australia":        "AU", "new zealand": "NZ",
+	"france": "FR", "germany": "DE", "deutschland": "DE", "spain": "ES",
+	"españa": "ES", "italy": "IT", "italia": "IT", "netherlands": "NL",
+	"holland": "NL", "belgium": "BE", "sweden": "SE", "norway": "NO",
+	"denmark": "DK", "finland": "FI", "portugal": "PT", "greece": "GR",
+	"poland": "PL", "austria": "AT", "switzerland": "CH",
+	"japan": "JP", "south korea": "KR", "korea": "KR", "china": "CN",
+	"taiwan": "TW", "india": "IN", "pakistan": "PK", "bangladesh": "BD",
+	"philippines": "PH", "indonesia": "ID", "malaysia": "MY",
+	"thailand": "TH", "vietnam": "VN", "turkey": "TR", "israel": "IL",
+	"saudi arabia": "SA", "uae": "AE", "egypt": "EG", "nigeria": "NG",
+	"ghana": "GH", "kenya": "KE", "south africa": "ZA",
+	"mexico": "MX", "méxico": "MX", "brazil": "BR", "brasil": "BR",
+	"argentina": "AR", "colombia": "CO", "peru": "PE", "chile": "CL",
+	"venezuela": "VE", "ecuador": "EC", "russia": "RU", "ukraine": "UA",
+	"worldwide": "XX", "everywhere": "XX", "earth": "XX", "world": "XX",
+	"the moon": "XX", "moon": "XX", "mars": "XX", "internet": "XX",
+	"cyberspace": "XX", "global": "XX", "nowhere": "XX",
+}

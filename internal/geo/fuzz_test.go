@@ -1,0 +1,43 @@
+package geo
+
+import "testing"
+
+// FuzzLocate hammers the geocoder with arbitrary profile strings: no
+// panics, and any state resolution must reference a real state.
+func FuzzLocate(f *testing.F) {
+	g := NewGeocoder()
+	for _, s := range []string{
+		"Melbourne, FL", "NYC", "London", "wichita ks 67202", "📍 Boston ✈",
+		"la la land", "D.C.", "", "78701", "kansas city, KS | USA",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		loc := g.Locate(s)
+		if loc.IsUSState() {
+			if _, ok := StateByCode(loc.StateCode); !ok {
+				t.Fatalf("Locate(%q) invented state %q", s, loc.StateCode)
+			}
+		}
+		if loc.Accuracy == AccuracyNone && (loc.Country != "" || loc.StateCode != "") {
+			t.Fatalf("Locate(%q) = %+v: AccuracyNone with content", s, loc)
+		}
+	})
+}
+
+// FuzzZIPState checks the ZIP lookup never panics and only returns real
+// states.
+func FuzzZIPState(f *testing.F) {
+	f.Add("78701")
+	f.Add("00000")
+	f.Add("999")
+	f.Add("abcde")
+	f.Fuzz(func(t *testing.T, s string) {
+		code, ok := ZIPState(s)
+		if ok {
+			if _, valid := StateByCode(code); !valid {
+				t.Fatalf("ZIPState(%q) invented state %q", s, code)
+			}
+		}
+	})
+}

@@ -1,0 +1,459 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatesCount(t *testing.T) {
+	if NumStates() != 52 { // 50 states + DC + PR
+		t.Errorf("NumStates() = %d, want 52", NumStates())
+	}
+	if len(States()) != NumStates() {
+		t.Error("States() length mismatch")
+	}
+}
+
+func TestStateByCode(t *testing.T) {
+	tests := []struct {
+		code   string
+		want   string
+		wantOK bool
+	}{
+		{"KS", "Kansas", true},
+		{"ks", "Kansas", true},
+		{" ny ", "New York", true},
+		{"DC", "District of Columbia", true},
+		{"PR", "Puerto Rico", true},
+		{"ZZ", "", false},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		s, ok := StateByCode(tt.code)
+		if ok != tt.wantOK || (ok && s.Name != tt.want) {
+			t.Errorf("StateByCode(%q) = %q, %v; want %q, %v", tt.code, s.Name, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestStateByName(t *testing.T) {
+	s, ok := StateByName("kansas")
+	if !ok || s.Code != "KS" {
+		t.Errorf("StateByName(kansas) = %+v, %v", s, ok)
+	}
+	s, ok = StateByName("District of Columbia")
+	if !ok || s.Code != "DC" {
+		t.Errorf("StateByName(DC full name) = %+v, %v", s, ok)
+	}
+	if _, ok := StateByName("atlantis"); ok {
+		t.Error("StateByName(atlantis) matched")
+	}
+}
+
+func TestStateCodesSortedAndIndexed(t *testing.T) {
+	codes := StateCodes()
+	if len(codes) != NumStates() {
+		t.Fatalf("len(StateCodes()) = %d", len(codes))
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i-1] >= codes[i] {
+			t.Errorf("codes not sorted at %d: %s >= %s", i, codes[i-1], codes[i])
+		}
+	}
+	for i, c := range codes {
+		if StateIndex(c) != i {
+			t.Errorf("StateIndex(%s) = %d, want %d", c, StateIndex(c), i)
+		}
+	}
+	if StateIndex("XX") != -1 {
+		t.Error("StateIndex(XX) != -1")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	ks, _ := StateByCode("KS")
+	if ks.Region != Midwest {
+		t.Errorf("Kansas region = %v, want Midwest", ks.Region)
+	}
+	ma, _ := StateByCode("MA")
+	if ma.Region != Northeast {
+		t.Errorf("MA region = %v, want Northeast", ma.Region)
+	}
+	la, _ := StateByCode("LA")
+	if la.Region != South {
+		t.Errorf("LA region = %v, want South", la.Region)
+	}
+	for _, r := range []Region{Northeast, Midwest, South, West, Territory} {
+		if strings.HasPrefix(r.String(), "Region(") {
+			t.Errorf("region %d has no name", int(r))
+		}
+	}
+}
+
+// TestCityCoordsInsideStateBox validates gazetteer consistency: every
+// city's coordinates must fall inside its own state's bounding box, since
+// the synthetic generator places geo-tags at city coordinates and the
+// reverse geocoder resolves them by box.
+func TestCityCoordsInsideStateBox(t *testing.T) {
+	for _, c := range Cities() {
+		st, ok := StateByCode(c.StateCode)
+		if !ok {
+			t.Errorf("city %q references unknown state %q", c.Name, c.StateCode)
+			continue
+		}
+		if !st.Box.Contains(c.Lat, c.Lon) {
+			t.Errorf("city %q (%v,%v) outside %s box %+v", c.Name, c.Lat, c.Lon, st.Code, st.Box)
+		}
+	}
+}
+
+func TestEveryStateHasACity(t *testing.T) {
+	have := map[string]bool{}
+	for _, c := range Cities() {
+		have[c.StateCode] = true
+	}
+	for _, s := range States() {
+		if !have[s.Code] {
+			t.Errorf("state %s has no gazetteer city", s.Code)
+		}
+	}
+}
+
+func TestCityLookupDisambiguation(t *testing.T) {
+	// "springfield" exists in IL, MA, MO; MO (166k) should rank first.
+	list := CityLookup("Springfield")
+	if len(list) < 3 {
+		t.Fatalf("springfield matches = %d, want >= 3", len(list))
+	}
+	if list[0].StateCode != "MO" {
+		t.Errorf("most populous springfield = %s, want MO", list[0].StateCode)
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Population > list[i-1].Population {
+			t.Error("CityLookup not sorted by descending population")
+		}
+	}
+}
+
+func TestCityLookupNormalization(t *testing.T) {
+	if got := CityLookup("St. Louis"); len(got) == 0 || got[0].StateCode != "MO" {
+		t.Errorf("St. Louis lookup failed: %v", got)
+	}
+	if got := CityLookup("Saint Louis"); len(got) == 0 || got[0].StateCode != "MO" {
+		t.Errorf("Saint Louis lookup failed: %v", got)
+	}
+	if got := CityLookup("WINSTON-SALEM"); len(got) == 0 || got[0].StateCode != "NC" {
+		t.Errorf("Winston-Salem lookup failed: %v", got)
+	}
+}
+
+func TestAliasesResolve(t *testing.T) {
+	for alias, want := range cityAliases {
+		found := false
+		for _, c := range cityIndex[want.name] {
+			if c.StateCode == want.state {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("alias %q points at missing city %q/%s", alias, want.name, want.state)
+		}
+	}
+}
+
+func TestLocateStateForms(t *testing.T) {
+	g := NewGeocoder()
+	tests := []struct {
+		in    string
+		state string
+	}{
+		{"Melbourne, FL", "FL"},
+		{"melbourne, fl", "FL"},
+		{"Wichita, Kansas", "KS"},
+		{"Kansas", "KS"},
+		{"TX", "TX"},
+		{"Austin, TX", "TX"},
+		{"austin tx", "TX"},
+		{"New York", "NY"},
+		{"NYC", "NY"},
+		{"Brooklyn", "NY"},
+		{"washington dc", "DC"},
+		{"Washington, D.C.", "DC"},
+		{"Chicago", "IL"},
+		{"chi town", "IL"},
+		{"Philly", "PA"},
+		{"NOLA", "LA"},
+		{"New Orleans, LA", "LA"},
+		{"Boston ✈ worldwide", "MA"},
+		{"living in sunny california", "CA"},
+		{"SoCal", "CA"},
+		{"Vegas baby", "NV"},
+		{"Kansas City", "MO"}, // most populous KC
+		{"Kansas City, KS", "KS"},
+		{"Springfield", "MO"},
+		{"Springfield, MA", "MA"},
+		{"Portland", "OR"},
+		{"Portland, ME", "ME"},
+		{"PDX", "OR"},
+		{"Columbus", "OH"},
+		{"Columbus, GA", "GA"},
+		{"Charleston", "SC"},
+		{"charleston, wv", "WV"},
+		{"Richmond VA", "VA"},
+		{"Arlington", "TX"},
+		{"Arlington, VA", "VA"},
+		{"Vancouver, WA", "WA"},
+		{"St. Louis", "MO"},
+		{"San Juan, PR", "PR"},
+		{"The Big Apple", "NY"},
+	}
+	for _, tt := range tests {
+		got := g.Locate(tt.in)
+		if !got.IsUSState() || got.StateCode != tt.state {
+			t.Errorf("Locate(%q) = %+v, want state %s", tt.in, got, tt.state)
+		}
+	}
+}
+
+func TestLocateForeign(t *testing.T) {
+	g := NewGeocoder()
+	tests := []struct {
+		in      string
+		country string
+	}{
+		{"London", "GB"},
+		{"London, England", "GB"},
+		{"Toronto", "CA"},
+		{"Canada", "CA"},
+		{"Melbourne", "AU"}, // bare melbourne is the bigger AU city
+		{"Melbourne, Australia", "AU"},
+		{"Vancouver", "CA"}, // bare vancouver is Vancouver BC
+		{"São Paulo, Brasil", "BR"},
+		{"Lagos, Nigeria", "NG"},
+		{"Tokyo", "JP"},
+		{"somewhere in england", "GB"},
+	}
+	for _, tt := range tests {
+		got := g.Locate(tt.in)
+		if got.Country != tt.country || got.IsUSState() {
+			t.Errorf("Locate(%q) = %+v, want country %s", tt.in, got, tt.country)
+		}
+	}
+}
+
+func TestLocateCountryOnlyAndUnknown(t *testing.T) {
+	g := NewGeocoder()
+	for _, in := range []string{"USA", "United States", "america", "U.S.A."} {
+		got := g.Locate(in)
+		if got.Country != "US" || got.Accuracy != AccuracyCountry {
+			t.Errorf("Locate(%q) = %+v, want US country-only", in, got)
+		}
+		if got.IsUSState() {
+			t.Errorf("Locate(%q) claims state resolution", in)
+		}
+	}
+	for _, in := range []string{"", "    ", "🌍✨", "your mom's house", "probably sleeping", "worldwide"} {
+		got := g.Locate(in)
+		if got.IsUSState() {
+			t.Errorf("Locate(%q) = %+v, resolved to a US state", in, got)
+		}
+	}
+}
+
+func TestLocateAmbiguousCodeWords(t *testing.T) {
+	g := NewGeocoder()
+	// Lowercase English words that double as state codes must not match
+	// when standing alone in running text.
+	for _, in := range []string{"just me", "hi there", "ok cool", "in or out", "oh well", "la la land"} {
+		got := g.Locate(in)
+		if got.IsUSState() {
+			t.Errorf("Locate(%q) = %+v, want no state", in, got)
+		}
+	}
+	// But uppercase forms do match.
+	if got := g.Locate("LA"); !got.IsUSState() || got.StateCode != "LA" {
+		t.Errorf("Locate(LA) = %+v, want Louisiana", got)
+	}
+	if got := g.Locate("OK"); !got.IsUSState() || got.StateCode != "OK" {
+		t.Errorf("Locate(OK) = %+v, want Oklahoma", got)
+	}
+}
+
+func TestLocateNeverPanics(t *testing.T) {
+	g := NewGeocoder()
+	f := func(s string) bool {
+		_ = g.Locate(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := NewGeocoder()
+	tests := []struct {
+		lat, lon float64
+		state    string
+		ok       bool
+	}{
+		{39.0, -95.7, "KS", true},  // Topeka
+		{42.4, -71.1, "MA", true},  // Boston
+		{38.9, -77.02, "DC", true}, // DC, inside MD hull: smallest box must win
+		{34.1, -118.2, "CA", true}, // LA
+		{18.4, -66.1, "PR", true},  // San Juan
+		{61.2, -149.9, "AK", true}, // Anchorage
+		{0, 0, "", false},          // Gulf of Guinea
+		{51.5, -0.1, "", false},    // London
+		{25.0, -90.0, "", false},   // Gulf of Mexico
+	}
+	for _, tt := range tests {
+		got, ok := g.Reverse(tt.lat, tt.lon)
+		if ok != tt.ok || (ok && got.StateCode != tt.state) {
+			t.Errorf("Reverse(%v,%v) = %+v, %v; want %s, %v", tt.lat, tt.lon, got, ok, tt.state, tt.ok)
+		}
+		if ok && !got.IsUSState() {
+			t.Errorf("Reverse(%v,%v) not a US state: %+v", tt.lat, tt.lon, got)
+		}
+	}
+}
+
+// TestReverseRoundTripCities: reverse-geocoding every gazetteer city's
+// coordinates must land in that city's state (boxes overlap, so allow the
+// smallest-box winner to differ only when the city's state box contains
+// another state's entire box — which the data avoids).
+func TestReverseRoundTripCities(t *testing.T) {
+	g := NewGeocoder()
+	mismatches := 0
+	for _, c := range Cities() {
+		loc, ok := g.Reverse(c.Lat, c.Lon)
+		if !ok {
+			t.Errorf("Reverse of %s (%v,%v) found nothing", c.Name, c.Lat, c.Lon)
+			continue
+		}
+		if loc.StateCode != c.StateCode {
+			mismatches++
+			t.Logf("city %s/%s reverse-geocoded to %s", c.Name, c.StateCode, loc.StateCode)
+		}
+	}
+	// Rectangular hulls overlap along borders; a handful of border cities
+	// may flip. More than 10% would mean broken boxes.
+	if mismatches > len(Cities())/10 {
+		t.Errorf("%d/%d cities reverse-geocode to the wrong state", mismatches, len(Cities()))
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := BBox{MinLat: 10, MaxLat: 20, MinLon: -30, MaxLon: -20}
+	if !b.Contains(15, -25) || b.Contains(25, -25) || b.Contains(15, -35) {
+		t.Error("BBox.Contains wrong")
+	}
+	lat, lon := b.Center()
+	if lat != 15 || lon != -25 {
+		t.Errorf("Center = %v,%v", lat, lon)
+	}
+}
+
+func TestAccuracyString(t *testing.T) {
+	for _, a := range []Accuracy{AccuracyNone, AccuracyCountry, AccuracyState, AccuracyCity} {
+		if strings.HasPrefix(a.String(), "accuracy(") {
+			t.Errorf("Accuracy %d unnamed", int(a))
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	g := NewGeocoder()
+	inputs := []string{
+		"Melbourne, FL", "NYC", "somewhere in england", "Kansas City",
+		"living in sunny california", "🌴 Miami 🌴", "not telling you",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Locate(inputs[i%len(inputs)])
+	}
+}
+
+func BenchmarkReverse(b *testing.B) {
+	g := NewGeocoder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Reverse(39.0, -95.7)
+	}
+}
+
+func TestZIPState(t *testing.T) {
+	tests := []struct {
+		zip    string
+		want   string
+		wantOK bool
+	}{
+		{"78701", "TX", true}, // Austin
+		{"90210", "CA", true}, // Beverly Hills
+		{"66044", "KS", true}, // Lawrence
+		{"02139", "MA", true}, // Cambridge
+		{"10001", "NY", true}, // Manhattan
+		{"00901", "PR", true}, // San Juan
+		{"20001", "DC", true},
+		{"99501", "AK", true},
+		{"885", "TX", true}, // bare prefix
+		{"696", "", false},  // unallocated gap
+		{"12", "", false},   // wrong length
+		{"abcde", "", false},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		got, ok := ZIPState(tt.zip)
+		if ok != tt.wantOK || got != tt.want {
+			t.Errorf("ZIPState(%q) = %q, %v; want %q, %v", tt.zip, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestZIPRangesRoundTrip(t *testing.T) {
+	// Every state with an allocation must round-trip through its ranges.
+	for _, s := range States() {
+		ranges := ZIPRangesFor(s.Code)
+		if len(ranges) == 0 {
+			t.Errorf("state %s has no ZIP ranges", s.Code)
+			continue
+		}
+		for _, r := range ranges {
+			for _, prefix := range []int{r[0], r[1]} {
+				zip := fmt.Sprintf("%03d00", prefix)
+				got, ok := ZIPState(zip)
+				if !ok || got != s.Code {
+					t.Errorf("ZIPState(%s) = %q, %v; want %s", zip, got, ok, s.Code)
+				}
+			}
+		}
+	}
+}
+
+func TestLocateWithZIPs(t *testing.T) {
+	g := NewGeocoder()
+	tests := []struct {
+		in    string
+		state string
+	}{
+		{"Austin, TX 78701", "TX"},
+		{"78701", "TX"},
+		{"Lawrence KS 66044", "KS"},
+		{"90210", "CA"},
+		{"Cambridge MA 02139", "MA"},
+	}
+	for _, tt := range tests {
+		got := g.Locate(tt.in)
+		if !got.IsUSState() || got.StateCode != tt.state {
+			t.Errorf("Locate(%q) = %+v, want %s", tt.in, got, tt.state)
+		}
+	}
+	// Non-ZIP numbers must not resolve.
+	for _, in := range []string{"est. 1998", "since 2015", "1234"} {
+		if g.Locate(in).IsUSState() {
+			t.Errorf("Locate(%q) resolved to a state", in)
+		}
+	}
+}

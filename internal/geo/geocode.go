@@ -1,0 +1,365 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Accuracy grades how precisely a location string was resolved.
+type Accuracy int
+
+// Accuracy levels, least to most precise.
+const (
+	AccuracyNone    Accuracy = iota // nothing recognizable
+	AccuracyCountry                 // country known, state unknown
+	AccuracyState                   // US state known
+	AccuracyCity                    // US city (implies state)
+)
+
+// String returns the accuracy name.
+func (a Accuracy) String() string {
+	switch a {
+	case AccuracyNone:
+		return "none"
+	case AccuracyCountry:
+		return "country"
+	case AccuracyState:
+		return "state"
+	case AccuracyCity:
+		return "city"
+	}
+	return "accuracy(?)"
+}
+
+// Location is a resolved user location.
+type Location struct {
+	Country   string // ISO-like country code ("US", "GB", ...), "" if unknown
+	StateCode string // USPS code when Country == "US" and state resolved
+	City      string // canonical city name when resolved to a city
+	Accuracy  Accuracy
+}
+
+// IsUSState reports whether the location resolved to a specific US state
+// (or DC/PR), the condition for a user entering the paper's dataset.
+func (l Location) IsUSState() bool {
+	return l.Country == "US" && l.StateCode != "" && l.Accuracy >= AccuracyState
+}
+
+// Geocoder resolves free-text, self-reported Twitter profile locations and
+// GPS points to US states. It replaces the paper's OpenStreetMap/Nominatim
+// calls with an offline gazetteer; see DESIGN.md §2.
+//
+// A Geocoder is safe for concurrent use.
+type Geocoder struct{}
+
+// NewGeocoder returns a ready Geocoder backed by the package gazetteer.
+func NewGeocoder() *Geocoder { return &Geocoder{} }
+
+// ambiguousCodes are two-letter state codes that collide with common
+// English words; they are only accepted when written in uppercase or when
+// following a comma (as in "new orleans, la").
+var ambiguousCodes = map[string]bool{
+	"in": true, "ok": true, "or": true, "me": true, "hi": true,
+	"de": true, "la": true, "al": true, "oh": true, "id": true,
+	"pa": true, "ma": true, "mo": true, "co": true, "so": true,
+	"us": true,
+}
+
+// usCountryWords are tokens/phrases that assert the USA without naming a
+// state.
+var usCountryWords = map[string]bool{
+	"usa": true, "united states": true, "united states of america": true,
+	"america": true, "estados unidos": true, "murica": true,
+}
+
+// segToken is one token of a location segment, remembering its original
+// casing so "LA" (city or Louisiana) can be told apart from "la".
+type segToken struct {
+	text  string // lowercase
+	upper bool   // was written all-uppercase with len == 2..3
+}
+
+// splitSegments breaks a raw location string into comma-ish segments of
+// tokens. Letters and digits form tokens; ',', '/', '|', ';', and bullet
+// characters break segments; everything else is whitespace.
+func splitSegments(raw string) [][]segToken {
+	var segs [][]segToken
+	var cur []segToken
+	var tok []rune
+	hasLower := false
+	flushTok := func() {
+		if len(tok) == 0 {
+			return
+		}
+		t := string(tok)
+		lt := strings.ToLower(t)
+		up := !hasLower && len(tok) >= 2 && len(tok) <= 3
+		cur = append(cur, segToken{text: lt, upper: up})
+		tok = tok[:0]
+		hasLower = false
+	}
+	flushSeg := func() {
+		flushTok()
+		if len(cur) > 0 {
+			segs = append(segs, cur)
+			cur = nil
+		}
+	}
+	for _, r := range raw {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
+			if unicode.IsLower(r) {
+				hasLower = true
+			}
+			tok = append(tok, unicode.ToLower(r))
+		case r == ',' || r == '/' || r == '|' || r == ';' || r == '•' || r == '·' || r == '~':
+			flushSeg()
+		case r == '.' || r == '-':
+			// Periods and hyphens bind: "D.C." -> "dc", "Winston-Salem"
+			// -> "winston salem" (hyphen becomes a token break w/o
+			// segment break).
+			if r == '-' {
+				flushTok()
+			}
+		default:
+			flushTok()
+		}
+	}
+	flushSeg()
+	return segs
+}
+
+// allDigits reports whether s consists solely of ASCII digits.
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// phrase joins tokens i..j (inclusive) of a segment with spaces, with
+// "saint" canonicalized to "st".
+func phrase(seg []segToken, i, j int) string {
+	parts := make([]string, 0, j-i+1)
+	for k := i; k <= j; k++ {
+		t := seg[k].text
+		if t == "saint" {
+			t = "st"
+		}
+		parts = append(parts, t)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Locate resolves a self-reported profile location string. It never
+// errors: unresolvable strings return a Location with AccuracyNone.
+//
+// Resolution strategy, mirroring how Nominatim ranks results:
+//  1. Gather candidate matches from every contiguous 1–3 token phrase:
+//     state codes (with the uppercase/after-comma guard for codes that are
+//     English words), state names, city names, city aliases, foreign
+//     countries and major foreign cities, and bare-country words.
+//  2. A city + state pair that agree win (city accuracy). An explicit
+//     state code beats a state-name match ("washington dc" is DC, not WA).
+//  3. A lone state wins over a lone city only when the city's best
+//     interpretation is foreign; otherwise city implies its state.
+//  4. A US city name that is also a major foreign city ("melbourne",
+//     "vancouver") resolves to the larger population unless a US state
+//     hint is present.
+//  5. Bare country words give country accuracy.
+func (g *Geocoder) Locate(raw string) Location {
+	segs := splitSegments(raw)
+	if len(segs) == 0 {
+		return Location{}
+	}
+
+	type span struct{ seg, i, j int }
+	type nameHit struct {
+		code string
+		at   span
+	}
+	type cityHit struct {
+		city City
+		at   span
+	}
+	var (
+		stateCode    string // from explicit code
+		stateNames   []nameHit
+		cityMatches  []cityHit
+		cityBest     *City // most populous US city candidate
+		foreignName  string
+		foreignCity  foreignPlace
+		sawUSCountry bool
+		totalSegs    = len(segs)
+	)
+
+	for si, seg := range segs {
+		for i := 0; i < len(seg); i++ {
+			for j := i; j < len(seg) && j < i+4; j++ {
+				p := phrase(seg, i, j)
+				if i == j && len(p) == 2 {
+					if st, ok := stateByCode[strings.ToUpper(p)]; ok {
+						accept := seg[i].upper ||
+							!ambiguousCodes[p] ||
+							(si > 0 && si == totalSegs-1) ||
+							(si == totalSegs-1 && i == len(seg)-1 && totalSegs > 1)
+						// A trailing ambiguous code in a one-segment
+						// string ("melbourne fl") is accepted when
+						// another token precedes it.
+						if !accept && totalSegs == 1 && i == len(seg)-1 && i > 0 {
+							accept = !ambiguousCodes[p] || seg[i].upper
+						}
+						if accept && p != "us" {
+							stateCode = st.Code
+						}
+					}
+				}
+				if i == j && len(p) == 5 && allDigits(p) {
+					// A 5-digit token is read as a ZIP code; the prefix
+					// pins the state as firmly as an explicit code.
+					if st, ok := ZIPState(p); ok && stateCode == "" {
+						stateCode = st
+					}
+				}
+				if st, ok := stateByName[p]; ok {
+					stateNames = append(stateNames, nameHit{st.Code, span{si, i, j}})
+				}
+				if usCountryWords[p] || (p == "us" && seg[i].upper) {
+					sawUSCountry = true
+				}
+				if al, ok := cityAliases[p]; ok {
+					for _, c := range cityIndex[al.name] {
+						if c.StateCode == al.state {
+							cityMatches = append(cityMatches, cityHit{*c, span{si, i, j}})
+						}
+					}
+				}
+				if list, ok := cityIndex[p]; ok {
+					for _, c := range list {
+						cityMatches = append(cityMatches, cityHit{*c, span{si, i, j}})
+					}
+				}
+				if fc, ok := foreignCities[p]; ok {
+					if fc.Population > foreignCity.Population {
+						foreignCity = fc
+					}
+				}
+				if cc, ok := foreignCountries[p]; ok {
+					foreignName = cc
+				}
+			}
+		}
+	}
+
+	// A state-name match that sits strictly inside a longer matched city
+	// phrase is part of the city name, not a hint: "Kansas City" must not
+	// read as the state of Kansas.
+	stateName := ""
+	for _, sn := range stateNames {
+		swallowed := false
+		for _, ch := range cityMatches {
+			if ch.at.seg == sn.at.seg && ch.at.i <= sn.at.i && ch.at.j >= sn.at.j &&
+				(ch.at.j-ch.at.i) > (sn.at.j-sn.at.i) {
+				swallowed = true
+				break
+			}
+		}
+		if !swallowed {
+			stateName = sn.code
+		}
+	}
+
+	stateHint := stateCode
+	if stateHint == "" {
+		stateHint = stateName
+	}
+
+	// City + agreeing state → city accuracy.
+	if stateHint != "" {
+		for _, ch := range cityMatches {
+			if ch.city.StateCode == stateHint {
+				return Location{Country: "US", StateCode: ch.city.StateCode, City: ch.city.Name, Accuracy: AccuracyCity}
+			}
+		}
+		// Explicit state beats a disagreeing or missing city.
+		return Location{Country: "US", StateCode: stateHint, Accuracy: AccuracyState}
+	}
+
+	// Pick the most populous US city candidate.
+	for i := range cityMatches {
+		if cityBest == nil || cityMatches[i].city.Population > cityBest.Population {
+			cityBest = &cityMatches[i].city
+		}
+	}
+
+	if cityBest != nil {
+		// A same-named major foreign city outranks by population unless
+		// the US country was asserted.
+		if foreignCity.Country != "" && foreignCity.Population > cityBest.Population && !sawUSCountry {
+			return Location{Country: foreignCity.Country, Accuracy: AccuracyCity}
+		}
+		return Location{Country: "US", StateCode: cityBest.StateCode, City: cityBest.Name, Accuracy: AccuracyCity}
+	}
+
+	if foreignCity.Country != "" && !sawUSCountry {
+		return Location{Country: foreignCity.Country, Accuracy: AccuracyCity}
+	}
+	if foreignName != "" && !sawUSCountry {
+		return Location{Country: foreignName, Accuracy: AccuracyCountry}
+	}
+	if sawUSCountry {
+		return Location{Country: "US", Accuracy: AccuracyCountry}
+	}
+	return Location{}
+}
+
+// reverseCityRadiusDeg bounds how far (in degrees, roughly 90 km) the
+// nearest gazetteer city may be for a point to take that city's state.
+const reverseCityRadiusDeg = 0.8
+
+// Reverse resolves a GPS point to a US state the way a feature-based
+// reverse geocoder does: the nearest gazetteer city within
+// reverseCityRadiusDeg wins (state hulls overlap far too much near
+// borders for a box test alone); points with no nearby city fall back to
+// the smallest containing state bounding box. ok is false when neither
+// strategy matches — the point is outside the USA.
+func (g *Geocoder) Reverse(lat, lon float64) (Location, bool) {
+	// Nearest city, equirectangular squared distance with the longitude
+	// axis compressed by cos(lat).
+	coslat := math.Cos(lat * math.Pi / 180)
+	var bestCity *City
+	bestD := math.Inf(1)
+	for i := range cities {
+		c := &cities[i]
+		dlat := c.Lat - lat
+		dlon := (c.Lon - lon) * coslat
+		d := dlat*dlat + dlon*dlon
+		if d < bestD {
+			bestD, bestCity = d, c
+		}
+	}
+	if bestCity != nil && bestD <= reverseCityRadiusDeg*reverseCityRadiusDeg {
+		return Location{Country: "US", StateCode: bestCity.StateCode, Accuracy: AccuracyState}, true
+	}
+	// Rural fallback: smallest containing box (DC sits inside Maryland's
+	// hull, so smaller is more specific).
+	var best *State
+	var bestArea float64
+	for i := range states {
+		b := states[i].Box
+		if !b.Contains(lat, lon) {
+			continue
+		}
+		area := (b.MaxLat - b.MinLat) * (b.MaxLon - b.MinLon)
+		if best == nil || area < bestArea {
+			best, bestArea = &states[i], area
+		}
+	}
+	if best == nil {
+		return Location{}, false
+	}
+	return Location{Country: "US", StateCode: best.Code, Accuracy: AccuracyState}, true
+}

@@ -1,0 +1,207 @@
+// Package geo implements the offline geocoding substrate that stands in
+// for the paper's use of OpenStreetMap/Nominatim: a USA gazetteer (states,
+// territories, and major cities with aliases), a free-text geocoder for
+// messy self-reported Twitter profile locations, and a reverse geocoder
+// for GPS geo-tags. The paper only needs country- and state-level
+// resolution, which this package provides without network access.
+package geo
+
+import (
+	"sort"
+	"strings"
+)
+
+// Region is a US census region, used to state claims like "Kansas is the
+// only state in the Midwestern USA with excess kidney conversations".
+type Region int
+
+// Census regions.
+const (
+	Northeast Region = iota
+	Midwest
+	South
+	West
+	Territory // PR, DC handled as South per census, territories separate
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case Northeast:
+		return "Northeast"
+	case Midwest:
+		return "Midwest"
+	case South:
+		return "South"
+	case West:
+		return "West"
+	case Territory:
+		return "Territory"
+	}
+	return "Region(?)"
+}
+
+// BBox is a latitude/longitude bounding box. Bounds are approximate —
+// good enough to assign a synthetic geo-tag to a state, which is the only
+// reverse-geocoding the pipeline needs.
+type BBox struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+}
+
+// Contains reports whether the point is inside the box.
+func (b BBox) Contains(lat, lon float64) bool {
+	return lat >= b.MinLat && lat <= b.MaxLat && lon >= b.MinLon && lon <= b.MaxLon
+}
+
+// Center returns the box center.
+func (b BBox) Center() (lat, lon float64) {
+	return (b.MinLat + b.MaxLat) / 2, (b.MinLon + b.MaxLon) / 2
+}
+
+// State describes one US state, district, or territory in the gazetteer.
+type State struct {
+	Code       string // USPS code, e.g. "KS"
+	Name       string // full name, e.g. "Kansas"
+	Region     Region
+	Population int // approximate 2015 resident population
+	Box        BBox
+}
+
+// states lists the 50 states, DC, and Puerto Rico — the paper's Figure 4
+// covers "all states and territories of the USA". Populations are 2015
+// census estimates (thousands rounded); boxes are approximate hulls.
+var states = []State{
+	{"AL", "Alabama", South, 4859000, BBox{30.2, 35.0, -88.5, -84.9}},
+	{"AK", "Alaska", West, 738000, BBox{51.2, 71.4, -179.1, -129.9}},
+	{"AZ", "Arizona", West, 6828000, BBox{31.3, 37.0, -114.8, -109.0}},
+	{"AR", "Arkansas", South, 2978000, BBox{33.0, 36.5, -94.6, -89.6}},
+	{"CA", "California", West, 39145000, BBox{32.5, 42.0, -124.4, -114.1}},
+	{"CO", "Colorado", West, 5456000, BBox{37.0, 41.0, -109.1, -102.0}},
+	{"CT", "Connecticut", Northeast, 3591000, BBox{40.9, 42.1, -73.7, -71.8}},
+	{"DE", "Delaware", South, 946000, BBox{38.4, 39.8, -75.8, -75.0}},
+	{"DC", "District of Columbia", South, 672000, BBox{38.79, 38.996, -77.12, -76.91}},
+	{"FL", "Florida", South, 20271000, BBox{24.5, 31.0, -87.6, -80.0}},
+	{"GA", "Georgia", South, 10215000, BBox{30.4, 35.0, -85.6, -80.8}},
+	{"HI", "Hawaii", West, 1432000, BBox{18.9, 22.2, -160.3, -154.8}},
+	{"ID", "Idaho", West, 1655000, BBox{42.0, 49.0, -117.2, -111.0}},
+	{"IL", "Illinois", Midwest, 12860000, BBox{36.9, 42.5, -91.5, -87.5}},
+	{"IN", "Indiana", Midwest, 6620000, BBox{37.8, 41.8, -88.1, -84.8}},
+	{"IA", "Iowa", Midwest, 3124000, BBox{40.4, 43.5, -96.6, -90.1}},
+	{"KS", "Kansas", Midwest, 2912000, BBox{37.0, 40.0, -102.1, -94.6}},
+	{"KY", "Kentucky", South, 4425000, BBox{36.5, 39.1, -89.6, -81.9}},
+	{"LA", "Louisiana", South, 4671000, BBox{28.9, 33.0, -94.0, -88.8}},
+	{"ME", "Maine", Northeast, 1329000, BBox{43.1, 47.5, -71.1, -66.9}},
+	{"MD", "Maryland", South, 6006000, BBox{37.9, 39.7, -79.5, -75.0}},
+	{"MA", "Massachusetts", Northeast, 6794000, BBox{41.2, 42.9, -73.5, -69.9}},
+	{"MI", "Michigan", Midwest, 9923000, BBox{41.7, 48.3, -90.4, -82.4}},
+	{"MN", "Minnesota", Midwest, 5490000, BBox{43.5, 49.4, -97.2, -89.5}},
+	{"MS", "Mississippi", South, 2992000, BBox{30.2, 35.0, -91.7, -88.1}},
+	{"MO", "Missouri", Midwest, 6084000, BBox{36.0, 40.6, -95.8, -89.1}},
+	{"MT", "Montana", West, 1033000, BBox{44.4, 49.0, -116.1, -104.0}},
+	{"NE", "Nebraska", Midwest, 1896000, BBox{40.0, 43.0, -104.1, -95.3}},
+	{"NV", "Nevada", West, 2891000, BBox{35.0, 42.0, -120.0, -114.0}},
+	{"NH", "New Hampshire", Northeast, 1331000, BBox{42.7, 45.3, -72.6, -70.6}},
+	{"NJ", "New Jersey", Northeast, 8958000, BBox{38.9, 41.4, -75.6, -73.9}},
+	{"NM", "New Mexico", West, 2085000, BBox{31.3, 37.0, -109.1, -103.0}},
+	{"NY", "New York", Northeast, 19795000, BBox{40.5, 45.0, -79.8, -71.8}},
+	{"NC", "North Carolina", South, 10043000, BBox{33.8, 36.6, -84.3, -75.4}},
+	{"ND", "North Dakota", Midwest, 757000, BBox{45.9, 49.0, -104.1, -96.6}},
+	{"OH", "Ohio", Midwest, 11613000, BBox{38.4, 42.0, -84.8, -80.5}},
+	{"OK", "Oklahoma", South, 3911000, BBox{33.6, 37.0, -103.0, -94.4}},
+	{"OR", "Oregon", West, 4029000, BBox{42.0, 46.3, -124.6, -116.5}},
+	{"PA", "Pennsylvania", Northeast, 12803000, BBox{39.7, 42.3, -80.5, -74.7}},
+	{"PR", "Puerto Rico", Territory, 3474000, BBox{17.9, 18.5, -67.3, -65.2}},
+	{"RI", "Rhode Island", Northeast, 1056000, BBox{41.1, 42.0, -71.9, -71.1}},
+	{"SC", "South Carolina", South, 4896000, BBox{32.0, 35.2, -83.4, -78.5}},
+	{"SD", "South Dakota", Midwest, 858000, BBox{42.5, 45.9, -104.1, -96.4}},
+	{"TN", "Tennessee", South, 6600000, BBox{35.0, 36.7, -90.3, -81.6}},
+	{"TX", "Texas", South, 27469000, BBox{25.8, 36.5, -106.6, -93.5}},
+	{"UT", "Utah", West, 2996000, BBox{37.0, 42.0, -114.1, -109.0}},
+	{"VT", "Vermont", Northeast, 626000, BBox{42.7, 45.0, -73.4, -71.5}},
+	{"VA", "Virginia", South, 8383000, BBox{36.5, 39.5, -83.7, -75.2}},
+	{"WA", "Washington", West, 7170000, BBox{45.5, 49.0, -124.8, -116.9}},
+	{"WV", "West Virginia", South, 1844000, BBox{37.2, 40.6, -82.6, -77.7}},
+	{"WI", "Wisconsin", Midwest, 5771000, BBox{42.5, 47.1, -92.9, -86.8}},
+	{"WY", "Wyoming", West, 586000, BBox{41.0, 45.0, -111.1, -104.1}},
+}
+
+// stateByCode indexes the gazetteer by USPS code.
+var stateByCode = func() map[string]*State {
+	m := make(map[string]*State, len(states))
+	for i := range states {
+		m[states[i].Code] = &states[i]
+	}
+	return m
+}()
+
+// stateByName indexes the gazetteer by lowercase full name.
+var stateByName = func() map[string]*State {
+	m := make(map[string]*State, len(states))
+	for i := range states {
+		m[strings.ToLower(states[i].Name)] = &states[i]
+	}
+	return m
+}()
+
+// States returns all states, DC, and PR sorted by code. The slice is a
+// copy; callers may mutate it.
+func States() []State {
+	out := make([]State, len(states))
+	copy(out, states)
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// NumStates is the number of gazetteer regions (50 states + DC + PR).
+func NumStates() int { return len(states) }
+
+// StateByCode returns the state with the given USPS code
+// (case-insensitive). ok is false for unknown codes.
+func StateByCode(code string) (State, bool) {
+	s, ok := stateByCode[strings.ToUpper(strings.TrimSpace(code))]
+	if !ok {
+		return State{}, false
+	}
+	return *s, true
+}
+
+// StateByName returns the state with the given full name
+// (case-insensitive). ok is false for unknown names.
+func StateByName(name string) (State, bool) {
+	s, ok := stateByName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return State{}, false
+	}
+	return *s, true
+}
+
+// StateCodes returns all USPS codes sorted ascending. The index of a code
+// in this slice is the canonical region index used in region membership
+// matrices (rows of the Figure 4 matrix K).
+func StateCodes() []string {
+	out := make([]string, 0, len(states))
+	for _, s := range states {
+		out = append(out, s.Code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stateIndexByCode maps a USPS code to its canonical region index.
+var stateIndexByCode = func() map[string]int {
+	m := make(map[string]int, len(states))
+	for i, c := range StateCodes() {
+		m[c] = i
+	}
+	return m
+}()
+
+// StateIndex returns the canonical region index of a USPS code, or -1 for
+// unknown codes.
+func StateIndex(code string) int {
+	if i, ok := stateIndexByCode[strings.ToUpper(strings.TrimSpace(code))]; ok {
+		return i
+	}
+	return -1
+}

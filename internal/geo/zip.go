@@ -1,0 +1,115 @@
+package geo
+
+import "strconv"
+
+// US ZIP codes encode the state in their first three digits. Profile
+// locations like "Austin, TX 78701" — or even a bare "78701" — therefore
+// resolve to a state without any other signal. The table below maps
+// 3-digit prefix ranges to USPS codes (the standard national allocation,
+// coarse but complete).
+
+// zipRange assigns [Lo, Hi] (inclusive) 3-digit prefixes to a state.
+type zipRange struct {
+	Lo, Hi int
+	State  string
+}
+
+// zipRanges is ordered by Lo for binary search.
+var zipRanges = []zipRange{
+	{6, 9, "PR"},
+	{10, 27, "MA"},
+	{28, 29, "RI"},
+	{30, 38, "NH"},
+	{39, 49, "ME"},
+	{50, 59, "VT"},
+	{60, 69, "CT"},
+	{70, 89, "NJ"},
+	{100, 149, "NY"},
+	{150, 196, "PA"},
+	{197, 199, "DE"},
+	{200, 205, "DC"},
+	{206, 219, "MD"},
+	{220, 246, "VA"},
+	{247, 268, "WV"},
+	{270, 289, "NC"},
+	{290, 299, "SC"},
+	{300, 319, "GA"},
+	{320, 349, "FL"},
+	{350, 369, "AL"},
+	{370, 385, "TN"},
+	{386, 397, "MS"},
+	{398, 399, "GA"},
+	{400, 427, "KY"},
+	{430, 459, "OH"},
+	{460, 479, "IN"},
+	{480, 499, "MI"},
+	{500, 528, "IA"},
+	{530, 549, "WI"},
+	{550, 567, "MN"},
+	{570, 577, "SD"},
+	{580, 588, "ND"},
+	{590, 599, "MT"},
+	{600, 629, "IL"},
+	{630, 658, "MO"},
+	{660, 679, "KS"},
+	{680, 693, "NE"},
+	{700, 714, "LA"},
+	{716, 729, "AR"},
+	{730, 749, "OK"},
+	{750, 799, "TX"},
+	{800, 816, "CO"},
+	{820, 831, "WY"},
+	{832, 838, "ID"},
+	{840, 847, "UT"},
+	{850, 865, "AZ"},
+	{870, 884, "NM"},
+	{885, 885, "TX"},
+	{889, 898, "NV"},
+	{900, 961, "CA"},
+	{967, 968, "HI"},
+	{970, 979, "OR"},
+	{980, 994, "WA"},
+	{995, 999, "AK"},
+}
+
+// ZIPState resolves a 5-digit ZIP code (or a bare 3-digit prefix) to a
+// USPS state code. ok is false for malformed or unallocated codes.
+func ZIPState(zip string) (string, bool) {
+	if len(zip) != 5 && len(zip) != 3 {
+		return "", false
+	}
+	n, err := strconv.Atoi(zip)
+	if err != nil || n < 0 {
+		return "", false
+	}
+	prefix := n
+	if len(zip) == 5 {
+		prefix = n / 100
+	}
+	lo, hi := 0, len(zipRanges)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r := zipRanges[mid]
+		switch {
+		case prefix < r.Lo:
+			hi = mid - 1
+		case prefix > r.Hi:
+			lo = mid + 1
+		default:
+			return r.State, true
+		}
+	}
+	return "", false
+}
+
+// ZIPRangesFor returns the 3-digit prefix ranges allocated to a state,
+// used by the synthetic generator to fabricate plausible ZIPs.
+func ZIPRangesFor(state string) [][2]int {
+	var out [][2]int
+	for _, r := range zipRanges {
+		if r.State == state {
+			out = append(out, [2]int{r.Lo, r.Hi})
+		}
+	}
+	return out
+}

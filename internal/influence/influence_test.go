@@ -1,0 +1,285 @@
+package influence
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+)
+
+// syntheticNodes fabricates a user population with states, organ
+// interests, and a heavy-tailed activity profile.
+func syntheticNodes(n int, seed uint64) []Node {
+	r := rand.New(rand.NewPCG(seed, 0xA0DE))
+	states := geo.StateCodes()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		act := 1
+		if r.Float64() < 0.03 {
+			act = 50 + r.IntN(400) // loud accounts
+		} else {
+			act = 1 + r.IntN(4)
+		}
+		nodes[i] = Node{
+			UserID:    int64(1000 + i),
+			StateCode: states[r.IntN(len(states))],
+			Primary:   organ.Organ(r.IntN(organ.Count)),
+			Activity:  act,
+		}
+	}
+	return nodes
+}
+
+func testGraph(t testing.TB, n int) *Graph {
+	t.Helper()
+	g, err := SyntheticGraph(syntheticNodes(n, 7), DefaultGraphConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSyntheticGraphShape(t *testing.T) {
+	g := testGraph(t, 2000)
+	if g.Nodes() != 2000 {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	avg := float64(g.Edges()) / float64(g.Nodes())
+	if avg < 5 || avg > 12 {
+		t.Errorf("average out-degree = %.2f, want ≈8", avg)
+	}
+	// No self-loops or duplicate followers.
+	for u := 0; u < g.Nodes(); u++ {
+		seen := map[int32]bool{}
+		for _, v := range g.Followers(u) {
+			if int(v) == u {
+				t.Fatalf("self-loop at %d", u)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate edge %d→%d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSyntheticGraphDeterministic(t *testing.T) {
+	nodes := syntheticNodes(500, 3)
+	a, _ := SyntheticGraph(nodes, DefaultGraphConfig())
+	b, _ := SyntheticGraph(nodes, DefaultGraphConfig())
+	if a.Edges() != b.Edges() {
+		t.Fatal("edge counts differ across identical builds")
+	}
+	for u := 0; u < a.Nodes(); u++ {
+		af, bf := a.Followers(u), b.Followers(u)
+		if len(af) != len(bf) {
+			t.Fatalf("node %d follower counts differ", u)
+		}
+		for i := range af {
+			if af[i] != bf[i] {
+				t.Fatalf("node %d follower %d differs", u, i)
+			}
+		}
+	}
+}
+
+func TestSyntheticGraphErrors(t *testing.T) {
+	if _, err := SyntheticGraph(nil, DefaultGraphConfig()); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := SyntheticGraph(syntheticNodes(1, 1), DefaultGraphConfig()); err == nil {
+		t.Error("single node accepted")
+	}
+}
+
+func TestGraphHomophily(t *testing.T) {
+	g := testGraph(t, 3000)
+	sameState, total := 0, 0
+	for u := 0; u < g.Nodes(); u++ {
+		for _, v := range g.Followers(u) {
+			total++
+			if g.Node(u).StateCode == g.Node(int(v)).StateCode {
+				sameState++
+			}
+		}
+	}
+	frac := float64(sameState) / float64(total)
+	// Random mixing across 52 states would give ≈1/52 ≈ 0.02; the
+	// configured homophily should push it well above 0.2.
+	if frac < 0.2 {
+		t.Errorf("same-state edge share = %.3f, want > 0.2", frac)
+	}
+}
+
+func TestGraphHubsAttractFollowers(t *testing.T) {
+	// The cascade spreads u → out[u] (out[u] are u's followers), so
+	// out-degree is a node's influence. The loudest account must have far
+	// more followers than the quiet average — both via the log-activity
+	// degree scaling and the hub follow bias.
+	g := testGraph(t, 3000)
+	var loudest, quietSum, quietN int
+	bestAct := -1
+	for i := 0; i < g.Nodes(); i++ {
+		if g.Node(i).Activity > bestAct {
+			bestAct, loudest = g.Node(i).Activity, i
+		}
+		if g.Node(i).Activity <= 4 {
+			quietSum += g.OutDegree(i)
+			quietN++
+		}
+	}
+	quietAvg := float64(quietSum) / float64(quietN)
+	if float64(g.OutDegree(loudest)) < quietAvg*1.5 {
+		t.Errorf("loudest account degree %d not above quiet average %.1f", g.OutDegree(loudest), quietAvg)
+	}
+}
+
+func TestCascadeBasics(t *testing.T) {
+	g := testGraph(t, 1000)
+	c, err := NewCascade(g, DefaultCascadeConfig(organ.Kidney))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int{0, 1, 2}
+	reach := c.EstimateReach(seeds)
+	if reach < 3 {
+		t.Errorf("reach %.2f below seed count", reach)
+	}
+	// Zero probability → reach == seeds exactly.
+	cz, _ := NewCascade(g, CascadeConfig{Topic: organ.Kidney, BaseProb: 1e-12, Runs: 8, Seed: 1})
+	if got := cz.EstimateReach(seeds); got != 3 {
+		t.Errorf("zero-prob reach = %v, want 3", got)
+	}
+	// Duplicate and invalid seeds are tolerated.
+	if got := cz.EstimateReach([]int{0, 0, -5, 999999}); got != 1 {
+		t.Errorf("dedup/invalid seeds reach = %v, want 1", got)
+	}
+}
+
+func TestCascadeInvalidTopic(t *testing.T) {
+	g := testGraph(t, 100)
+	if _, err := NewCascade(g, CascadeConfig{Topic: organ.Organ(-1)}); err == nil {
+		t.Error("invalid topic accepted")
+	}
+}
+
+func TestCascadeMonotoneInProbability(t *testing.T) {
+	g := testGraph(t, 1500)
+	seeds := TopDegreeSeeds(g, 3)
+	prev := 0.0
+	for _, p := range []float64{0.01, 0.05, 0.15, 0.4} {
+		c, _ := NewCascade(g, CascadeConfig{Topic: organ.Heart, BaseProb: p, Runs: 32, Seed: 1})
+		reach := c.EstimateReach(seeds)
+		if reach < prev {
+			t.Errorf("reach not monotone: p=%v gives %.1f < %.1f", p, reach, prev)
+		}
+		prev = reach
+	}
+}
+
+func TestAffinityBonusSteersTopicReach(t *testing.T) {
+	g := testGraph(t, 2000)
+	seeds := TopDegreeSeeds(g, 3)
+	with, _ := NewCascade(g, CascadeConfig{Topic: organ.Kidney, BaseProb: 0.03, AffinityBonus: 0.15, Runs: 64, Seed: 1})
+	without, _ := NewCascade(g, CascadeConfig{Topic: organ.Kidney, BaseProb: 0.03, AffinityBonus: -0, Runs: 64, Seed: 1})
+	tw := with.EstimateTopicReach(seeds)
+	to := without.EstimateTopicReach(seeds)
+	if tw <= to {
+		t.Errorf("affinity bonus did not raise topic reach: %.1f vs %.1f", tw, to)
+	}
+}
+
+func TestTopDegreeAndRandomSeeds(t *testing.T) {
+	g := testGraph(t, 500)
+	top := TopDegreeSeeds(g, 5)
+	if len(top) != 5 {
+		t.Fatalf("top seeds = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if g.OutDegree(top[i-1]) < g.OutDegree(top[i]) {
+			t.Error("top-degree seeds not sorted")
+		}
+	}
+	rnd := RandomSeeds(g, 5, 9)
+	if len(rnd) != 5 {
+		t.Fatalf("random seeds = %d", len(rnd))
+	}
+	seen := map[int]bool{}
+	for _, s := range rnd {
+		if seen[s] {
+			t.Error("duplicate random seed")
+		}
+		seen[s] = true
+	}
+	// Oversized k clamps.
+	if got := TopDegreeSeeds(g, 10000); len(got) != g.Nodes() {
+		t.Errorf("oversized top-degree k = %d", len(got))
+	}
+}
+
+func TestGreedyBeatsBaselines(t *testing.T) {
+	g := testGraph(t, 2000)
+	c, err := NewCascade(g, CascadeConfig{Topic: organ.Lung, BaseProb: 0.05, AffinityBonus: 0.05, Runs: 48, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanCampaign(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Seeds) != 4 {
+		t.Fatalf("plan seeds = %d", len(plan.Seeds))
+	}
+	// The classic ordering: greedy ≥ top-degree ≥ random (allow a small
+	// Monte Carlo slack on the first comparison).
+	if plan.Reach < plan.DegreeReach*0.97 {
+		t.Errorf("greedy reach %.1f below top-degree %.1f", plan.Reach, plan.DegreeReach)
+	}
+	if plan.DegreeReach <= plan.RandomReach {
+		t.Errorf("top-degree reach %.1f not above random %.1f", plan.DegreeReach, plan.RandomReach)
+	}
+	if plan.TopicReach <= 0 || plan.TopicReach > plan.Reach {
+		t.Errorf("topic reach %.1f inconsistent with total %.1f", plan.TopicReach, plan.Reach)
+	}
+}
+
+func TestGreedySeedsErrors(t *testing.T) {
+	g := testGraph(t, 100)
+	c, _ := NewCascade(g, DefaultCascadeConfig(organ.Heart))
+	if _, err := GreedySeeds(c, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GreedySeeds(c, 5, []int{1, 2}); err == nil {
+		t.Error("too few candidates accepted")
+	}
+}
+
+func BenchmarkCascadeReach(b *testing.B) {
+	g, err := SyntheticGraph(syntheticNodes(5000, 7), DefaultGraphConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := NewCascade(g, DefaultCascadeConfig(organ.Kidney))
+	seeds := TopDegreeSeeds(g, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EstimateReach(seeds)
+	}
+}
+
+func BenchmarkGreedySeeds(b *testing.B) {
+	g, err := SyntheticGraph(syntheticNodes(2000, 7), DefaultGraphConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, _ := NewCascade(g, CascadeConfig{Topic: organ.Kidney, BaseProb: 0.04, AffinityBonus: 0.08, Runs: 16, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedySeeds(c, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

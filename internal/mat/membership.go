@@ -1,0 +1,135 @@
+package mat
+
+import "fmt"
+
+// Membership is a sparse representation of the paper's membership-
+// indicator matrix L (Equations 1 and 2): each of m rows (users) belongs
+// to exactly one of g groups, or to no group (Group = -1, e.g. a user whose
+// state could not be resolved). L_ij = 1 iff Group[i] == j.
+type Membership struct {
+	groups int
+	of     []int // of[i] = group of row i, or -1
+}
+
+// NewMembership builds a Membership over m rows and g groups with every
+// row initially unassigned.
+func NewMembership(m, g int) *Membership {
+	if m <= 0 || g <= 0 {
+		panic(fmt.Sprintf("mat: invalid membership %d rows, %d groups", m, g))
+	}
+	of := make([]int, m)
+	for i := range of {
+		of[i] = -1
+	}
+	return &Membership{groups: g, of: of}
+}
+
+// Assign places row i in group g. Passing g = -1 unassigns the row.
+func (l *Membership) Assign(i, g int) {
+	if i < 0 || i >= len(l.of) {
+		panic(fmt.Sprintf("mat: membership row %d out of %d", i, len(l.of)))
+	}
+	if g < -1 || g >= l.groups {
+		panic(fmt.Sprintf("mat: membership group %d out of %d", g, l.groups))
+	}
+	l.of[i] = g
+}
+
+// Group returns the group of row i, or -1 if unassigned.
+func (l *Membership) Group(i int) int { return l.of[i] }
+
+// Rows returns the number of rows (users).
+func (l *Membership) Rows() int { return len(l.of) }
+
+// Groups returns the number of groups.
+func (l *Membership) Groups() int { return l.groups }
+
+// Sizes returns the number of rows assigned to each group.
+func (l *Membership) Sizes() []int {
+	sz := make([]int, l.groups)
+	for _, g := range l.of {
+		if g >= 0 {
+			sz[g]++
+		}
+	}
+	return sz
+}
+
+// Assigned returns the number of rows assigned to any group.
+func (l *Membership) Assigned() int {
+	n := 0
+	for _, g := range l.of {
+		if g >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Dense materializes L as an m×g dense 0/1 matrix. Intended for tests and
+// for the general-path aggregation; production code uses the sparse form.
+func (l *Membership) Dense() *Matrix {
+	d := New(len(l.of), l.groups)
+	for i, g := range l.of {
+		if g >= 0 {
+			d.Set(i, g, 1)
+		}
+	}
+	return d
+}
+
+// Aggregate computes the paper's Equation 3, K = (LᵀL)⁻¹LᵀÛ, using the
+// structure of a disjoint membership: LᵀL is diagonal with the group sizes
+// on the diagonal, so K is simply the per-group mean of the rows of u.
+// Groups with no members produce an all-zero row and are reported in
+// emptyGroups. Rows of u that are unassigned in l do not contribute.
+func (l *Membership) Aggregate(u *Matrix) (k *Matrix, emptyGroups []int, err error) {
+	if u.Rows() != len(l.of) {
+		return nil, nil, fmt.Errorf("%w: membership has %d rows, matrix has %d", ErrShape, len(l.of), u.Rows())
+	}
+	k = New(l.groups, u.Cols())
+	sizes := make([]int, l.groups)
+	for i, g := range l.of {
+		if g < 0 {
+			continue
+		}
+		sizes[g]++
+		urow := u.RowView(i)
+		krow := k.RowView(g)
+		for j, v := range urow {
+			krow[j] += v
+		}
+	}
+	for g, n := range sizes {
+		if n == 0 {
+			emptyGroups = append(emptyGroups, g)
+			continue
+		}
+		krow := k.RowView(g)
+		inv := 1 / float64(n)
+		for j := range krow {
+			krow[j] *= inv
+		}
+	}
+	return k, emptyGroups, nil
+}
+
+// AggregateGeneral computes Equation 3 literally with dense algebra:
+// K = (LᵀL)⁻¹LᵀÛ. It exists to validate the fast path (Aggregate) and to
+// support non-disjoint membership matrices should they ever be needed.
+// It fails with ErrSingular when some group is empty, because LᵀL is then
+// not invertible — the fast path instead reports such groups explicitly.
+func (l *Membership) AggregateGeneral(u *Matrix) (*Matrix, error) {
+	ld := l.Dense()
+	lt := ld.T()
+	ltl, err := Mul(lt, ld)
+	if err != nil {
+		return nil, err
+	}
+	ltu, err := Mul(lt, u)
+	if err != nil {
+		return nil, err
+	}
+	// Solving (LᵀL)·K = LᵀÛ beats forming the inverse explicitly.
+	return Solve(ltl, ltu)
+}

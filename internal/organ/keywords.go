@@ -1,0 +1,144 @@
+package organ
+
+import "strings"
+
+// The paper's Figure 1 defines the collection filter as the Cartesian
+// product of a set of Context words (organ-donation terms) and a set of
+// Subject words (the organs of interest). A tweet is collected when it
+// contains at least one Context word and at least one Subject word.
+
+// ContextWords returns the organ-donation context vocabulary. These are
+// the donation-related terms; a tweet must contain at least one of them
+// to be considered in the organ-donation context.
+func ContextWords() []string {
+	out := make([]string, len(contextWords))
+	copy(out, contextWords)
+	return out
+}
+
+// contextWords is the Context set from Figure 1: terms that anchor the
+// conversation in organ donation and transplantation.
+var contextWords = []string{
+	"donor",
+	"donors",
+	"donation",
+	"donations",
+	"donate",
+	"donated",
+	"donating",
+	"transplant",
+	"transplants",
+	"transplanted",
+	"transplantation",
+	"recipient",
+	"recipients",
+	"waiting list",
+	"waitlist",
+	"organ failure",
+	"graft",
+}
+
+// SubjectWords returns the organ subject vocabulary: every surface form
+// (singular, plural, and common clinical variants) that maps to one of the
+// six organs.
+func SubjectWords() []string {
+	out := make([]string, 0, len(subjectForms))
+	for _, f := range subjectForms {
+		out = append(out, f.word)
+	}
+	return out
+}
+
+// subjectForm maps a surface form to its organ.
+type subjectForm struct {
+	word  string
+	organ Organ
+}
+
+// subjectForms lists the Subject set from Figure 1 with the surface
+// variants needed to match informal tweet language.
+var subjectForms = []subjectForm{
+	{"heart", Heart},
+	{"hearts", Heart},
+	{"cardiac", Heart},
+	{"kidney", Kidney},
+	{"kidneys", Kidney},
+	{"renal", Kidney},
+	{"liver", Liver},
+	{"livers", Liver},
+	{"hepatic", Liver},
+	{"lung", Lung},
+	{"lungs", Lung},
+	{"pulmonary", Lung},
+	{"pancreas", Pancreas},
+	{"pancreases", Pancreas},
+	{"pancreatic", Pancreas},
+	{"intestine", Intestine},
+	{"intestines", Intestine},
+	{"intestinal", Intestine},
+	{"bowel", Intestine},
+}
+
+// subjectIndex maps every lowercase subject surface form to its organ.
+var subjectIndex = func() map[string]Organ {
+	m := make(map[string]Organ, len(subjectForms))
+	for _, f := range subjectForms {
+		m[f.word] = f.organ
+	}
+	return m
+}()
+
+// SubjectOrgan returns the organ a subject surface form refers to.
+// The lookup is case-insensitive. ok is false when the word is not a
+// subject form.
+func SubjectOrgan(word string) (Organ, bool) {
+	o, ok := subjectIndex[strings.ToLower(word)]
+	return o, ok
+}
+
+// clinicalForms are the clinical/adjectival subject variants, a signal
+// for practitioner language in the user-role analysis.
+var clinicalForms = map[string]bool{
+	"cardiac": true, "renal": true, "hepatic": true,
+	"pulmonary": true, "pancreatic": true, "intestinal": true,
+}
+
+// IsClinicalForm reports whether the subject surface form is the clinical
+// variant (renal, hepatic, ...) rather than the lay word.
+func IsClinicalForm(word string) bool {
+	return clinicalForms[strings.ToLower(word)]
+}
+
+// KeywordPair is one element of the Cartesian product Q = Context × Subject.
+type KeywordPair struct {
+	Context string // donation-context term
+	Subject string // organ surface form
+	Organ   Organ  // organ the subject form refers to
+}
+
+// Keywords returns the full collection filter Q as the Cartesian product of
+// ContextWords and SubjectWords, mirroring Figure 1. The Twitter stream
+// filter treats each pair as a conjunction: a tweet matches Q if it matches
+// at least one pair, i.e. contains that pair's context term and subject
+// term.
+func Keywords() []KeywordPair {
+	out := make([]KeywordPair, 0, len(contextWords)*len(subjectForms))
+	for _, c := range contextWords {
+		for _, s := range subjectForms {
+			out = append(out, KeywordPair{Context: c, Subject: s.word, Organ: s.organ})
+		}
+	}
+	return out
+}
+
+// TrackTerms renders the keyword product in the comma-separated,
+// space-conjoined syntax of the Twitter Stream API "track" parameter:
+// each pair becomes "context subject" and pairs are joined with commas.
+func TrackTerms() string {
+	pairs := Keywords()
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p.Context + " " + p.Subject
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,78 @@
+package organ
+
+// Reference statistics from the OPTN/SRTR 2012 Annual Data Report, the
+// external data the paper validates against (reference [1] in the paper).
+// The paper uses two facts from this report:
+//
+//  1. National transplant counts per organ, against which Twitter organ
+//     popularity correlates at Spearman r = .84 with heart over-ranked
+//     (first on Twitter, third in transplants).
+//  2. Kansas being the only Midwestern state with a surplus of deceased
+//     kidney donors (via Cao et al., Applied Geography 2016), matching
+//     the Kansas kidney-conversation anomaly.
+//
+// Exact report values are not redistributable here; the counts below carry
+// the correct magnitudes and, critically, the correct ranks, which is all
+// the correlation analysis consumes. See DESIGN.md §2 for the substitution
+// rationale.
+
+// TransplantStats holds national 2012 transplant-activity reference values
+// for a single organ.
+type TransplantStats struct {
+	Organ       Organ
+	Transplants int // transplants performed in the USA in 2012
+	Waitlist    int // candidates on the waiting list at year end 2012
+}
+
+// transplants2012 lists national 2012 transplant counts in canonical organ
+// order. Ranks: kidney > liver > heart > lung > pancreas > intestine.
+var transplants2012 = [Count]TransplantStats{
+	{Heart, 2378, 3157},
+	{Kidney, 16890, 60229},
+	{Liver, 6256, 15870},
+	{Lung, 1754, 1616},
+	{Pancreas, 1043, 2467},
+	{Intestine, 106, 259},
+}
+
+// Transplants2012 returns the 2012 national transplant reference counts in
+// canonical organ order.
+func Transplants2012() []TransplantStats {
+	out := make([]TransplantStats, Count)
+	copy(out, transplants2012[:])
+	return out
+}
+
+// TransplantCount returns the 2012 national transplant count for the organ.
+func TransplantCount(o Organ) int { return transplants2012[o.Index()].Transplants }
+
+// TransplantCounts returns the 2012 transplant counts as a float slice in
+// canonical organ order, convenient for correlation analysis.
+func TransplantCounts() []float64 {
+	out := make([]float64, Count)
+	for i, s := range transplants2012 {
+		out[i] = float64(s.Transplants)
+	}
+	return out
+}
+
+// DualTransplantPairs lists the organ pairs the paper singles out as the
+// most common dual (simultaneous) transplants: heart–kidney, liver–kidney,
+// and kidney–pancreas. The synthetic generator uses these to couple organ
+// interests, and the Figure 3 analysis checks that the co-mention
+// structure reflects them.
+func DualTransplantPairs() [][2]Organ {
+	return [][2]Organ{
+		{Heart, Kidney},
+		{Liver, Kidney},
+		{Kidney, Pancreas},
+	}
+}
+
+// KidneyDonorSurplusStates lists the states reported (Cao, Stewart & Kalil
+// 2016) as having a surplus of deceased kidney donors relative to demand.
+// Kansas is the only such state in the Midwest, which the paper matches
+// against its kidney-conversation anomaly.
+func KidneyDonorSurplusStates() []string {
+	return []string{"KS"}
+}

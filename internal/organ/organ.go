@@ -1,0 +1,90 @@
+// Package organ defines the solid-organ taxonomy used throughout
+// donorsense, the organ-donation keyword set collected from the paper's
+// Figure 1 (the Cartesian product of Context and Subject terms), and the
+// OPTN/SRTR reference statistics the paper validates against.
+//
+// The paper characterizes conversations about the six major solid organs
+// transplanted in the United States: heart, kidney, liver, lung, pancreas,
+// and intestine. Every other package refers to organs through the Organ
+// type defined here so that matrix column order, histogram order, and
+// report order stay consistent.
+package organ
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Organ identifies one of the six major solid organs the paper tracks.
+// The zero value is Heart; the ordering is fixed and is used as the column
+// order of every attention matrix in the system.
+type Organ int
+
+// The six major solid organs transplanted in the USA, in canonical column
+// order. The order matches the paper's Figure 3 color legend (heart,
+// kidney, liver, lung, pancreas, intestine).
+const (
+	Heart Organ = iota
+	Kidney
+	Liver
+	Lung
+	Pancreas
+	Intestine
+)
+
+// Count is the number of organs in the taxonomy.
+const Count = 6
+
+// All returns the organs in canonical column order.
+func All() []Organ {
+	return []Organ{Heart, Kidney, Liver, Lung, Pancreas, Intestine}
+}
+
+var names = [Count]string{"heart", "kidney", "liver", "lung", "pancreas", "intestine"}
+
+// String returns the lowercase English name of the organ.
+func (o Organ) String() string {
+	if o < 0 || int(o) >= Count {
+		return fmt.Sprintf("organ(%d)", int(o))
+	}
+	return names[o]
+}
+
+// Valid reports whether o is one of the six known organs.
+func (o Organ) Valid() bool { return o >= 0 && int(o) < Count }
+
+// Index returns the matrix column index of the organ. It panics if the
+// organ is invalid, because an invalid organ reaching matrix code is a
+// programming error, not a data error.
+func (o Organ) Index() int {
+	if !o.Valid() {
+		panic(fmt.Sprintf("organ: invalid organ %d", int(o)))
+	}
+	return int(o)
+}
+
+// Parse returns the organ named by s (case-insensitive, singular or
+// plural). It reports ok=false for unknown names.
+func Parse(s string) (Organ, bool) {
+	o, ok := subjectIndex[strings.ToLower(strings.TrimSpace(s))]
+	return o, ok
+}
+
+// MustParse is like Parse but panics on unknown names. It is intended for
+// package initialization and tests.
+func MustParse(s string) Organ {
+	o, ok := Parse(s)
+	if !ok {
+		panic(fmt.Sprintf("organ: unknown organ %q", s))
+	}
+	return o
+}
+
+// Names returns the canonical organ names in column order.
+func Names() []string {
+	out := make([]string, Count)
+	for i, o := range All() {
+		out[i] = o.String()
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package organ
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllOrder(t *testing.T) {
+	got := All()
+	want := []Organ{Heart, Kidney, Liver, Lung, Pancreas, Intestine}
+	if len(got) != len(want) {
+		t.Fatalf("All() length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("All()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		o    Organ
+		want string
+	}{
+		{Heart, "heart"},
+		{Kidney, "kidney"},
+		{Liver, "liver"},
+		{Lung, "lung"},
+		{Pancreas, "pancreas"},
+		{Intestine, "intestine"},
+		{Organ(-1), "organ(-1)"},
+		{Organ(99), "organ(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Organ(%d).String() = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, o := range All() {
+		if !o.Valid() {
+			t.Errorf("%v.Valid() = false, want true", o)
+		}
+	}
+	for _, o := range []Organ{-1, Count, 100} {
+		if o.Valid() {
+			t.Errorf("Organ(%d).Valid() = true, want false", int(o))
+		}
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	for i, o := range All() {
+		if o.Index() != i {
+			t.Errorf("%v.Index() = %d, want %d", o, o.Index(), i)
+		}
+	}
+}
+
+func TestIndexPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index() on invalid organ did not panic")
+		}
+	}()
+	Organ(42).Index()
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in     string
+		want   Organ
+		wantOK bool
+	}{
+		{"heart", Heart, true},
+		{"Heart", Heart, true},
+		{"HEARTS", Heart, true},
+		{"kidneys", Kidney, true},
+		{"renal", Kidney, true},
+		{"hepatic", Liver, true},
+		{"  lung  ", Lung, true},
+		{"pulmonary", Lung, true},
+		{"pancreatic", Pancreas, true},
+		{"bowel", Intestine, true},
+		{"spleen", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := Parse(tt.in)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("Parse(%q) = %v, %v; want %v, %v", tt.in, got, ok, tt.want, tt.wantOK)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on unknown organ did not panic")
+		}
+	}()
+	MustParse("appendix")
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"heart", "kidney", "liver", "lung", "pancreas", "intestine"}
+	got := Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsIsCartesianProduct(t *testing.T) {
+	ks := Keywords()
+	wantLen := len(ContextWords()) * len(SubjectWords())
+	if len(ks) != wantLen {
+		t.Fatalf("len(Keywords()) = %d, want %d", len(ks), wantLen)
+	}
+	// Every pair must be unique and carry the right organ mapping.
+	seen := make(map[string]bool, len(ks))
+	for _, k := range ks {
+		key := k.Context + "\x00" + k.Subject
+		if seen[key] {
+			t.Errorf("duplicate keyword pair %q + %q", k.Context, k.Subject)
+		}
+		seen[key] = true
+		o, ok := SubjectOrgan(k.Subject)
+		if !ok || o != k.Organ {
+			t.Errorf("pair %q+%q maps to %v, SubjectOrgan gives %v (ok=%v)", k.Context, k.Subject, k.Organ, o, ok)
+		}
+	}
+}
+
+func TestSubjectOrganCaseInsensitive(t *testing.T) {
+	if o, ok := SubjectOrgan("KIDNEYS"); !ok || o != Kidney {
+		t.Errorf("SubjectOrgan(KIDNEYS) = %v, %v; want Kidney, true", o, ok)
+	}
+	if _, ok := SubjectOrgan("cornea"); ok {
+		t.Error("SubjectOrgan(cornea) matched; want no match")
+	}
+}
+
+func TestEveryOrganHasSubjectForms(t *testing.T) {
+	covered := make(map[Organ]bool)
+	for _, w := range SubjectWords() {
+		o, ok := SubjectOrgan(w)
+		if !ok {
+			t.Fatalf("SubjectWords contains %q which SubjectOrgan rejects", w)
+		}
+		covered[o] = true
+	}
+	for _, o := range All() {
+		if !covered[o] {
+			t.Errorf("organ %v has no subject surface forms", o)
+		}
+	}
+}
+
+func TestTrackTerms(t *testing.T) {
+	s := TrackTerms()
+	pairs := strings.Split(s, ",")
+	if len(pairs) != len(Keywords()) {
+		t.Fatalf("TrackTerms has %d comma-separated pairs, want %d", len(pairs), len(Keywords()))
+	}
+	for _, p := range pairs[:5] {
+		if !strings.Contains(p, " ") {
+			t.Errorf("track pair %q lacks space conjunction", p)
+		}
+	}
+}
+
+func TestTransplants2012RanksMatchOPTN(t *testing.T) {
+	// The well-known 2012 ordering: kidney > liver > heart > lung >
+	// pancreas > intestine.
+	c := func(o Organ) int { return TransplantCount(o) }
+	if !(c(Kidney) > c(Liver) && c(Liver) > c(Heart) && c(Heart) > c(Lung) &&
+		c(Lung) > c(Pancreas) && c(Pancreas) > c(Intestine)) {
+		t.Errorf("transplant count ranks wrong: %v", TransplantCounts())
+	}
+}
+
+func TestTransplantCountsOrder(t *testing.T) {
+	counts := TransplantCounts()
+	if len(counts) != Count {
+		t.Fatalf("len(TransplantCounts()) = %d, want %d", len(counts), Count)
+	}
+	for i, s := range Transplants2012() {
+		if counts[i] != float64(s.Transplants) {
+			t.Errorf("TransplantCounts()[%d] = %v, want %v", i, counts[i], s.Transplants)
+		}
+		if s.Organ != All()[i] {
+			t.Errorf("Transplants2012()[%d].Organ = %v, want %v", i, s.Organ, All()[i])
+		}
+	}
+}
+
+func TestDualTransplantPairs(t *testing.T) {
+	pairs := DualTransplantPairs()
+	if len(pairs) != 3 {
+		t.Fatalf("len(DualTransplantPairs()) = %d, want 3", len(pairs))
+	}
+	// Kidney participates in all three pairs the paper lists.
+	for _, p := range pairs {
+		if p[0] != Kidney && p[1] != Kidney {
+			t.Errorf("pair %v/%v does not involve kidney", p[0], p[1])
+		}
+	}
+}
+
+func TestKidneyDonorSurplusStates(t *testing.T) {
+	got := KidneyDonorSurplusStates()
+	if len(got) != 1 || got[0] != "KS" {
+		t.Errorf("KidneyDonorSurplusStates() = %v, want [KS]", got)
+	}
+}

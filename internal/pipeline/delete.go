@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"donorsense/internal/organ"
+)
+
+// Twitter's terms require collectors to honor status-deletion notices:
+// when a {"delete": ...} control message arrives, the tweet must be
+// removed from downstream stores. With TrackDeletions enabled the
+// dataset keeps a compact per-status record of each retained tweet's
+// contribution so Delete can reverse it exactly.
+
+// tweetContribution records what one retained US tweet added to the
+// dataset, enough to subtract it again.
+type tweetContribution struct {
+	userID    int64
+	mentions  [organ.Count]int8
+	clinical  int8
+	hashtags  int8
+	distinct  int8
+	geoTagged bool
+}
+
+// TrackDeletions switches on per-status contribution tracking. It must be
+// called before processing begins; enabling it mid-stream would leave
+// earlier tweets undeletable.
+func (d *Dataset) TrackDeletions() {
+	if d.contributions == nil {
+		d.contributions = make(map[int64]tweetContribution)
+	}
+}
+
+// DeletionTrackingEnabled reports whether TrackDeletions was called.
+func (d *Dataset) DeletionTrackingEnabled() bool { return d.contributions != nil }
+
+// Delete honors a status-deletion notice: if the status was retained, its
+// contribution is reversed — counters, the user's mention vector, and the
+// Figure 2(b) histogram. Users whose last tweet is deleted are removed
+// entirely. It reports whether the status was known.
+//
+// The collection window (first/last timestamps) is not rewound: the
+// paper's Table I window describes when collection ran, not which tweets
+// survived.
+func (d *Dataset) Delete(statusID int64) bool {
+	c, ok := d.contributions[statusID]
+	if !ok {
+		return false
+	}
+	delete(d.contributions, statusID)
+
+	d.usTweets--
+	d.totalCollected--
+	if c.geoTagged {
+		d.geoTagged--
+	}
+	d.organsPerTweet[int(c.distinct)]--
+	d.mentionSum -= int(c.distinct)
+
+	u := d.users[c.userID]
+	if u == nil {
+		return true // user already gone (should not happen)
+	}
+	u.Tweets--
+	u.ClinicalMentions -= int(c.clinical)
+	u.Hashtags -= int(c.hashtags)
+	for i, m := range c.mentions {
+		u.Mentions[i] -= int(m)
+	}
+	if u.Tweets <= 0 {
+		delete(d.users, c.userID)
+	}
+	return true
+}
+
+// recordContribution stores the reversal record for a retained tweet.
+func (d *Dataset) recordContribution(statusID int64, userID int64, mentions [organ.Count]int, clinical, hashtags, distinct int, geoTagged bool) {
+	if d.contributions == nil {
+		return
+	}
+	c := tweetContribution{
+		userID:    userID,
+		clinical:  clampInt8(clinical),
+		hashtags:  clampInt8(hashtags),
+		distinct:  int8(distinct),
+		geoTagged: geoTagged,
+	}
+	for i, m := range mentions {
+		c.mentions[i] = clampInt8(m)
+	}
+	d.contributions[statusID] = c
+}
+
+func clampInt8(v int) int8 {
+	if v > 127 {
+		return 127
+	}
+	return int8(v)
+}

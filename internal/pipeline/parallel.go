@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+// The expensive stages of Process — tokenizing/extracting the text and
+// geocoding the location — are pure, so they parallelize cleanly. The
+// fold into Dataset state stays single-threaded. ProcessAll shards the
+// expensive work across workers and preserves the exact semantics (and,
+// because folding happens in input order, the exact resulting state) of
+// calling Process sequentially.
+
+// prepared carries the precomputed expensive parts of one tweet.
+type prepared struct {
+	ex        text.Extraction
+	loc       geo.Location
+	viaGeoTag bool
+}
+
+// ProcessAll runs the corpus through the dataset using the given number
+// of workers for extraction and geocoding (0 means GOMAXPROCS). It
+// returns the per-outcome counts. The dataset must not be used
+// concurrently with this call.
+func (d *Dataset) ProcessAll(tweets []twitter.Tweet, workers int) (rejected, nonUS, us int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(tweets) < 256 {
+		for _, t := range tweets {
+			switch d.Process(t) {
+			case Rejected:
+				rejected++
+			case CollectedNonUS:
+				nonUS++
+			case CollectedUS:
+				us++
+			}
+		}
+		return rejected, nonUS, us
+	}
+
+	preps := make([]prepared, len(tweets))
+	var wg sync.WaitGroup
+	chunk := (len(tweets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(tweets) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(tweets) {
+			hi = len(tweets)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Per-worker extractor and geocode cache: no shared mutable
+			// state on the hot path.
+			ex := text.NewExtractor()
+			gc := geo.NewGeocoder()
+			cache := make(map[string]geo.Location)
+			for i := lo; i < hi; i++ {
+				t := tweets[i]
+				p := prepared{ex: ex.Extract(t.Text)}
+				if t.Coordinates != nil {
+					if l, ok := gc.Reverse(t.Coordinates.Lat, t.Coordinates.Lon); ok {
+						p.loc, p.viaGeoTag = l, true
+					}
+				} else {
+					l, ok := cache[t.User.Location]
+					if !ok {
+						l = gc.Locate(t.User.Location)
+						cache[t.User.Location] = l
+					}
+					p.loc = l
+				}
+				preps[i] = p
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Serial fold, in input order.
+	for i, t := range tweets {
+		switch d.fold(t, preps[i]) {
+		case Rejected:
+			rejected++
+		case CollectedNonUS:
+			nonUS++
+		case CollectedUS:
+			us++
+		}
+	}
+	return rejected, nonUS, us
+}
+
+// fold applies a prepared tweet to the dataset state; it mirrors Process
+// exactly but skips the recomputation of extraction and location.
+func (d *Dataset) fold(t twitter.Tweet, p prepared) Outcome {
+	if !p.ex.InContext() {
+		return Rejected
+	}
+	d.totalCollected++
+	if !p.loc.IsUSState() {
+		return CollectedNonUS
+	}
+	d.usTweets++
+	if p.viaGeoTag {
+		d.geoTagged++
+	}
+	if d.firstTweet.IsZero() || t.CreatedAt.Before(d.firstTweet) {
+		d.firstTweet = t.CreatedAt
+	}
+	if t.CreatedAt.After(d.lastTweet) {
+		d.lastTweet = t.CreatedAt
+	}
+	u := d.users[t.User.ID]
+	if u == nil {
+		u = &UserRecord{ID: t.User.ID, StateCode: p.loc.StateCode, GeoTagged: p.viaGeoTag}
+		d.users[t.User.ID] = u
+	}
+	u.Tweets++
+	u.ClinicalMentions += p.ex.ClinicalMentions
+	u.Hashtags += p.ex.Hashtags
+	distinct := 0
+	for i, m := range p.ex.Mentions {
+		u.Mentions[i] += m
+		if m > 0 {
+			distinct++
+		}
+	}
+	d.organsPerTweet[distinct]++
+	d.mentionSum += distinct
+	d.recordContribution(t.ID, t.User.ID, p.ex.Mentions, p.ex.ClinicalMentions, p.ex.Hashtags, distinct, p.viaGeoTag)
+	if d.OnUSTweet != nil {
+		d.OnUSTweet(t, p.ex)
+	}
+	return CollectedUS
+}

@@ -1,0 +1,115 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+// TestProcessAllMatchesSequential: the parallel front-end must produce a
+// bit-identical dataset to sequential Process.
+func TestProcessAllMatchesSequential(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.01))
+
+	seq := NewDataset()
+	var seqRej, seqNonUS, seqUS int
+	for _, tw := range corpus.Tweets {
+		switch seq.Process(tw) {
+		case Rejected:
+			seqRej++
+		case CollectedNonUS:
+			seqNonUS++
+		case CollectedUS:
+			seqUS++
+		}
+	}
+
+	par := NewDataset()
+	rej, nonUS, us := par.ProcessAll(corpus.Tweets, 4)
+
+	if rej != seqRej || nonUS != seqNonUS || us != seqUS {
+		t.Fatalf("outcome counts differ: parallel (%d,%d,%d) vs sequential (%d,%d,%d)",
+			rej, nonUS, us, seqRej, seqNonUS, seqUS)
+	}
+	if par.Users() != seq.Users() || par.USTweets() != seq.USTweets() ||
+		par.TotalCollected() != seq.TotalCollected() || par.GeoTagged() != seq.GeoTagged() {
+		t.Fatal("aggregate counters differ")
+	}
+	if !reflect.DeepEqual(par.Stats(), seq.Stats()) {
+		t.Errorf("stats differ:\n%+v\n%+v", par.Stats(), seq.Stats())
+	}
+	if par.UsersPerOrgan() != seq.UsersPerOrgan() {
+		t.Error("users-per-organ differ")
+	}
+	pt, pu := par.MultiOrganHistogram()
+	st, su := seq.MultiOrganHistogram()
+	if pt != st || pu != su {
+		t.Error("multi-organ histograms differ")
+	}
+	// Per-user records identical.
+	seq.EachUser(func(u *UserRecord) {
+		pu := par.users[u.ID]
+		if pu == nil || *pu != *u {
+			t.Fatalf("user %d differs: %+v vs %+v", u.ID, pu, u)
+		}
+	})
+}
+
+func TestProcessAllWorkerCounts(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.005))
+	want := NewDataset()
+	want.ProcessAll(corpus.Tweets, 1)
+	for _, workers := range []int{0, 2, 3, 8} {
+		d := NewDataset()
+		d.ProcessAll(corpus.Tweets, workers)
+		if d.Users() != want.Users() || d.USTweets() != want.USTweets() {
+			t.Errorf("workers=%d: %d users / %d tweets, want %d / %d",
+				workers, d.Users(), d.USTweets(), want.Users(), want.USTweets())
+		}
+	}
+}
+
+func TestProcessAllEmptyAndTiny(t *testing.T) {
+	d := NewDataset()
+	if r, n, u := d.ProcessAll(nil, 4); r+n+u != 0 {
+		t.Error("empty corpus produced outcomes")
+	}
+	corpus := gen.Generate(gen.DefaultConfig(0.001))
+	small := corpus.Tweets[:10]
+	d2 := NewDataset()
+	r, n, u := d2.ProcessAll(small, 4)
+	if r+n+u != 10 {
+		t.Errorf("outcomes %d+%d+%d != 10", r, n, u)
+	}
+}
+
+func TestProcessAllInvokesHook(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.005))
+	d := NewDataset()
+	hooked := 0
+	d.OnUSTweet = func(tw twitter.Tweet, ex text.Extraction) { hooked++ }
+	_, _, us := d.ProcessAll(corpus.Tweets, 4)
+	if hooked != us {
+		t.Errorf("hook fired %d times for %d US tweets", hooked, us)
+	}
+}
+
+func BenchmarkProcessAll(b *testing.B) {
+	corpus := gen.Generate(gen.DefaultConfig(0.02))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := NewDataset()
+				d.ProcessAll(corpus.Tweets, workers)
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return "workers-" + string(rune('0'+workers))
+}

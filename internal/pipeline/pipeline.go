@@ -1,0 +1,251 @@
+// Package pipeline orchestrates the paper's three-step processing
+// (§III-A): tweets are collected through the keyword filter, augmented
+// with a location (GPS geo-tag when present, otherwise the geocoded
+// profile location), and filtered again to retain USA users. On top of
+// the retained set it builds the user-attention matrix and the dataset
+// statistics of Table I and Figure 2.
+//
+// Processing is incremental: feed tweets one at a time (or from a stream
+// channel via Collect) and snapshot statistics at any point — the
+// "real-time social sensor" mode the paper's conclusion envisions.
+package pipeline
+
+import (
+	"context"
+	"time"
+
+	"donorsense/internal/core"
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+// Outcome classifies what happened to one processed tweet.
+type Outcome int
+
+// Processing outcomes.
+const (
+	// Rejected: the tweet does not satisfy the Context × Subject
+	// predicate (it should have been stopped by the stream filter; the
+	// pipeline re-checks defensively).
+	Rejected Outcome = iota
+	// CollectedNonUS: in context, but the user could not be located to a
+	// US state.
+	CollectedNonUS
+	// CollectedUS: in context and located to a US state; contributes to
+	// the dataset.
+	CollectedUS
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Rejected:
+		return "rejected"
+	case CollectedNonUS:
+		return "collected-non-us"
+	case CollectedUS:
+		return "collected-us"
+	}
+	return "outcome(?)"
+}
+
+// UserRecord aggregates everything the dataset retains about one US user.
+type UserRecord struct {
+	ID        int64
+	StateCode string
+	// GeoTagged reports whether the state came from a GPS geo-tag rather
+	// than the profile location.
+	GeoTagged bool
+	Tweets    int
+	Mentions  [organ.Count]int
+	// ClinicalMentions counts organ mentions using clinical variants
+	// (renal, hepatic, ...), and Hashtags counts hashtag tokens — the
+	// behavioural signals the user-role analysis consumes.
+	ClinicalMentions int
+	Hashtags         int
+}
+
+// DistinctOrgans returns how many different organs the user mentioned.
+func (u *UserRecord) DistinctOrgans() int {
+	n := 0
+	for _, m := range u.Mentions {
+		if m > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Dataset is the incrementally-built collection state. It is not safe for
+// concurrent mutation; Collect owns it while running.
+type Dataset struct {
+	extractor *text.Extractor
+	geocoder  *geo.Geocoder
+
+	// locCache memoizes profile-location geocoding; profile strings
+	// repeat heavily across tweets of the same user.
+	locCache map[string]geo.Location
+
+	users map[int64]*UserRecord
+
+	totalCollected int // in-context tweets, US or not
+	usTweets       int
+	geoTagged      int // US tweets located via GPS
+
+	firstTweet, lastTweet time.Time
+
+	// organsPerTweet[k] = number of US tweets mentioning exactly k
+	// distinct organs (k >= 1), for Figure 2(b).
+	organsPerTweet map[int]int
+	mentionSum     int // total distinct-organ mentions across US tweets
+
+	// OnUSTweet, when set, is invoked for every retained US tweet with
+	// its extraction — the hook downstream consumers (e.g. the temporal
+	// sensor) use to observe the stream without re-parsing it.
+	OnUSTweet func(t twitter.Tweet, ex text.Extraction)
+
+	// contributions, when non-nil (TrackDeletions), maps retained status
+	// IDs to their reversal records for delete-notice compliance.
+	contributions map[int64]tweetContribution
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{
+		extractor:      text.NewExtractor(),
+		geocoder:       geo.NewGeocoder(),
+		locCache:       make(map[string]geo.Location),
+		users:          make(map[int64]*UserRecord),
+		organsPerTweet: make(map[int]int),
+	}
+}
+
+// Process runs one tweet through collect → augment → filter and folds it
+// into the dataset. It returns what happened to the tweet.
+func (d *Dataset) Process(t twitter.Tweet) Outcome {
+	ex := d.extractor.Extract(t.Text)
+	if !ex.InContext() {
+		return Rejected
+	}
+	d.totalCollected++
+
+	loc, viaGeoTag := d.locate(t)
+	if !loc.IsUSState() {
+		return CollectedNonUS
+	}
+
+	d.usTweets++
+	if viaGeoTag {
+		d.geoTagged++
+	}
+	if d.firstTweet.IsZero() || t.CreatedAt.Before(d.firstTweet) {
+		d.firstTweet = t.CreatedAt
+	}
+	if t.CreatedAt.After(d.lastTweet) {
+		d.lastTweet = t.CreatedAt
+	}
+
+	u := d.users[t.User.ID]
+	if u == nil {
+		u = &UserRecord{ID: t.User.ID, StateCode: loc.StateCode, GeoTagged: viaGeoTag}
+		d.users[t.User.ID] = u
+	}
+	u.Tweets++
+	u.ClinicalMentions += ex.ClinicalMentions
+	u.Hashtags += ex.Hashtags
+	distinct := 0
+	for i, m := range ex.Mentions {
+		u.Mentions[i] += m
+		if m > 0 {
+			distinct++
+		}
+	}
+	d.organsPerTweet[distinct]++
+	d.mentionSum += distinct
+	d.recordContribution(t.ID, t.User.ID, ex.Mentions, ex.ClinicalMentions, ex.Hashtags, distinct, viaGeoTag)
+	if d.OnUSTweet != nil {
+		d.OnUSTweet(t, ex)
+	}
+	return CollectedUS
+}
+
+// locate augments the tweet with a location: the GPS geo-tag wins when
+// present (precise but rare); otherwise the self-reported profile
+// location is geocoded (cached by string).
+func (d *Dataset) locate(t twitter.Tweet) (loc geo.Location, viaGeoTag bool) {
+	if t.Coordinates != nil {
+		if l, ok := d.geocoder.Reverse(t.Coordinates.Lat, t.Coordinates.Lon); ok {
+			return l, true
+		}
+		// A geo-tag outside the USA is decisive even if the profile
+		// claims otherwise.
+		return geo.Location{}, false
+	}
+	raw := t.User.Location
+	if l, ok := d.locCache[raw]; ok {
+		return l, false
+	}
+	l := d.geocoder.Locate(raw)
+	d.locCache[raw] = l
+	return l, false
+}
+
+// Collect drains tweets from the channel into the dataset until the
+// channel closes or the context is cancelled. It returns the number of
+// tweets processed.
+func (d *Dataset) Collect(ctx context.Context, tweets <-chan twitter.Tweet) int {
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return n
+		case t, ok := <-tweets:
+			if !ok {
+				return n
+			}
+			d.Process(t)
+			n++
+		}
+	}
+}
+
+// Users returns the number of retained US users.
+func (d *Dataset) Users() int { return len(d.users) }
+
+// USTweets returns the number of retained US tweets.
+func (d *Dataset) USTweets() int { return d.usTweets }
+
+// TotalCollected returns all in-context tweets seen, US or not.
+func (d *Dataset) TotalCollected() int { return d.totalCollected }
+
+// GeoTagged returns how many retained US tweets were located via GPS.
+func (d *Dataset) GeoTagged() int { return d.geoTagged }
+
+// StateOf returns the userID → state map the characterization consumes.
+func (d *Dataset) StateOf() map[int64]string {
+	out := make(map[int64]string, len(d.users))
+	for id, u := range d.users {
+		out[id] = u.StateCode
+	}
+	return out
+}
+
+// BuildAttention constructs the normalized attention matrix Û over the
+// retained users.
+func (d *Dataset) BuildAttention() (*core.Attention, error) {
+	b := core.NewAttentionBuilder()
+	for id, u := range d.users {
+		b.Observe(id, u.Mentions)
+	}
+	return b.Build()
+}
+
+// EachUser calls fn for every retained user. Iteration order is
+// unspecified.
+func (d *Dataset) EachUser(fn func(*UserRecord)) {
+	for _, u := range d.users {
+		fn(u)
+	}
+}

@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"sort"
+	"time"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/stats"
+)
+
+// TableI is the dataset-statistics summary of the paper's Table I.
+type TableI struct {
+	Start, End       time.Time
+	Days             int
+	TweetsCollected  int     // US tweets retained (the paper's 134,986)
+	TotalCollected   int     // all in-context tweets (the paper's 975,021)
+	Users            int     // US users (the paper's 71,947)
+	AvgTweetsPerDay  float64 // ≈350
+	AvgTweetsPerUser float64 // ≈1.88
+	OrgansPerTweet   float64 // ≈1.03
+	OrgansPerUser    float64 // ≈1.13
+	GeoTagRate       float64 // fraction of retained tweets located by GPS (≈0.014)
+}
+
+// Stats summarizes the dataset in Table I form. Day count is derived from
+// the observed tweet span (inclusive of both end days).
+func (d *Dataset) Stats() TableI {
+	t := TableI{
+		Start:           d.firstTweet,
+		End:             d.lastTweet,
+		TweetsCollected: d.usTweets,
+		TotalCollected:  d.totalCollected,
+		Users:           len(d.users),
+	}
+	if !d.firstTweet.IsZero() {
+		t.Days = int(d.lastTweet.Sub(d.firstTweet).Hours()/24) + 1
+	}
+	if t.Days > 0 {
+		t.AvgTweetsPerDay = float64(d.usTweets) / float64(t.Days)
+	}
+	if t.Users > 0 {
+		t.AvgTweetsPerUser = float64(d.usTweets) / float64(t.Users)
+	}
+	if d.usTweets > 0 {
+		t.OrgansPerTweet = float64(d.mentionSum) / float64(d.usTweets)
+		t.GeoTagRate = float64(d.geoTagged) / float64(d.usTweets)
+	}
+	if t.Users > 0 {
+		total := 0
+		for _, u := range d.users {
+			total += u.DistinctOrgans()
+		}
+		t.OrgansPerUser = float64(total) / float64(t.Users)
+	}
+	return t
+}
+
+// UsersPerOrgan counts the distinct users mentioning each organ —
+// Figure 2(a), the organ "popularity" histogram.
+func (d *Dataset) UsersPerOrgan() [organ.Count]int {
+	var out [organ.Count]int
+	for _, u := range d.users {
+		for i, m := range u.Mentions {
+			if m > 0 {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// MultiOrganHistogram returns, for k = 1..6, the number of US tweets and
+// the number of US users mentioning exactly k distinct organs —
+// Figure 2(b). Index 0 corresponds to k = 1.
+func (d *Dataset) MultiOrganHistogram() (tweets, users [organ.Count]int) {
+	for k, n := range d.organsPerTweet {
+		if k >= 1 && k <= organ.Count {
+			tweets[k-1] = n
+		}
+	}
+	for _, u := range d.users {
+		k := u.DistinctOrgans()
+		if k >= 1 && k <= organ.Count {
+			users[k-1]++
+		}
+	}
+	return tweets, users
+}
+
+// PopularityCorrelation computes the Spearman rank correlation between
+// the per-organ user counts (Figure 2a) and the OPTN 2012 national
+// transplant counts — the paper's r = .84 validation.
+func (d *Dataset) PopularityCorrelation() (stats.SpearmanResult, error) {
+	counts := d.UsersPerOrgan()
+	x := make([]float64, organ.Count)
+	for i, c := range counts {
+		x[i] = float64(c)
+	}
+	return stats.Spearman(x, organ.TransplantCounts())
+}
+
+// PopularityRank returns the organs ordered by descending user count,
+// ties broken by canonical order.
+func (d *Dataset) PopularityRank() []organ.Organ {
+	counts := d.UsersPerOrgan()
+	order := organ.All()
+	sort.SliceStable(order, func(i, j int) bool {
+		return counts[order[i].Index()] > counts[order[j].Index()]
+	})
+	return order
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/influence"
+	"donorsense/internal/organ"
+	"donorsense/internal/roles"
+	"donorsense/internal/temporal"
+)
+
+// sparkRunes render a small time series inline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders an integer series as a unicode sparkline, scaled to
+// the series maximum.
+func Sparkline(series []int) string {
+	max := 0
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(string(sparkRunes[0]), len(series))
+	}
+	var b strings.Builder
+	for _, v := range series {
+		i := v * (len(sparkRunes) - 1) / max
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// TemporalText renders weekly per-organ sparklines and the detected
+// bursts — the real-time-sensor extension view.
+func TemporalText(s *temporal.Series, bursts []temporal.Burst) string {
+	var b strings.Builder
+	b.WriteString("Temporal sensor: weekly volume per organ\n")
+	for _, o := range organ.All() {
+		daily := s.OrganSeries(o)
+		weekly := make([]int, (len(daily)+6)/7)
+		for d, n := range daily {
+			weekly[d/7] += n
+		}
+		fmt.Fprintf(&b, "  %-10s %s\n", o, Sparkline(weekly))
+	}
+	if len(bursts) == 0 {
+		b.WriteString("  no bursts detected\n")
+		return b.String()
+	}
+	b.WriteString("Detected bursts:\n")
+	for _, burst := range bursts {
+		start := s.Start().AddDate(0, 0, burst.StartDay)
+		end := s.Start().AddDate(0, 0, burst.EndDay)
+		fmt.Fprintf(&b, "  %-10s %s – %s  peak %d/day (z=%.1f)\n",
+			burst.Organ, start.Format("Jan 02 2006"), end.Format("Jan 02 2006"), burst.Peak, burst.Z)
+	}
+	return b.String()
+}
+
+// RoleEvaluationText renders the role-recovery confusion matrix and
+// per-class metrics.
+func RoleEvaluationText(ev roles.Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "User-role recovery (Gaussian naive Bayes, n=%d): accuracy %.3f\n", ev.N, ev.Accuracy)
+	b.WriteString("  true \\ predicted ")
+	for c := 0; c < len(ev.Confusion); c++ {
+		fmt.Fprintf(&b, "%14s", gen.Role(c))
+	}
+	b.WriteString("    recall  precision\n")
+	for c, row := range ev.Confusion {
+		fmt.Fprintf(&b, "  %-16s", gen.Role(c))
+		for _, n := range row {
+			fmt.Fprintf(&b, "%14d", n)
+		}
+		fmt.Fprintf(&b, "  %8.3f %10.3f\n", ev.Recall[c], ev.Precision[c])
+	}
+	return b.String()
+}
+
+// CorrectionComparisonText renders how many Figure 5 highlights survive
+// each multiple-testing correction.
+func CorrectionComparisonText(counts map[string]int) string {
+	var b strings.Builder
+	b.WriteString("Figure 5 highlights under multiple-testing correction:\n")
+	for _, name := range []string{"none", "benjamini-hochberg", "bonferroni"} {
+		if n, ok := counts[name]; ok {
+			fmt.Fprintf(&b, "  %-20s %d (state, organ) pairs\n", name, n)
+		}
+	}
+	return b.String()
+}
+
+// InfluencePlanText renders a campaign plan comparison.
+func InfluencePlanText(topic organ.Organ, g *influence.Graph, plan *influence.CampaignPlan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Influence campaign plan (%s) over a %d-user, %d-edge follower graph:\n",
+		topic, g.Nodes(), g.Edges())
+	fmt.Fprintf(&b, "  greedy seeds:      reach %.0f users (%.0f %s-interested)\n",
+		plan.Reach, plan.TopicReach, topic)
+	fmt.Fprintf(&b, "  top-degree seeds:  reach %.0f\n", plan.DegreeReach)
+	fmt.Fprintf(&b, "  random seeds:      reach %.0f\n", plan.RandomReach)
+	for _, s := range plan.Seeds {
+		n := g.Node(s)
+		fmt.Fprintf(&b, "    seed %d (%s, %s, %d followers)\n", n.UserID, n.StateCode, n.Primary, g.OutDegree(s))
+	}
+	return b.String()
+}

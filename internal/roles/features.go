@@ -1,0 +1,82 @@
+// Package roles implements the user-class analysis the paper's
+// conclusion proposes: differentiating "health care practitioners,
+// donors, waiting-list candidates, organ donation advocacy agencies"
+// from behaviour alone. It extracts behavioural features from pipeline
+// user records, trains a Gaussian naive Bayes classifier, and evaluates
+// how recoverable the classes are — including how well the paper's
+// Figure 7 K-Means clusters align with them.
+package roles
+
+import (
+	"math"
+	"sort"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/pipeline"
+)
+
+// NumFeatures is the dimensionality of the feature vector.
+const NumFeatures = organ.Count + 4
+
+// Features is a user's behavioural feature vector:
+//
+//	[0..5]  attention distribution over the six organs
+//	[6]     log1p(tweet count)          — activity
+//	[7]     distinct organs mentioned    — breadth
+//	[8]     clinical-term share          — practitioner language
+//	[9]     hashtags per tweet           — campaign language
+type Features [NumFeatures]float64
+
+// Extract builds the feature vector from a pipeline user record.
+func Extract(u *pipeline.UserRecord) Features {
+	var f Features
+	total := 0
+	for _, m := range u.Mentions {
+		total += m
+	}
+	if total > 0 {
+		for i, m := range u.Mentions {
+			f[i] = float64(m) / float64(total)
+		}
+		f[8] = float64(u.ClinicalMentions) / float64(total)
+	}
+	f[6] = math.Log1p(float64(u.Tweets))
+	f[7] = float64(u.DistinctOrgans())
+	if u.Tweets > 0 {
+		f[9] = float64(u.Hashtags) / float64(u.Tweets)
+	}
+	return f
+}
+
+// FeatureNames labels the feature vector components for reports.
+func FeatureNames() []string {
+	names := make([]string, 0, NumFeatures)
+	for _, o := range organ.All() {
+		names = append(names, "attention:"+o.String())
+	}
+	return append(names, "log-activity", "organ-breadth", "clinical-share", "hashtag-rate")
+}
+
+// SamplesFromDataset extracts labelled feature vectors for every dataset
+// user whose label labelOf knows, ordered by user ID so downstream
+// train/test splits are deterministic (Dataset iteration order is not).
+func SamplesFromDataset(d *pipeline.Dataset, labelOf func(id int64) (int, bool)) []Sample {
+	type rec struct {
+		id int64
+		s  Sample
+	}
+	var recs []rec
+	d.EachUser(func(u *pipeline.UserRecord) {
+		y, ok := labelOf(u.ID)
+		if !ok {
+			return
+		}
+		recs = append(recs, rec{u.ID, Sample{X: Extract(u), Y: y}})
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+	out := make([]Sample, len(recs))
+	for i, r := range recs {
+		out[i] = r.s
+	}
+	return out
+}

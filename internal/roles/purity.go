@@ -1,0 +1,55 @@
+package roles
+
+import "fmt"
+
+// ClusterPurity measures how well an unsupervised clustering (the
+// Figure 7 K-Means labels) aligns with the true classes: each cluster is
+// credited with its majority class, and purity is the fraction of points
+// so explained. The paper conjectures its clusters "might even represent
+// organ-related users with different attitudes"; this quantifies that on
+// the synthetic ground truth.
+func ClusterPurity(clusterLabels, trueLabels []int) (float64, error) {
+	if len(clusterLabels) != len(trueLabels) {
+		return 0, fmt.Errorf("roles: %d cluster labels vs %d true labels", len(clusterLabels), len(trueLabels))
+	}
+	if len(clusterLabels) == 0 {
+		return 0, fmt.Errorf("roles: empty labelings")
+	}
+	counts := map[int]map[int]int{}
+	for i, c := range clusterLabels {
+		m := counts[c]
+		if m == nil {
+			m = map[int]int{}
+			counts[c] = m
+		}
+		m[trueLabels[i]]++
+	}
+	majority := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		majority += best
+	}
+	return float64(majority) / float64(len(clusterLabels)), nil
+}
+
+// MajorityClassShare returns the share of the most common true label —
+// the baseline any useful clustering or classifier must beat.
+func MajorityClassShare(labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	counts := map[int]int{}
+	best := 0
+	for _, l := range labels {
+		counts[l]++
+		if counts[l] > best {
+			best = counts[l]
+		}
+	}
+	return float64(best) / float64(len(labels))
+}

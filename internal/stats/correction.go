@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// The paper's Figure 5 applies the α = 0.05 significance rule to 312
+// (state, organ) hypotheses without correction, so a handful of
+// highlights are expected to be false positives. These corrections let
+// the analysis quantify that: Bonferroni controls the family-wise error
+// rate, Benjamini–Hochberg the false-discovery rate.
+
+// PValueFromZ converts a one-sided z-score to its p-value P(Z > z) using
+// the complementary error function.
+func PValueFromZ(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// ZFromLogRR returns the one-sided z-score of a log relative risk against
+// the null RR = 1.
+func ZFromLogRR(logRR, se float64) float64 {
+	if se == 0 {
+		return math.Inf(1)
+	}
+	return logRR / se
+}
+
+// Bonferroni adjusts p-values by the family size: p_adj = min(1, m·p).
+func Bonferroni(ps []float64) []float64 {
+	m := float64(len(ps))
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = math.Min(1, p*m)
+	}
+	return out
+}
+
+// BenjaminiHochberg returns the BH-adjusted p-values (q-values). A
+// hypothesis is rejected at FDR level α when its q-value is ≤ α.
+func BenjaminiHochberg(ps []float64) []float64 {
+	n := len(ps)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	out := make([]float64, n)
+	// q_(i) = min over j >= i of p_(j)·n/j, computed right to left.
+	minSoFar := 1.0
+	for rank := n - 1; rank >= 0; rank-- {
+		i := idx[rank]
+		q := ps[i] * float64(n) / float64(rank+1)
+		if q < minSoFar {
+			minSoFar = q
+		}
+		out[i] = math.Min(1, minSoFar)
+	}
+	return out
+}
+
+// ChiSquare1DF returns the upper-tail p-value of a chi-square statistic
+// with one degree of freedom — the classic 2×2 contingency test that can
+// back an RR significance call. χ²(1) upper tail equals
+// 2·P(Z > sqrt(x)).
+func ChiSquare1DF(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}
+
+// ChiSquareStat computes the Pearson chi-square statistic of the 2×2
+// table {{a, b}, {c, d}}.
+func ChiSquareStat(a, b, c, d int) float64 {
+	fa, fb, fc, fd := float64(a), float64(b), float64(c), float64(d)
+	n := fa + fb + fc + fd
+	if n == 0 {
+		return 0
+	}
+	den := (fa + fb) * (fc + fd) * (fa + fc) * (fb + fd)
+	if den == 0 {
+		return 0
+	}
+	diff := fa*fd - fb*fc
+	return n * diff * diff / den
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPValueFromZ(t *testing.T) {
+	tests := []struct {
+		z, want, tol float64
+	}{
+		{0, 0.5, 1e-12},
+		{1.6449, 0.05, 1e-4},
+		{1.96, 0.025, 1e-4},
+		{2.3263, 0.01, 1e-4},
+		{-1.96, 0.975, 1e-4},
+	}
+	for _, tt := range tests {
+		if got := PValueFromZ(tt.z); !approx(got, tt.want, tt.tol) {
+			t.Errorf("PValueFromZ(%v) = %v, want %v", tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestZFromLogRR(t *testing.T) {
+	if got := ZFromLogRR(0.2, 0.1); !approx(got, 2, 1e-12) {
+		t.Errorf("ZFromLogRR = %v, want 2", got)
+	}
+	if !math.IsInf(ZFromLogRR(0.2, 0), 1) {
+		t.Error("zero SE should give +Inf")
+	}
+}
+
+// TestRRSignificanceMatchesZTest: the paper's CI rule (log lower bound >
+// 0 at z = 1.96) must agree with a one-sided z-test at α = 0.025.
+func TestRRSignificanceMatchesZTest(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 31))
+		a, b := 1+r.IntN(100), r.IntN(400)
+		c, d := 1+r.IntN(400), r.IntN(4000)
+		rr, err := NewRelativeRisk(a, b, c, d)
+		if err != nil {
+			return true
+		}
+		p := PValueFromZ(ZFromLogRR(rr.LogRR, rr.SE))
+		return rr.Significant() == (p < 0.025)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	got := Bonferroni([]float64{0.01, 0.2, 0.5})
+	want := []float64{0.03, 0.6, 1}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-12) {
+			t.Errorf("Bonferroni[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(Bonferroni(nil)) != 0 {
+		t.Error("empty input should give empty output")
+	}
+}
+
+func TestBenjaminiHochbergKnown(t *testing.T) {
+	// Classic worked example.
+	ps := []float64{0.01, 0.04, 0.03, 0.005}
+	q := BenjaminiHochberg(ps)
+	// Sorted: .005 (q=.02), .01 (q=.02), .03 (q=.04), .04 (q=.04).
+	want := map[float64]float64{0.005: 0.02, 0.01: 0.02, 0.03: 0.04, 0.04: 0.04}
+	for i, p := range ps {
+		if !approx(q[i], want[p], 1e-12) {
+			t.Errorf("BH(%v) = %v, want %v", p, q[i], want[p])
+		}
+	}
+}
+
+func TestBenjaminiHochbergProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 33))
+		n := 1 + r.IntN(50)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = r.Float64()
+		}
+		q := BenjaminiHochberg(ps)
+		// q >= p, q <= 1, and q preserves the order of p.
+		for i := range ps {
+			if q[i] < ps[i]-1e-12 || q[i] > 1 {
+				return false
+			}
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+		for k := 1; k < n; k++ {
+			if q[idx[k]] < q[idx[k-1]]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBHLessConservativeThanBonferroni(t *testing.T) {
+	ps := []float64{0.001, 0.008, 0.039, 0.041, 0.6}
+	bh := BenjaminiHochberg(ps)
+	bf := Bonferroni(ps)
+	for i := range ps {
+		if bh[i] > bf[i]+1e-12 {
+			t.Errorf("BH[%d]=%v exceeds Bonferroni %v", i, bh[i], bf[i])
+		}
+	}
+}
+
+func TestChiSquare1DF(t *testing.T) {
+	// Critical values: P(χ²(1) > 3.841) = .05, > 6.635 = .01.
+	if got := ChiSquare1DF(3.841); !approx(got, 0.05, 1e-3) {
+		t.Errorf("ChiSquare1DF(3.841) = %v, want .05", got)
+	}
+	if got := ChiSquare1DF(6.635); !approx(got, 0.01, 1e-3) {
+		t.Errorf("ChiSquare1DF(6.635) = %v, want .01", got)
+	}
+	if ChiSquare1DF(0) != 1 || ChiSquare1DF(-3) != 1 {
+		t.Error("non-positive statistic should give p=1")
+	}
+}
+
+func TestChiSquareStat(t *testing.T) {
+	// Balanced table → 0.
+	if got := ChiSquareStat(10, 10, 10, 10); got != 0 {
+		t.Errorf("balanced table stat = %v", got)
+	}
+	// Known value: {{20,10},{10,20}} → n=60, diff=300, den=30*30*30*30.
+	want := 60.0 * 300 * 300 / (30 * 30 * 30 * 30)
+	if got := ChiSquareStat(20, 10, 10, 20); !approx(got, want, 1e-12) {
+		t.Errorf("stat = %v, want %v", got, want)
+	}
+	if ChiSquareStat(0, 0, 0, 0) != 0 {
+		t.Error("empty table should give 0")
+	}
+	if ChiSquareStat(5, 5, 0, 0) != 0 {
+		t.Error("degenerate margin should give 0")
+	}
+}
+
+// TestChiSquareAgreesWithRRDirectionally: strong RR excesses must have
+// small chi-square p-values.
+func TestChiSquareAgreesWithRRDirectionally(t *testing.T) {
+	p := ChiSquare1DF(ChiSquareStat(50, 50, 100, 900))
+	if p > 1e-6 {
+		t.Errorf("strong excess p = %v, want tiny", p)
+	}
+	p = ChiSquare1DF(ChiSquareStat(10, 90, 100, 900))
+	if p < 0.5 {
+		t.Errorf("null-ish table p = %v, want large", p)
+	}
+}

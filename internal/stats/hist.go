@@ -1,0 +1,61 @@
+package stats
+
+import "sort"
+
+// Histogram counts occurrences of integer-valued observations, used for
+// the Figure 2 dataset histograms (users per organ, mentions per tweet).
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Observe adds one observation of value v.
+func (h *Histogram) Observe(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Values returns the observed values in ascending order.
+func (h *Histogram) Values() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Mean returns the mean observed value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	s := 0
+	for v, c := range h.counts {
+		s += v * c
+	}
+	return float64(s) / float64(h.total)
+}
+
+// RankDescending returns the indices of xs ordered by descending value
+// (ties broken by ascending index), used to present organ attention in
+// ranked bins as in Figures 3, 4, and 7.
+func RankDescending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}

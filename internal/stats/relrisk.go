@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RelativeRisk is the result of Equation 4: the ratio of the prevalence of
+// an outcome (an organ being a user's focus) inside a region to its
+// prevalence outside the region, with a log-normal confidence interval.
+//
+// Writing the 2×2 contingency table as
+//
+//	                exposed (inside r)   unexposed (outside r)
+//	outcome               a                     c
+//	no outcome            b                     d
+//
+// the point estimate is RR = (a/(a+b)) / (c/(c+d)) and the standard error
+// of log RR is sqrt(1/a − 1/(a+b) + 1/c − 1/(c+d)).
+type RelativeRisk struct {
+	RR    float64 // point estimate ρ_in / ρ_out
+	LogRR float64 // ln(RR)
+	SE    float64 // standard error of ln(RR)
+	Lower float64 // lower limit of the (1−α) CI on the RR scale
+	Upper float64 // upper limit of the (1−α) CI on the RR scale
+	A     int     // outcome inside
+	B     int     // no outcome inside
+	C     int     // outcome outside
+	D     int     // no outcome outside
+}
+
+// NewRelativeRisk computes the relative risk and its 95% confidence
+// interval from the 2×2 table counts. It errors when either margin has no
+// outcome observations (a == 0 or c == 0) or either group is empty, since
+// the log-RR standard error is then undefined.
+func NewRelativeRisk(a, b, c, d int) (RelativeRisk, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return RelativeRisk{}, fmt.Errorf("stats: negative contingency count (%d,%d,%d,%d)", a, b, c, d)
+	}
+	if a+b == 0 || c+d == 0 {
+		return RelativeRisk{}, fmt.Errorf("%w: empty exposure group", ErrInsufficientData)
+	}
+	if a == 0 || c == 0 {
+		return RelativeRisk{}, fmt.Errorf("%w: zero outcome count", ErrInsufficientData)
+	}
+	pin := float64(a) / float64(a+b)
+	pout := float64(c) / float64(c+d)
+	rr := pin / pout
+	logrr := math.Log(rr)
+	se := math.Sqrt(1/float64(a) - 1/float64(a+b) + 1/float64(c) - 1/float64(c+d))
+	return RelativeRisk{
+		RR:    rr,
+		LogRR: logrr,
+		SE:    se,
+		Lower: math.Exp(logrr - Z95*se),
+		Upper: math.Exp(logrr + Z95*se),
+		A:     a, B: b, C: c, D: d,
+	}, nil
+}
+
+// Significant reports the paper's Figure 5 rule: the organ significantly
+// exceeds its expected national proportion in the region when the lower
+// confidence limit of log(RR) is greater than zero — equivalently, when
+// the lower CI limit on the RR scale exceeds 1.
+func (r RelativeRisk) Significant() bool { return r.LogRR-Z95*r.SE > 0 }
+
+// SignificantlyLow reports the symmetric condition: the organ is mentioned
+// significantly *less* than nationally expected (upper CI limit below 1).
+// The paper notes states can also be similar in the organs they
+// under-mention; this supports that analysis.
+func (r RelativeRisk) SignificantlyLow() bool { return r.LogRR+Z95*r.SE < 0 }

@@ -1,0 +1,259 @@
+// Package stats implements the statistical machinery of the paper:
+// relative risk with log-normal confidence intervals (Equation 4 and the
+// Figure 5 significance rule), Spearman rank correlation (the Figure 2
+// validation against OPTN transplant counts), ranking, and descriptive
+// statistics.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic is requested on too few
+// observations.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Z95 is the two-sided 95% normal critical value (α = 0.05) used by the
+// paper's significance rule for log relative risk.
+const Z95 = 1.96
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 when fewer than two observations are given.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Ranks returns the fractional ranks of xs (1-based, ties receive the
+// average of the ranks they span), the convention Spearman correlation
+// requires.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson product-moment correlation of x and y.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("%w: zero variance", ErrInsufficientData)
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// SpearmanResult carries a Spearman rank correlation and its significance.
+type SpearmanResult struct {
+	R float64 // rank correlation coefficient in [-1, 1]
+	P float64 // two-sided p-value from the t approximation
+	N int     // number of observations
+}
+
+// Spearman computes the Spearman rank correlation between x and y with a
+// two-sided p-value from the t-distribution approximation
+// t = r·sqrt((n-2)/(1-r²)). For the paper's n = 6 organs the approximation
+// is coarse but matches common practice (scipy uses the same default).
+func Spearman(x, y []float64) (SpearmanResult, error) {
+	if len(x) != len(y) {
+		return SpearmanResult{}, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 3 {
+		return SpearmanResult{}, ErrInsufficientData
+	}
+	r, err := Pearson(Ranks(x), Ranks(y))
+	if err != nil {
+		return SpearmanResult{}, err
+	}
+	n := len(x)
+	res := SpearmanResult{R: r, N: n}
+	if math.Abs(r) >= 1 {
+		res.P = 0
+		return res, nil
+	}
+	tstat := r * math.Sqrt(float64(n-2)/(1-r*r))
+	res.P = 2 * studentTSF(math.Abs(tstat), float64(n-2))
+	return res, nil
+}
+
+// SpearmanPermutation computes the Spearman correlation with an *exact*
+// permutation p-value: the two-sided probability, over all n! orderings
+// of y, of a |correlation| at least as large as observed. For the paper's
+// n = 6 organs that is 720 permutations — exact and cheap, where the t
+// approximation used by Spearman (and scipy) is coarse. n is capped at 9
+// (362,880 permutations) to bound the cost; larger n should use Spearman.
+func SpearmanPermutation(x, y []float64) (SpearmanResult, error) {
+	if len(x) != len(y) {
+		return SpearmanResult{}, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 3 {
+		return SpearmanResult{}, ErrInsufficientData
+	}
+	if n > 9 {
+		return SpearmanResult{}, fmt.Errorf("stats: permutation test capped at n=9, got %d", n)
+	}
+	rx, ry := Ranks(x), Ranks(y)
+	observed, err := Pearson(rx, ry)
+	if err != nil {
+		return SpearmanResult{}, err
+	}
+	absObs := math.Abs(observed) - 1e-12 // tolerance for FP ties
+
+	perm := make([]float64, n)
+	copy(perm, ry)
+	total, extreme := 0, 0
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			total++
+			if r, err := Pearson(rx, perm); err == nil && math.Abs(r) >= absObs {
+				extreme++
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return SpearmanResult{R: observed, P: float64(extreme) / float64(total), N: n}, nil
+}
+
+// studentTSF returns P(T > t) for a Student t distribution with df degrees
+// of freedom, via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes §6.4).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,154 @@
+package temporal
+
+import (
+	"fmt"
+	"math"
+
+	"donorsense/internal/organ"
+)
+
+// Burst is a detected conversation spike for one organ.
+type Burst struct {
+	Organ    organ.Organ
+	StartDay int
+	EndDay   int // inclusive
+	Peak     int // highest daily count inside the burst
+	PeakDay  int
+	// Z is the peak day's z-score against the trailing baseline.
+	Z float64
+}
+
+// DetectorConfig tunes the rolling-baseline burst detector.
+type DetectorConfig struct {
+	// Window is the trailing baseline length in days (default 28).
+	Window int
+	// Threshold is the z-score a day must exceed to be bursting
+	// (default 3).
+	Threshold float64
+	// MinCount suppresses bursts whose peak daily count is below this,
+	// so near-zero series (intestine in a small corpus) don't fire on
+	// 0 → 2 jumps (default 5).
+	MinCount int
+	// MinRun requires at least this many consecutive bursting days
+	// (default 2), filtering one-day blips.
+	MinRun int
+}
+
+// DefaultDetectorConfig returns the standard detector tuning.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{Window: 28, Threshold: 3, MinCount: 5, MinRun: 2}
+}
+
+func (c *DetectorConfig) fill() {
+	if c.Window <= 0 {
+		c.Window = 28
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 5
+	}
+	if c.MinRun <= 0 {
+		c.MinRun = 2
+	}
+}
+
+// DetectBursts scans one organ's daily series with a trailing-window
+// z-score: day d bursts when count[d] > mean + threshold·std of the
+// preceding window. Consecutive bursting days merge into one Burst. The
+// baseline deliberately excludes the current day and never looks ahead,
+// so detection is causal — usable on a live stream.
+func DetectBursts(series []int, o organ.Organ, cfg DetectorConfig) ([]Burst, error) {
+	cfg.fill()
+	if len(series) < cfg.Window+1 {
+		return nil, fmt.Errorf("temporal: series of %d days shorter than window %d", len(series), cfg.Window)
+	}
+	bursting := make([]bool, len(series))
+	zscores := make([]float64, len(series))
+	// Baseline over the last Window NON-bursting days: a detected burst
+	// must not inflate its own baseline, or a month-long campaign would
+	// silence the detector after its first week.
+	baseline := make([]float64, 0, cfg.Window)
+	var sum, sumSq float64
+	push := func(v float64) {
+		if len(baseline) == cfg.Window {
+			old := baseline[0]
+			baseline = baseline[1:]
+			sum -= old
+			sumSq -= old * old
+		}
+		baseline = append(baseline, v)
+		sum += v
+		sumSq += v * v
+	}
+	for d := 0; d < cfg.Window; d++ {
+		push(float64(series[d]))
+	}
+	for d := cfg.Window; d < len(series); d++ {
+		n := float64(len(baseline))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		// A floor keeps flat baselines from making every uptick infinite.
+		std := math.Sqrt(variance)
+		if std < 1 {
+			std = 1
+		}
+		z := (float64(series[d]) - mean) / std
+		zscores[d] = z
+		if z > cfg.Threshold && series[d] >= cfg.MinCount {
+			bursting[d] = true
+			continue // frozen: bursting days stay out of the baseline
+		}
+		push(float64(series[d]))
+	}
+
+	var bursts []Burst
+	d := 0
+	for d < len(bursting) {
+		if !bursting[d] {
+			d++
+			continue
+		}
+		start := d
+		for d < len(bursting) && bursting[d] {
+			d++
+		}
+		end := d - 1
+		if end-start+1 < cfg.MinRun {
+			continue
+		}
+		b := Burst{Organ: o, StartDay: start, EndDay: end}
+		for day := start; day <= end; day++ {
+			if series[day] > b.Peak {
+				b.Peak = series[day]
+				b.PeakDay = day
+				b.Z = zscores[day]
+			}
+		}
+		bursts = append(bursts, b)
+	}
+	return bursts, nil
+}
+
+// DetectAll runs the detector for every organ in the series.
+func DetectAll(s *Series, cfg DetectorConfig) ([]Burst, error) {
+	var out []Burst
+	for _, o := range organ.All() {
+		bs, err := DetectBursts(s.OrganSeries(o), o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs...)
+	}
+	return out, nil
+}
+
+// Overlaps reports whether the burst intersects the [start, end] day
+// range (inclusive), for matching detections against known campaigns.
+func (b Burst) Overlaps(start, end int) bool {
+	return b.StartDay <= end && b.EndDay >= start
+}

@@ -1,0 +1,94 @@
+// Package temporal implements the real-time dimension of the social
+// sensor the paper's conclusion envisions: daily per-organ conversation
+// time series and a rolling-baseline burst detector that flags awareness
+// campaigns (National Kidney Month and the like) as they happen.
+package temporal
+
+import (
+	"fmt"
+	"time"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+// Series holds daily tweet counts per organ over a collection window.
+type Series struct {
+	start time.Time
+	// counts[day][organ] = US tweets mentioning that organ on that day.
+	counts [][organ.Count]int
+	// totals[day] = US tweets on that day (any organ).
+	totals []int
+}
+
+// NewSeries returns an empty series starting at the given day (truncated
+// to midnight UTC) spanning days entries.
+func NewSeries(start time.Time, days int) (*Series, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("temporal: non-positive day span %d", days)
+	}
+	return &Series{
+		start:  start.UTC().Truncate(24 * time.Hour),
+		counts: make([][organ.Count]int, days),
+		totals: make([]int, days),
+	}, nil
+}
+
+// Days returns the series length in days.
+func (s *Series) Days() int { return len(s.counts) }
+
+// Start returns the first day of the window.
+func (s *Series) Start() time.Time { return s.start }
+
+// DayOf returns the day index of a timestamp, or -1 when it falls outside
+// the window.
+func (s *Series) DayOf(t time.Time) int {
+	d := int(t.UTC().Sub(s.start).Hours() / 24)
+	if d < 0 || d >= len(s.counts) {
+		return -1
+	}
+	return d
+}
+
+// Observe folds one tweet extraction into the series. Tweets outside the
+// window are ignored and reported false.
+func (s *Series) Observe(t twitter.Tweet, ex text.Extraction) bool {
+	d := s.DayOf(t.CreatedAt)
+	if d < 0 {
+		return false
+	}
+	s.totals[d]++
+	for _, o := range ex.Organs {
+		s.counts[d][o.Index()]++
+	}
+	return true
+}
+
+// Count returns the tweets mentioning the organ on the given day.
+func (s *Series) Count(day int, o organ.Organ) int {
+	return s.counts[day][o.Index()]
+}
+
+// Total returns all tweets on the given day.
+func (s *Series) Total(day int) int { return s.totals[day] }
+
+// OrganSeries returns the full daily series for one organ.
+func (s *Series) OrganSeries(o organ.Organ) []int {
+	out := make([]int, len(s.counts))
+	for d := range s.counts {
+		out[d] = s.counts[d][o.Index()]
+	}
+	return out
+}
+
+// WeeklyTotals aggregates the per-day totals into calendar weeks
+// (7-day buckets from the window start; the last bucket may be short).
+func (s *Series) WeeklyTotals() []int {
+	weeks := (len(s.totals) + 6) / 7
+	out := make([]int, weeks)
+	for d, n := range s.totals {
+		out[d/7] += n
+	}
+	return out
+}

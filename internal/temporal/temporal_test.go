@@ -1,0 +1,258 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/organ"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	start := time.Date(2015, 4, 22, 0, 0, 0, 0, time.UTC)
+	s, err := NewSeries(start, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Days() != 10 || !s.Start().Equal(start) {
+		t.Fatalf("series shape wrong: %d days, start %v", s.Days(), s.Start())
+	}
+	ex := text.NewExtractor()
+	tw := twitter.Tweet{
+		Text:      "please donate a kidney",
+		CreatedAt: start.Add(3*24*time.Hour + 5*time.Hour),
+	}
+	if !s.Observe(tw, ex.Extract(tw.Text)) {
+		t.Fatal("in-window tweet rejected")
+	}
+	if s.Count(3, organ.Kidney) != 1 || s.Total(3) != 1 {
+		t.Errorf("counts wrong: %d, %d", s.Count(3, organ.Kidney), s.Total(3))
+	}
+	if s.Count(3, organ.Heart) != 0 {
+		t.Error("heart counted spuriously")
+	}
+	// Outside the window.
+	late := tw
+	late.CreatedAt = start.AddDate(0, 0, 20)
+	if s.Observe(late, ex.Extract(late.Text)) {
+		t.Error("out-of-window tweet accepted")
+	}
+	early := tw
+	early.CreatedAt = start.AddDate(0, 0, -1)
+	if s.Observe(early, ex.Extract(early.Text)) {
+		t.Error("pre-window tweet accepted")
+	}
+}
+
+func TestNewSeriesErrors(t *testing.T) {
+	if _, err := NewSeries(time.Now(), 0); err == nil {
+		t.Error("zero-day series accepted")
+	}
+}
+
+func TestWeeklyTotals(t *testing.T) {
+	start := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	s, _ := NewSeries(start, 15)
+	ex := text.NewExtractor()
+	for d := 0; d < 15; d++ {
+		tw := twitter.Tweet{Text: "heart donor", CreatedAt: start.AddDate(0, 0, d)}
+		s.Observe(tw, ex.Extract(tw.Text))
+	}
+	weeks := s.WeeklyTotals()
+	if len(weeks) != 3 || weeks[0] != 7 || weeks[1] != 7 || weeks[2] != 1 {
+		t.Errorf("weekly totals = %v", weeks)
+	}
+}
+
+func TestDetectBurstsOnStep(t *testing.T) {
+	// Flat baseline of 10/day, then a 5-day spike at 40.
+	series := make([]int, 100)
+	for d := range series {
+		series[d] = 10
+	}
+	for d := 60; d < 65; d++ {
+		series[d] = 40
+	}
+	bursts, err := DetectBursts(series, organ.Kidney, DefaultDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 1 {
+		t.Fatalf("bursts = %+v, want exactly 1", bursts)
+	}
+	b := bursts[0]
+	if b.StartDay != 60 || b.EndDay < 63 || b.Peak != 40 || b.Organ != organ.Kidney {
+		t.Errorf("burst = %+v", b)
+	}
+	if !b.Overlaps(58, 61) || b.Overlaps(0, 10) {
+		t.Error("Overlaps wrong")
+	}
+}
+
+func TestDetectBurstsQuietSeries(t *testing.T) {
+	// Mild noise around 10 must not fire.
+	series := make([]int, 120)
+	for d := range series {
+		series[d] = 10 + (d*7)%3
+	}
+	bursts, err := DetectBursts(series, organ.Heart, DefaultDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 0 {
+		t.Errorf("false bursts on quiet series: %+v", bursts)
+	}
+}
+
+func TestDetectBurstsMinCountSuppressesSparse(t *testing.T) {
+	// A 0 → 3 jump on a near-empty series is not a campaign.
+	series := make([]int, 60)
+	series[40], series[41] = 3, 3
+	bursts, err := DetectBursts(series, organ.Intestine, DefaultDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 0 {
+		t.Errorf("sparse blip detected as burst: %+v", bursts)
+	}
+}
+
+func TestDetectBurstsMinRunFiltersBlips(t *testing.T) {
+	series := make([]int, 60)
+	for d := range series {
+		series[d] = 10
+	}
+	series[50] = 100 // one-day blip
+	bursts, err := DetectBursts(series, organ.Lung, DefaultDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 0 {
+		t.Errorf("one-day blip detected: %+v", bursts)
+	}
+}
+
+func TestDetectBurstsErrors(t *testing.T) {
+	if _, err := DetectBursts(make([]int, 10), organ.Heart, DefaultDetectorConfig()); err == nil {
+		t.Error("short series accepted")
+	}
+}
+
+func TestDetectBurstsIsCausal(t *testing.T) {
+	// Identical prefixes must give identical detections regardless of
+	// what comes later (live-stream property).
+	base := make([]int, 100)
+	for d := range base {
+		base[d] = 10
+	}
+	for d := 50; d < 55; d++ {
+		base[d] = 50
+	}
+	alt := append([]int{}, base...)
+	for d := 80; d < 100; d++ {
+		alt[d] = 200 // a later burst must not change the first detection
+	}
+	b1, _ := DetectBursts(base, organ.Heart, DefaultDetectorConfig())
+	b2, _ := DetectBursts(alt, organ.Heart, DefaultDetectorConfig())
+	if len(b1) == 0 || len(b2) == 0 {
+		t.Fatal("bursts missing")
+	}
+	if b1[0] != b2[0] {
+		t.Errorf("first burst changed by future data: %+v vs %+v", b1[0], b2[0])
+	}
+}
+
+// TestSensorDetectsPlantedCampaigns is the end-to-end extension
+// experiment: the generator plants American Heart Month, National Kidney
+// Month, and Donate Life Month; the sensor must find kidney and heart
+// bursts inside their windows.
+func TestSensorDetectsPlantedCampaigns(t *testing.T) {
+	// Scale 0.3 gives ≈100 US tweets/day — enough for daily z-scores to
+	// resolve the planted monthly campaigns.
+	cfg := gen.DefaultConfig(0.3)
+	corpus := gen.Generate(cfg)
+
+	series, err := NewSeries(cfg.Start, cfg.Days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pipeline.NewDataset()
+	d.OnUSTweet = func(tw twitter.Tweet, ex text.Extraction) {
+		series.Observe(tw, ex)
+	}
+	for _, tw := range corpus.Tweets {
+		d.Process(tw)
+	}
+
+	det := DefaultDetectorConfig()
+	det.Threshold = 2.5 // daily counts at this scale are modest
+	det.MinCount = 8
+
+	kidney, err := DetectBursts(series.OrganSeries(organ.Kidney), organ.Kidney, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundKidneyMonth := false
+	for _, b := range kidney {
+		if b.Overlaps(314, 344) {
+			foundKidneyMonth = true
+		}
+	}
+	if !foundKidneyMonth {
+		t.Errorf("National Kidney Month (days 314–344) not detected; kidney bursts: %+v", kidney)
+	}
+
+	heart, err := DetectBursts(series.OrganSeries(organ.Heart), organ.Heart, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundHeartMonth := false
+	for _, b := range heart {
+		if b.Overlaps(285, 313) {
+			foundHeartMonth = true
+		}
+	}
+	if !foundHeartMonth {
+		t.Errorf("American Heart Month (days 285–313) not detected; heart bursts: %+v", heart)
+	}
+
+	// An event-free corpus must stay quiet: every organ, no bursts.
+	flat := cfg
+	flat.Events = nil
+	flatCorpus := gen.Generate(flat)
+	flatSeries, _ := NewSeries(flat.Start, flat.Days)
+	fd := pipeline.NewDataset()
+	fd.OnUSTweet = func(tw twitter.Tweet, ex text.Extraction) {
+		flatSeries.Observe(tw, ex)
+	}
+	for _, tw := range flatCorpus.Tweets {
+		fd.Process(tw)
+	}
+	all, err := DetectAll(flatSeries, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) > 1 { // allow at most one noise blip across 6×385 days
+		t.Errorf("event-free corpus produced %d bursts: %+v", len(all), all)
+	}
+}
+
+func BenchmarkDetectBursts(b *testing.B) {
+	series := make([]int, 385)
+	for d := range series {
+		series[d] = 300 + (d*13)%40
+	}
+	for d := 314; d < 345; d++ {
+		series[d] = 600
+	}
+	cfg := DefaultDetectorConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectBursts(series, organ.Kidney, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

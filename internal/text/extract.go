@@ -1,0 +1,151 @@
+package text
+
+import (
+	"strings"
+
+	"donorsense/internal/organ"
+)
+
+// Extraction is the result of matching a tweet against the Figure 1
+// keyword product.
+type Extraction struct {
+	// ContextTerms are the donation-context terms found, in order of first
+	// appearance, deduplicated.
+	ContextTerms []string
+	// Organs are the distinct organs mentioned, in canonical order.
+	Organs []organ.Organ
+	// Mentions counts subject-form occurrences per organ (a tweet saying
+	// "kidney" twice counts 2 for kidney).
+	Mentions [organ.Count]int
+	// ClinicalMentions counts subject occurrences using the clinical
+	// variant (renal, hepatic, ...), a practitioner-language signal.
+	ClinicalMentions int
+	// Hashtags counts hashtag tokens in the tweet.
+	Hashtags int
+}
+
+// InContext reports whether the tweet satisfies the collection predicate:
+// at least one Context term and at least one Subject term (Figure 1).
+func (e Extraction) InContext() bool {
+	return len(e.ContextTerms) > 0 && len(e.Organs) > 0
+}
+
+// TotalMentions returns the total number of organ-subject occurrences.
+func (e Extraction) TotalMentions() int {
+	n := 0
+	for _, c := range e.Mentions {
+		n += c
+	}
+	return n
+}
+
+// Extractor matches tweet text against the organ-donation keyword set.
+// It is safe for concurrent use after construction.
+type Extractor struct {
+	// contextUnigrams holds single-word context terms.
+	contextUnigrams map[string]bool
+	// contextBigrams holds two-word context terms keyed by first word,
+	// e.g. "waiting" -> {"list"}.
+	contextBigrams map[string]map[string]bool
+}
+
+// NewExtractor builds an Extractor from the canonical keyword vocabulary
+// in package organ.
+func NewExtractor() *Extractor {
+	e := &Extractor{
+		contextUnigrams: make(map[string]bool),
+		contextBigrams:  make(map[string]map[string]bool),
+	}
+	for _, c := range organ.ContextWords() {
+		parts := strings.Fields(c)
+		switch len(parts) {
+		case 1:
+			e.contextUnigrams[parts[0]] = true
+		case 2:
+			m := e.contextBigrams[parts[0]]
+			if m == nil {
+				m = make(map[string]bool)
+				e.contextBigrams[parts[0]] = m
+			}
+			m[parts[1]] = true
+		default:
+			// The vocabulary only contains unigrams and bigrams; longer
+			// phrases would need a trie, which nothing requires yet.
+			panic("text: context term longer than two words: " + c)
+		}
+	}
+	return e
+}
+
+// Extract tokenizes the tweet text and returns its context terms and
+// organ mentions.
+func (e *Extractor) Extract(tweet string) Extraction {
+	toks := Tokenize(tweet)
+	words := make([]string, 0, len(toks))
+	var ex Extraction
+	for _, t := range toks {
+		switch t.Kind {
+		case Word, Hashtag:
+			words = append(words, t.Text)
+		}
+		if t.Kind == Hashtag {
+			ex.Hashtags++
+		}
+	}
+	seenCtx := make(map[string]bool)
+	seenOrg := [organ.Count]bool{}
+	for i, w := range words {
+		if e.contextUnigrams[w] && !seenCtx[w] {
+			seenCtx[w] = true
+			ex.ContextTerms = append(ex.ContextTerms, w)
+		}
+		if seconds, ok := e.contextBigrams[w]; ok && i+1 < len(words) {
+			if next := words[i+1]; seconds[next] {
+				term := w + " " + next
+				if !seenCtx[term] {
+					seenCtx[term] = true
+					ex.ContextTerms = append(ex.ContextTerms, term)
+				}
+			}
+		}
+		if o, ok := organ.SubjectOrgan(w); ok {
+			ex.Mentions[o.Index()]++
+			seenOrg[o.Index()] = true
+			if organ.IsClinicalForm(w) {
+				ex.ClinicalMentions++
+			}
+		}
+	}
+	for _, o := range organ.All() {
+		if seenOrg[o.Index()] {
+			ex.Organs = append(ex.Organs, o)
+		}
+	}
+	return ex
+}
+
+// MatchesFilter reports whether the tweet satisfies the Stream API filter
+// predicate without building the full extraction. Equivalent to
+// Extract(tweet).InContext().
+func (e *Extractor) MatchesFilter(tweet string) bool {
+	words := Words(tweet)
+	haveCtx, haveOrg := false, false
+	for i, w := range words {
+		if !haveCtx {
+			if e.contextUnigrams[w] {
+				haveCtx = true
+			} else if seconds, ok := e.contextBigrams[w]; ok && i+1 < len(words) && seconds[words[i+1]] {
+				haveCtx = true
+			}
+		}
+		if !haveOrg {
+			if _, ok := organ.SubjectOrgan(w); ok {
+				haveOrg = true
+			}
+		}
+		if haveCtx && haveOrg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package text
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize drives the tweet tokenizer with arbitrary byte soup: it
+// must never panic, and word/hashtag tokens must stay valid lowercase
+// UTF-8.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"Register as an organ donor — kidney saves lives #DonateLife",
+		"@user https://x.co/a #tag 60,000 on the waiting list",
+		"héllo wörld 🫀 ❤️",
+		"a#b@c.d-e'f",
+		"\x00\xff\xfe broken bytes",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok.Kind == Word || tok.Kind == Hashtag {
+				if !utf8.ValidString(tok.Text) {
+					t.Fatalf("invalid UTF-8 token %q from %q", tok.Text, s)
+				}
+				for _, r := range tok.Text {
+					if r >= 'A' && r <= 'Z' {
+						t.Fatalf("uppercase leaked in %q from %q", tok.Text, s)
+					}
+				}
+			}
+			if tok.Pos < 0 || tok.Pos > len(s) {
+				t.Fatalf("position %d out of range for %q", tok.Pos, s)
+			}
+		}
+	})
+}
+
+// FuzzExtract checks the invariant the collection pipeline depends on:
+// MatchesFilter and Extract().InContext() always agree.
+func FuzzExtract(f *testing.F) {
+	e := NewExtractor()
+	for _, s := range []string{
+		"donate a kidney", "kidney beans", "waiting list for a liver",
+		"transplant", "heart", "organ failure pancreas",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ex := e.Extract(s)
+		if e.MatchesFilter(s) != ex.InContext() {
+			t.Fatalf("filter/extract disagree on %q", s)
+		}
+		if ex.TotalMentions() < len(ex.Organs) {
+			t.Fatalf("mention count below distinct organs for %q", s)
+		}
+	})
+}

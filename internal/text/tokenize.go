@@ -1,0 +1,156 @@
+// Package text implements the tweet text processing used by the
+// collection filter and the characterization pipeline: a Twitter-aware
+// tokenizer, a normalizer, and an extractor that recognizes
+// organ-donation context terms and organ mentions (the Context × Subject
+// keyword product of the paper's Figure 1).
+package text
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenKind classifies a token produced by Tokenize.
+type TokenKind int
+
+// Token kinds. Words are the default; hashtags, mentions, and URLs get
+// their own kinds because the matcher treats them differently (hashtag
+// bodies are matchable text, mentions and URLs are not).
+const (
+	Word TokenKind = iota
+	Hashtag
+	Mention
+	URL
+	NumberTok
+)
+
+// Token is a single lexical unit of a tweet.
+type Token struct {
+	Kind TokenKind
+	Text string // normalized (lowercase, no leading #/@) surface text
+	Pos  int    // byte offset of the token start in the original text
+}
+
+// Tokenize splits tweet text into tokens. It lowercases word and hashtag
+// text, strips the leading sigil from hashtags and mentions, recognizes
+// http(s) URLs as single URL tokens, and treats any other run of letters
+// or digits as a word or number. Punctuation and emoji are skipped but
+// terminate tokens, so "kidney," and "kidney" produce the same token.
+// Invalid UTF-8 bytes are skipped individually; token positions always
+// index the original string.
+func Tokenize(s string) []Token {
+	var toks []Token
+	i := 0 // byte index into s
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == '#' || r == '@':
+			kind := Hashtag
+			if r == '@' {
+				kind = Mention
+			}
+			start := i
+			j := i + size
+			for j < len(s) {
+				rr, sz := utf8.DecodeRuneInString(s[j:])
+				if !isTagRune(rr) {
+					break
+				}
+				j += sz
+			}
+			if j > i+size {
+				toks = append(toks, Token{Kind: kind, Text: strings.ToLower(s[i+size : j]), Pos: start})
+			}
+			i = j
+		case unicode.IsLetter(r):
+			if hasURLPrefix(s[i:]) {
+				start := i
+				j := i
+				for j < len(s) {
+					rr, sz := utf8.DecodeRuneInString(s[j:])
+					if unicode.IsSpace(rr) {
+						break
+					}
+					j += sz
+				}
+				toks = append(toks, Token{Kind: URL, Text: s[i:j], Pos: start})
+				i = j
+				continue
+			}
+			start := i
+			j := i
+			for j < len(s) {
+				rr, sz := utf8.DecodeRuneInString(s[j:])
+				if !isWordRune(rr) {
+					break
+				}
+				j += sz
+			}
+			toks = append(toks, Token{Kind: Word, Text: strings.ToLower(s[start:j]), Pos: start})
+			i = j
+		case unicode.IsDigit(r):
+			start := i
+			j := i
+			for j < len(s) {
+				rr, sz := utf8.DecodeRuneInString(s[j:])
+				if unicode.IsDigit(rr) {
+					j += sz
+					continue
+				}
+				// A comma binds digit groups ("60,000") only when a digit
+				// follows immediately.
+				if rr == ',' && j+sz < len(s) {
+					nr, _ := utf8.DecodeRuneInString(s[j+sz:])
+					if unicode.IsDigit(nr) {
+						j += sz
+						continue
+					}
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: NumberTok, Text: s[start:j], Pos: start})
+			i = j
+		default:
+			i += size
+		}
+	}
+	return toks
+}
+
+// isTagRune reports whether r may appear inside a hashtag or mention body.
+func isTagRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// isWordRune reports whether r may appear inside a word token. Apostrophes
+// bind words together ("donor's"); hyphens split so compound organ
+// mentions ("heart-lung") are seen individually.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || r == '\''
+}
+
+// hasURLPrefix reports whether the string starts with http:// or
+// https:// (case-insensitive).
+func hasURLPrefix(s string) bool {
+	const h, hs = "http://", "https://"
+	if len(s) >= len(hs) {
+		s = s[:len(hs)]
+	}
+	s = strings.ToLower(s)
+	return strings.HasPrefix(s, h) || strings.HasPrefix(s, hs)
+}
+
+// Words returns just the matchable word-like token texts (words and
+// hashtag bodies) in order. Mentions, URLs, and numbers are excluded: a
+// user handle like @hearts_fan must not count as a heart mention.
+func Words(s string) []string {
+	toks := Tokenize(s)
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == Word || t.Kind == Hashtag {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package twitter
+
+import (
+	"sync"
+)
+
+// Broadcaster fans a firehose of tweets out to any number of subscribers.
+// Each subscriber gets a buffered channel; a subscriber that falls more
+// than its buffer behind is disconnected, mirroring the real Stream API's
+// stall handling (Twitter closes connections that cannot keep up rather
+// than buffering without bound).
+type Broadcaster struct {
+	mu     sync.Mutex
+	subs   map[int]*subscriber
+	nextID int
+	closed bool
+}
+
+type subscriber struct {
+	ch     chan Tweet
+	filter *TrackFilter // nil means unfiltered (firehose)
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[int]*subscriber)}
+}
+
+// Subscribe registers a new subscriber with the given buffer size and
+// optional filter (nil receives everything). It returns the delivery
+// channel and a cancel function that detaches and closes it. After the
+// broadcaster itself is closed, the returned channel is already closed.
+func (b *Broadcaster) Subscribe(buffer int, filter *TrackFilter) (<-chan Tweet, func()) {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Tweet, buffer)
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = &subscriber{ch: ch, filter: filter}
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if s, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(s.ch)
+		}
+	}
+	return ch, cancel
+}
+
+// Publish delivers the tweet to every subscriber whose filter matches.
+// Subscribers whose buffers are full are dropped (disconnected), so a
+// stalled consumer cannot block the stream. It returns the number of
+// subscribers that received the tweet.
+func (b *Broadcaster) Publish(t Tweet) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	delivered := 0
+	for id, s := range b.subs {
+		if s.filter != nil && !s.filter.Matches(t.Text) {
+			continue
+		}
+		select {
+		case s.ch <- t:
+			delivered++
+		default:
+			// Stalled consumer: disconnect it.
+			delete(b.subs, id)
+			close(s.ch)
+		}
+	}
+	return delivered
+}
+
+// Closed reports whether Close has been called.
+func (b *Broadcaster) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// NumSubscribers returns the current subscriber count.
+func (b *Broadcaster) NumSubscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Close disconnects all subscribers and marks the broadcaster closed;
+// subsequent Publish calls deliver nothing and Subscribe returns closed
+// channels.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, s := range b.subs {
+		delete(b.subs, id)
+		close(s.ch)
+	}
+}

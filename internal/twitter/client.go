@@ -1,0 +1,191 @@
+package twitter
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// StreamClient consumes a streaming filter endpoint, decoding
+// newline-delimited JSON tweets and reconnecting with exponential backoff
+// on transient failures — the behaviour a long-lived collector (the
+// paper's ran 385 days) needs.
+type StreamClient struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7700".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// InitialBackoff is the first reconnect delay (default 250ms). Each
+	// consecutive failure doubles it up to MaxBackoff (default 16s),
+	// mirroring Twitter's documented reconnect schedule.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	// MaxConnects, when positive, bounds the number of (re)connection
+	// attempts; useful in tests. Zero means reconnect forever.
+	MaxConnects int
+	// OnDelete, when set, receives status-deletion notices (the
+	// {"delete": ...} control messages the Stream API interleaves with
+	// tweets). A compliant collector must honor them by removing the
+	// tweet from its stores.
+	OnDelete func(DeleteNotice)
+}
+
+// DeleteNotice is the Stream API's status-deletion control message.
+type DeleteNotice struct {
+	StatusID int64
+	UserID   int64
+}
+
+// wireDelete mirrors the {"delete":{"status":{...}}} wire shape.
+type wireDelete struct {
+	Delete struct {
+		Status struct {
+			ID     int64 `json:"id"`
+			UserID int64 `json:"user_id"`
+		} `json:"status"`
+	} `json:"delete"`
+}
+
+// ErrTooManyReconnects is returned when MaxConnects is exhausted.
+var ErrTooManyReconnects = errors.New("twitter: reconnect limit reached")
+
+func (c *StreamClient) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *StreamClient) backoffBounds() (time.Duration, time.Duration) {
+	ib, mb := c.InitialBackoff, c.MaxBackoff
+	if ib <= 0 {
+		ib = 250 * time.Millisecond
+	}
+	if mb <= 0 {
+		mb = 16 * time.Second
+	}
+	return ib, mb
+}
+
+// Filter connects to the filter endpoint with the given track parameter
+// and sends decoded tweets to out until ctx is cancelled, the server
+// closes the stream and reconnects are exhausted, or a permanent error
+// (4xx) occurs. It closes out on return.
+func (c *StreamClient) Filter(ctx context.Context, track string, out chan<- Tweet) error {
+	defer close(out)
+	if err := ValidateTrack(track); err != nil {
+		return err
+	}
+	endpoint := strings.TrimSuffix(c.BaseURL, "/") + FilterPath + "?track=" + url.QueryEscape(track)
+
+	backoff, maxBackoff := c.backoffBounds()
+	delay := backoff
+	connects := 0
+	for {
+		if c.MaxConnects > 0 && connects >= c.MaxConnects {
+			return ErrTooManyReconnects
+		}
+		connects++
+
+		err := c.streamOnce(ctx, endpoint, out)
+		switch {
+		case errors.Is(err, errStreamGone):
+			// The server said the stream has ended for good.
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case isPermanent(err):
+			return err
+		}
+		// A clean EOF (err == nil) is a disconnect like any other — the
+		// real Stream API drops stalled or long-lived connections and
+		// expects clients to come back — so fall through to reconnect.
+
+		// Transient: back off and reconnect.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > maxBackoff {
+			delay = maxBackoff
+		}
+	}
+}
+
+// errStreamGone signals the server reported 410: the stream has ended and
+// reconnecting is pointless. The client treats this as clean termination.
+var errStreamGone = errors.New("twitter: stream gone")
+
+// permanentError marks non-retryable failures (client errors).
+type permanentError struct{ error }
+
+func isPermanent(err error) bool {
+	var pe permanentError
+	return errors.As(err, &pe)
+}
+
+// streamOnce performs one connection. A nil return means the server ended
+// the stream cleanly; any error is either transient (retry) or permanent.
+func (c *StreamClient) streamOnce(ctx context.Context, endpoint string, out chan<- Tweet) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint, nil)
+	if err != nil {
+		return permanentError{fmt.Errorf("twitter: build request: %w", err)}
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("twitter: connect: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusGone {
+			return errStreamGone
+		}
+		err := fmt.Errorf("twitter: stream status %d", resp.StatusCode)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return permanentError{err}
+		}
+		return err
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue // keep-alive newline
+		}
+		if bytes.Contains(line, []byte(`"delete"`)) {
+			var dn wireDelete
+			if err := json.Unmarshal(line, &dn); err == nil && dn.Delete.Status.ID != 0 {
+				if c.OnDelete != nil {
+					c.OnDelete(DeleteNotice{StatusID: dn.Delete.Status.ID, UserID: dn.Delete.Status.UserID})
+				}
+				continue
+			}
+		}
+		var t Tweet
+		if err := t.UnmarshalJSON(line); err != nil {
+			// A malformed line is a data problem, not a connection
+			// problem; skip it the way a robust collector must.
+			continue
+		}
+		select {
+		case out <- t:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("twitter: read stream: %w", err)
+	}
+	return nil
+}

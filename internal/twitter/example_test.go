@@ -1,0 +1,33 @@
+package twitter_test
+
+import (
+	"fmt"
+
+	"donorsense/internal/organ"
+	"donorsense/internal/twitter"
+)
+
+// ExampleTrackFilter shows the Stream API "track" semantics the
+// collection filter relies on: comma-separated phrases, every term of a
+// phrase must appear.
+func ExampleTrackFilter() {
+	f := twitter.NewTrackFilter("donor kidney,transplant heart")
+	fmt.Println(f.Matches("be a kidney donor today"))
+	fmt.Println(f.Matches("kidney beans recipe"))
+	fmt.Println(f.Matches("her heart transplant went well"))
+	// Output:
+	// true
+	// false
+	// true
+}
+
+// ExampleValidateTrack checks the paper's full Figure 1 keyword product
+// against the API's request limits.
+func ExampleValidateTrack() {
+	track := organ.TrackTerms()
+	fmt.Println(twitter.ValidateTrack(track))
+	fmt.Println(twitter.NewTrackFilter(track).NumPhrases(), "phrases")
+	// Output:
+	// <nil>
+	// 323 phrases
+}

@@ -1,0 +1,57 @@
+package twitter
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadNDJSON feeds arbitrary input to the corpus reader: it must
+// never panic and must either error or return decodable tweets.
+func FuzzReadNDJSON(f *testing.F) {
+	tw := sampleTweet()
+	data, _ := tw.MarshalJSON()
+	f.Add(string(data) + "\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("{bad json}\n")
+	f.Add(`{"id":1,"created_at":"nope"}` + "\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tweets, err := ReadNDJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, tw := range tweets {
+			if tw.CreatedAt.IsZero() {
+				t.Fatalf("accepted tweet with zero timestamp from %q", s)
+			}
+		}
+	})
+}
+
+// FuzzTweetUnmarshal drives the wire decoder directly.
+func FuzzTweetUnmarshal(f *testing.F) {
+	tw := sampleTweet()
+	data, _ := tw.MarshalJSON()
+	f.Add(string(data))
+	f.Add(`{"delete":{"status":{"id":1}}}`)
+	f.Add(`{"coordinates":{"type":"Point","coordinates":[1,2]}}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		var out Tweet
+		_ = out.UnmarshalJSON([]byte(s)) // must not panic
+	})
+}
+
+// FuzzTrackFilter checks filter construction and matching on arbitrary
+// parameters and texts.
+func FuzzTrackFilter(f *testing.F) {
+	f.Add("donor kidney,transplant heart", "be a kidney donor")
+	f.Add("", "anything")
+	f.Add(",,a  b,", "a b c")
+	f.Fuzz(func(t *testing.T, track, text string) {
+		fl := NewTrackFilter(track)
+		got := fl.Matches(text)
+		if fl.Empty() && got {
+			t.Fatalf("empty filter matched %q", text)
+		}
+	})
+}

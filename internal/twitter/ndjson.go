@@ -1,0 +1,46 @@
+package twitter
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteNDJSON writes tweets as newline-delimited JSON, the archival
+// format collectors store raw streams in.
+func WriteNDJSON(w io.Writer, tweets []Tweet) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range tweets {
+		if err := enc.Encode(tweets[i]); err != nil {
+			return fmt.Errorf("twitter: write ndjson tweet %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON reads newline-delimited JSON tweets until EOF. Blank lines
+// are skipped; a malformed line aborts with an error naming its number.
+func ReadNDJSON(r io.Reader) ([]Tweet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Tweet
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var t Tweet
+		if err := t.UnmarshalJSON(line); err != nil {
+			return nil, fmt.Errorf("twitter: ndjson line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("twitter: read ndjson: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package twitter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	in := []Tweet{sampleTweet(), sampleTweet()}
+	in[1].ID = 999
+	in[1].Coordinates = &Coordinates{Lat: 1, Lon: 2}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].ID != in[0].ID || out[1].ID != 999 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if out[1].Coordinates == nil || out[1].Coordinates.Lat != 1 {
+		t.Error("coordinates lost")
+	}
+}
+
+func TestReadNDJSONSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, []Tweet{sampleTweet()}); err != nil {
+		t.Fatal(err)
+	}
+	input := "\n" + buf.String() + "\n\n"
+	out, err := ReadNDJSON(strings.NewReader(input))
+	if err != nil || len(out) != 1 {
+		t.Errorf("blank-line handling: %v, %d tweets", err, len(out))
+	}
+}
+
+func TestReadNDJSONReportsBadLine(t *testing.T) {
+	_, err := ReadNDJSON(strings.NewReader("{bad json}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("bad line error = %v", err)
+	}
+}
+
+func TestReadNDJSONEmpty(t *testing.T) {
+	out, err := ReadNDJSON(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %d", err, len(out))
+	}
+}
+
+func TestNDJSONLargeCorpus(t *testing.T) {
+	base := sampleTweet()
+	tweets := make([]Tweet, 5000)
+	for i := range tweets {
+		tweets[i] = base
+		tweets[i].ID = int64(i)
+		tweets[i].CreatedAt = base.CreatedAt.Add(time.Duration(i) * time.Second)
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, tweets); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadNDJSON(&buf)
+	if err != nil || len(out) != 5000 {
+		t.Fatalf("large corpus: %v, %d tweets", err, len(out))
+	}
+	if !out[4999].CreatedAt.Equal(tweets[4999].CreatedAt) {
+		t.Error("timestamps corrupted")
+	}
+}

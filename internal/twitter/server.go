@@ -1,0 +1,128 @@
+package twitter
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// FilterPath is the streaming filter endpoint path, matching the real
+// API's POST/GET https://stream.twitter.com/1.1/statuses/filter.json.
+const FilterPath = "/1.1/statuses/filter.json"
+
+// SamplePath is the unfiltered sample endpoint (the "gardenhose").
+const SamplePath = "/1.1/statuses/sample.json"
+
+// StreamServer serves a Broadcaster over HTTP in the Stream API's
+// newline-delimited JSON chunked format. Register its Handler on any mux.
+type StreamServer struct {
+	b *Broadcaster
+	// SubscriberBuffer is the per-connection buffer before a slow client
+	// is disconnected. Zero means the Broadcaster default.
+	SubscriberBuffer int
+	// KeepAlive, when positive, emits a blank line on idle connections at
+	// this interval, like the real API's 30-second keep-alive newlines.
+	KeepAlive time.Duration
+}
+
+// NewStreamServer returns a server streaming from b.
+func NewStreamServer(b *Broadcaster) *StreamServer {
+	return &StreamServer{b: b}
+}
+
+// Handler returns an http.Handler serving FilterPath and SamplePath.
+func (s *StreamServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, s.serveFilter)
+	mux.HandleFunc(SamplePath, s.serveSample)
+	return mux
+}
+
+func (s *StreamServer) serveFilter(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "bad form", http.StatusBadRequest)
+		return
+	}
+	track := r.Form.Get("track")
+	filter := NewTrackFilter(track)
+	if filter.Empty() {
+		// The real API answers 406 Not Acceptable for a filter with no
+		// predicates.
+		http.Error(w, "at least one predicate (track) is required", http.StatusNotAcceptable)
+		return
+	}
+	if s.b.Closed() {
+		// The firehose has shut down for good; tell reconnecting clients
+		// to stop rather than letting them retry a dead stream.
+		http.Error(w, "stream has ended", http.StatusGone)
+		return
+	}
+	s.stream(w, r, filter)
+}
+
+func (s *StreamServer) serveSample(w http.ResponseWriter, r *http.Request) {
+	if s.b.Closed() {
+		http.Error(w, "stream has ended", http.StatusGone)
+		return
+	}
+	s.stream(w, r, nil)
+}
+
+// stream subscribes the connection and writes newline-delimited JSON
+// until the client goes away or the broadcaster closes.
+func (s *StreamServer) stream(w http.ResponseWriter, r *http.Request, filter *TrackFilter) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := s.b.Subscribe(s.SubscriberBuffer, filter)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Transfer-Encoding", "chunked")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	var keepAlive <-chan time.Time
+	if s.KeepAlive > 0 {
+		t := time.NewTicker(s.KeepAlive)
+		defer t.Stop()
+		keepAlive = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-keepAlive:
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case t, open := <-ch:
+			if !open {
+				return // broadcaster closed or we were dropped as stalled
+			}
+			if err := enc.Encode(t); err != nil {
+				return // client went away mid-write
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// ValidateTrack checks a track parameter the way the API's request
+// validation does: non-empty and at most 400 phrases.
+func ValidateTrack(track string) error {
+	f := NewTrackFilter(track)
+	if f.Empty() {
+		return fmt.Errorf("twitter: track parameter has no phrases")
+	}
+	if f.NumPhrases() > 400 {
+		return fmt.Errorf("twitter: track parameter has %d phrases, limit 400", f.NumPhrases())
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package twitter implements the Twitter substrate the paper collects
+// from: tweet and user models with the v1.1 JSON wire format, the Stream
+// API "track" filter semantics, and an HTTP streaming server/client pair
+// that reproduces the filter endpoint (chunked, newline-delimited JSON).
+//
+// The paper used the public Twitter Stream API; this package provides a
+// statistically equivalent local stand-in so the collection pipeline is
+// exercised end-to-end (see DESIGN.md §2).
+package twitter
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// createdAtFormat is Twitter's v1.1 timestamp layout.
+const createdAtFormat = "Mon Jan 02 15:04:05 -0700 2006"
+
+// User is a Twitter account as embedded in a tweet payload.
+type User struct {
+	ID         int64
+	ScreenName string
+	// Location is the free-text self-reported profile location, the
+	// paper's main geolocation signal ("more static and abundant" than
+	// GPS but messy).
+	Location string
+}
+
+// Coordinates is a GPS point attached to a geo-tagged tweet. Twitter
+// serializes GeoJSON order: [longitude, latitude].
+type Coordinates struct {
+	Lat float64
+	Lon float64
+}
+
+// Tweet is a single status update.
+type Tweet struct {
+	ID        int64
+	Text      string
+	CreatedAt time.Time
+	User      User
+	// Coordinates is nil for the ~98.6% of tweets without a geo-tag.
+	Coordinates *Coordinates
+}
+
+// wireUser, wireCoords, and wireTweet mirror the v1.1 JSON layout.
+type wireUser struct {
+	ID         int64  `json:"id"`
+	ScreenName string `json:"screen_name"`
+	Location   string `json:"location"`
+}
+
+type wireCoords struct {
+	Type        string     `json:"type"`
+	Coordinates [2]float64 `json:"coordinates"` // [lon, lat]
+}
+
+type wireTweet struct {
+	ID          int64       `json:"id"`
+	Text        string      `json:"text"`
+	CreatedAt   string      `json:"created_at"`
+	User        wireUser    `json:"user"`
+	Coordinates *wireCoords `json:"coordinates,omitempty"`
+}
+
+// MarshalJSON encodes the tweet in Twitter v1.1 wire format.
+func (t Tweet) MarshalJSON() ([]byte, error) {
+	w := wireTweet{
+		ID:        t.ID,
+		Text:      t.Text,
+		CreatedAt: t.CreatedAt.Format(createdAtFormat),
+		User: wireUser{
+			ID:         t.User.ID,
+			ScreenName: t.User.ScreenName,
+			Location:   t.User.Location,
+		},
+	}
+	if t.Coordinates != nil {
+		w.Coordinates = &wireCoords{
+			Type:        "Point",
+			Coordinates: [2]float64{t.Coordinates.Lon, t.Coordinates.Lat},
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a tweet from Twitter v1.1 wire format.
+func (t *Tweet) UnmarshalJSON(data []byte) error {
+	var w wireTweet
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("twitter: decode tweet: %w", err)
+	}
+	ts, err := time.Parse(createdAtFormat, w.CreatedAt)
+	if err != nil {
+		return fmt.Errorf("twitter: decode created_at %q: %w", w.CreatedAt, err)
+	}
+	*t = Tweet{
+		ID:        w.ID,
+		Text:      w.Text,
+		CreatedAt: ts,
+		User: User{
+			ID:         w.User.ID,
+			ScreenName: w.User.ScreenName,
+			Location:   w.User.Location,
+		},
+	}
+	if w.Coordinates != nil {
+		t.Coordinates = &Coordinates{
+			Lon: w.Coordinates.Coordinates[0],
+			Lat: w.Coordinates.Coordinates[1],
+		}
+	}
+	return nil
+}
