@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages (stream client/server,
+# chaos simulator, parallel ingestion, collector CLI). -short skips the
+# scale-1.0 end of the suite; the concurrency paths are fully exercised.
+race:
+	$(GO) test -race -short ./internal/twitter/ ./internal/pipeline/ ./cmd/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -l -w .

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/twitter"
+)
+
+// durableCorpus is shared by the chaos/checkpoint integration tests; the
+// generator is deterministic, so every test sees the same stream.
+func durableCorpus() []twitter.Tweet {
+	return gen.Generate(gen.DefaultConfig(0.01)).Tweets
+}
+
+// statsSection extracts the deterministic statistics region of an
+// analysis report — Table I through Figure 2(b) (tweet/user counts,
+// geo-tag rate, organs-per-tweet histogram, Spearman validation) — the
+// region the equality assertions compare. Later sections involve
+// clustering and are not guaranteed byte-stable across identical inputs.
+func statsSection(t *testing.T, out string) string {
+	t.Helper()
+	start := strings.Index(out, "=== Table I")
+	end := strings.Index(out, "=== Figure 3")
+	if start < 0 || end < 0 || end <= start {
+		t.Fatalf("output missing Table I / Figure 3 markers:\n%s", out)
+	}
+	return out[start:end]
+}
+
+// collectArgs are the common fast-reconnect settings for tests.
+func collectArgs(url string, extra ...string) []string {
+	args := []string{
+		"-url", url,
+		"-k", "6",
+		"-sweep", "",
+		"-stall-timeout", "300ms",
+		"-backoff", "2ms",
+		"-ratelimit-backoff", "20ms",
+	}
+	return append(args, extra...)
+}
+
+func TestCollectThroughChaosMatchesCleanRun(t *testing.T) {
+	corpus := durableCorpus()
+
+	clean := twitter.NewChaosServer(corpus, twitter.ChaosConfig{})
+	cleanSrv := httptest.NewServer(clean.Handler())
+	defer cleanSrv.Close()
+	cleanOut := captureStdout(t, func() error {
+		return cmdCollect(collectArgs(cleanSrv.URL))
+	})
+
+	chaos := twitter.NewChaosServer(corpus, twitter.ChaosConfig{
+		Seed:            11,
+		FaultRate:       0.01,
+		StallDuration:   5 * time.Second, // client's 300ms stall timer fires first
+		RateLimitRate:   0.2,
+		ServerErrorRate: 0.2,
+		RetryAfter:      10 * time.Millisecond, // rounds to a "0" header
+	})
+	chaosSrv := httptest.NewServer(chaos.Handler())
+	defer chaosSrv.Close()
+	chaosOut := captureStdout(t, func() error {
+		return cmdCollect(collectArgs(chaosSrv.URL))
+	})
+
+	if got, want := statsSection(t, chaosOut), statsSection(t, cleanOut); got != want {
+		t.Errorf("chaos-run statistics differ from fault-free run:\n--- chaos ---\n%s\n--- clean ---\n%s", got, want)
+	}
+	st := chaos.Stats()
+	if st.Disconnects+st.Stalls+st.Malformed+st.Oversized+st.Deletes+st.RateLimited+st.ServerError == 0 {
+		t.Error("chaos server injected nothing; the run was not exercised")
+	}
+	t.Logf("chaos injected: %+v", st)
+}
+
+func TestCollectCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	corpus := durableCorpus()
+	ckpt := filepath.Join(t.TempDir(), "state.ckpt")
+
+	// Baseline: one uninterrupted collection of the full corpus.
+	clean := twitter.NewChaosServer(corpus, twitter.ChaosConfig{})
+	cleanSrv := httptest.NewServer(clean.Handler())
+	defer cleanSrv.Close()
+	baseline := captureStdout(t, func() error {
+		return cmdCollect(collectArgs(cleanSrv.URL))
+	})
+
+	// The same corpus split into two sessions around a collector restart:
+	// session 1 collects the first half under chaos and checkpoints
+	// (periodically and at shutdown); session 2 starts from the
+	// checkpoint and collects the rest.
+	faults := func(seed uint64) twitter.ChaosConfig {
+		return twitter.ChaosConfig{
+			Seed:          seed,
+			FaultRate:     0.01,
+			StallDuration: 5 * time.Second,
+			RetryAfter:    10 * time.Millisecond,
+		}
+	}
+	half := len(corpus) / 2
+	srv1 := httptest.NewServer(twitter.NewChaosServer(corpus[:half], faults(21)).Handler())
+	defer srv1.Close()
+	captureStdout(t, func() error {
+		return cmdCollect(collectArgs(srv1.URL, "-checkpoint", ckpt, "-checkpoint-every", "20ms"))
+	})
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("session 1 left no checkpoint: %v", err)
+	}
+
+	srv2 := httptest.NewServer(twitter.NewChaosServer(corpus[half:], faults(22)).Handler())
+	defer srv2.Close()
+	resumed := captureStdout(t, func() error {
+		return cmdCollect(collectArgs(srv2.URL, "-checkpoint", ckpt, "-checkpoint-every", "20ms"))
+	})
+
+	if got, want := statsSection(t, resumed), statsSection(t, baseline); got != want {
+		t.Errorf("restart-resumed statistics differ from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", got, want)
+	}
+
+	// The periodic saves and the final save must never leave torn or
+	// temporary files next to the snapshot.
+	entries, err := os.ReadDir(filepath.Dir(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(ckpt) {
+			t.Errorf("stray file %q beside the checkpoint", e.Name())
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"donorsense/internal/core"
@@ -282,25 +283,63 @@ func cmdCollect(args []string) error {
 	k := fs.Int("k", 12, "user cluster count (Figure 7)")
 	sweep := fs.String("sweep", "", "comma-separated ks for the model-selection sweep")
 	sil := fs.Int("silhouette-sample", 2000, "silhouette sample size (0 = exact)")
+	checkpoint := fs.String("checkpoint", "", "checkpoint file: load on start (if present), save periodically and on shutdown")
+	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "interval between periodic checkpoint saves")
+	stallTimeout := fs.Duration("stall-timeout", 90*time.Second, "tear down connections silent for this long")
+	backoff := fs.Duration("backoff", 250*time.Millisecond, "initial reconnect delay (doubles per failure, full jitter)")
+	rlBackoff := fs.Duration("ratelimit-backoff", 60*time.Second, "initial delay after a 420/429 rate limit (doubles per repeat)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	d := pipeline.NewDataset()
+	if *checkpoint != "" {
+		switch loaded, err := pipeline.LoadCheckpoint(*checkpoint); {
+		case err == nil:
+			d = loaded
+			fmt.Fprintf(os.Stderr, "resumed from checkpoint %s: %d US tweets, %d users\n",
+				*checkpoint, d.USTweets(), d.Users())
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "no checkpoint at %s; starting fresh\n", *checkpoint)
+		default:
+			return err
+		}
+	}
+
+	// SIGINT and SIGTERM both end collection; the deferred save below
+	// checkpoints whatever was gathered before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	client := &twitter.StreamClient{BaseURL: *url}
+	client := &twitter.StreamClient{
+		BaseURL:          *url,
+		StallTimeout:     *stallTimeout,
+		InitialBackoff:   *backoff,
+		RateLimitBackoff: *rlBackoff,
+	}
 	tweets := make(chan twitter.Tweet, 1024)
 	errc := make(chan error, 1)
 	go func() { errc <- client.Filter(ctx, organ.TrackTerms(), tweets) }()
 
-	d := pipeline.NewDataset()
+	save := func() error {
+		if *checkpoint == "" {
+			return nil
+		}
+		return d.SaveCheckpoint(*checkpoint)
+	}
+	lastSave := time.Now()
 	n := 0
 	for t := range tweets {
 		d.Process(t)
 		n++
 		if n%1000 == 0 {
 			fmt.Fprintf(os.Stderr, "collected %d tweets, %d US users\n", n, d.Users())
+		}
+		if *checkpoint != "" && time.Since(lastSave) >= *checkpointEvery {
+			if err := save(); err != nil {
+				return err
+			}
+			lastSave = time.Now()
 		}
 		if *maxTweets > 0 && n >= *maxTweets {
 			stop()
@@ -313,9 +352,20 @@ func cmdCollect(args []string) error {
 		}
 	}
 	if err := <-errc; err != nil && ctx.Err() == nil {
+		saveErr := save() // keep the data even when the stream died
+		if saveErr != nil {
+			return fmt.Errorf("stream: %w (and checkpoint save failed: %v)", err, saveErr)
+		}
 		return fmt.Errorf("stream: %w", err)
 	}
+	if err := save(); err != nil {
+		return err
+	}
+	cs := client.Stats()
 	fmt.Fprintf(os.Stderr, "stream ended after %d tweets; analyzing\n", n)
+	fmt.Fprintf(os.Stderr,
+		"client stats: %d connects, %d disconnects, %d retries, %d rate-limits, %d stalls, %d skipped lines, %d malformed lines\n",
+		cs.Connects, cs.Disconnects, cs.Retries, cs.RateLimits, cs.Stalls, cs.SkippedLines, cs.MalformedLines)
 	if d.Users() == 0 {
 		return fmt.Errorf("no US users collected; nothing to analyze")
 	}

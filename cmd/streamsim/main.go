@@ -6,6 +6,14 @@
 //
 //	streamsim -addr :7700 -scale 0.02 -rate 500
 //	donorsense collect -url http://127.0.0.1:7700 -max 5000
+//
+// With -chaos the server switches to the fault-injecting replay harness:
+// it delivers the corpus exactly once through injected mid-stream
+// disconnects, stalls, malformed/oversized lines, delete notices, and
+// 420/503 responses with Retry-After — the weather a 385-day collector
+// must survive.
+//
+//	streamsim -chaos -fault-rate 0.01 -stall 5s -ratelimit 0.05
 package main
 
 import (
@@ -26,21 +34,49 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "corpus scale (1.0 = paper magnitude)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	rate := flag.Float64("rate", 500, "tweets per second to replay (0 = as fast as possible)")
-	loop := flag.Bool("loop", false, "replay the corpus forever instead of once")
+	loop := flag.Bool("loop", false, "replay the corpus forever instead of once (ignored with -chaos)")
+	chaos := flag.Bool("chaos", false, "serve the fault-injecting chaos harness instead of the clean broadcaster")
+	faultRate := flag.Float64("fault-rate", 0.01, "chaos: per-tweet probability of an injected fault")
+	stall := flag.Duration("stall", 5*time.Second, "chaos: silence duration of an injected stall")
+	rateLimit := flag.Float64("ratelimit", 0.02, "chaos: per-connection probability of a 420 rate-limit response")
+	serverErr := flag.Float64("servererr", 0.02, "chaos: per-connection probability of a 503 response")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "chaos: Retry-After advertised on 420/503 responses")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *seed, *rate, *loop); err != nil {
+	cfg := chaosFlags{
+		enabled:         *chaos,
+		faultRate:       *faultRate,
+		stall:           *stall,
+		rateLimitRate:   *rateLimit,
+		serverErrorRate: *serverErr,
+		retryAfter:      *retryAfter,
+	}
+	if err := run(*addr, *scale, *seed, *rate, *loop, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "streamsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, scale float64, seed uint64, rate float64, loop bool) error {
+// chaosFlags carries the -chaos flag group into run.
+type chaosFlags struct {
+	enabled         bool
+	faultRate       float64
+	stall           time.Duration
+	rateLimitRate   float64
+	serverErrorRate float64
+	retryAfter      time.Duration
+}
+
+func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos chaosFlags) error {
 	cfg := gen.DefaultConfig(scale)
 	cfg.Seed = seed
 	fmt.Fprintf(os.Stderr, "generating corpus at scale %g...\n", scale)
 	corpus := gen.Generate(cfg)
 	fmt.Fprintf(os.Stderr, "corpus ready: %d tweets, %d users\n", len(corpus.Tweets), len(corpus.Profiles))
+
+	if chaos.enabled {
+		return runChaos(addr, corpus.Tweets, rate, seed, chaos)
+	}
 
 	b := twitter.NewBroadcaster()
 	srv := &http.Server{Addr: addr, Handler: twitter.NewStreamServer(b).Handler()}
@@ -85,6 +121,42 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool) error
 
 	fmt.Fprintf(os.Stderr, "serving stream API on %s (filter: %s)\n", addr, twitter.FilterPath)
 	err := srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// runChaos serves the corpus through the exactly-once chaos harness.
+func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, chaos chaosFlags) error {
+	cs := twitter.NewChaosServer(tweets, twitter.ChaosConfig{
+		Seed:            seed,
+		FaultRate:       chaos.faultRate,
+		StallDuration:   chaos.stall,
+		RateLimitRate:   chaos.rateLimitRate,
+		ServerErrorRate: chaos.serverErrorRate,
+		RetryAfter:      chaos.retryAfter,
+		Rate:            rate,
+	})
+	srv := &http.Server{Addr: addr, Handler: cs.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr,
+		"serving CHAOS stream API on %s (fault-rate %g, stall %s, ratelimit %g, servererr %g)\n",
+		addr, chaos.faultRate, chaos.stall, chaos.rateLimitRate, chaos.serverErrorRate)
+	err := srv.ListenAndServe()
+	st := cs.Stats()
+	fmt.Fprintf(os.Stderr,
+		"chaos stats: %d delivered, %d disconnects, %d stalls, %d malformed, %d oversized, %d deletes, %d rate-limited, %d 503s\n",
+		st.Delivered, st.Disconnects, st.Stalls, st.Malformed, st.Oversized, st.Deletes, st.RateLimited, st.ServerError)
 	if err == http.ErrServerClosed {
 		return nil
 	}

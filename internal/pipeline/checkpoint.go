@@ -1,0 +1,278 @@
+// Durable checkpoint/resume for the collection pipeline. The paper's
+// sensor ran for 385 days; a purely in-memory Dataset discards the whole
+// run on any crash. A checkpoint serializes the full dataset state —
+// users, counters, contribution records, the bounded geocode memo, and
+// the collection window — so a restarted collector resumes with
+// statistics bit-identical to an uninterrupted run.
+//
+// On-disk format (all integers little-endian):
+//
+//	magic   [8]byte  "DSCKPT\x00" + version byte
+//	length  uint64   payload byte count
+//	crc32   uint32   IEEE CRC of the payload
+//	payload []byte   gob-encoded checkpointState
+//
+// Saves are atomic: the snapshot is written to a temporary file in the
+// target directory, synced, and renamed over the destination, so a crash
+// mid-save leaves either the old snapshot or the new one — never a torn
+// file. Loads verify magic, version, length, and checksum before
+// decoding, so a torn or corrupted file fails loudly instead of silently
+// skewing statistics.
+package pipeline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+)
+
+// checkpointMagic identifies a donorsense checkpoint; the trailing byte
+// is the format version.
+var checkpointMagic = [8]byte{'D', 'S', 'C', 'K', 'P', 'T', 0, checkpointVersion}
+
+const checkpointVersion = 1
+
+// ErrCheckpointCorrupt reports a snapshot that failed validation (bad
+// magic, truncation, or checksum mismatch).
+var ErrCheckpointCorrupt = errors.New("pipeline: checkpoint corrupt")
+
+// checkpointUser mirrors UserRecord with exported fields for gob.
+type checkpointUser struct {
+	ID               int64
+	StateCode        string
+	GeoTagged        bool
+	Tweets           int
+	Mentions         [organ.Count]int
+	ClinicalMentions int
+	Hashtags         int
+}
+
+// checkpointContribution mirrors tweetContribution.
+type checkpointContribution struct {
+	UserID    int64
+	Mentions  [organ.Count]int8
+	Clinical  int8
+	Hashtags  int8
+	Distinct  int8
+	GeoTagged bool
+}
+
+// checkpointState is the gob payload: the complete serializable state of
+// a Dataset.
+type checkpointState struct {
+	Users          map[int64]checkpointUser
+	TotalCollected int
+	USTweets       int
+	GeoTagged      int
+	MentionSum     int
+	FirstTweet     time.Time
+	LastTweet      time.Time
+	OrgansPerTweet map[int]int
+	TrackDeletions bool
+	Contributions  map[int64]checkpointContribution
+	LocCache       map[string]geo.Location
+}
+
+// snapshot captures the dataset into its serializable form.
+func (d *Dataset) snapshot() checkpointState {
+	st := checkpointState{
+		Users:          make(map[int64]checkpointUser, len(d.users)),
+		TotalCollected: d.totalCollected,
+		USTweets:       d.usTweets,
+		GeoTagged:      d.geoTagged,
+		MentionSum:     d.mentionSum,
+		FirstTweet:     d.firstTweet,
+		LastTweet:      d.lastTweet,
+		OrgansPerTweet: make(map[int]int, len(d.organsPerTweet)),
+		TrackDeletions: d.contributions != nil,
+		LocCache:       make(map[string]geo.Location, d.locCache.len()),
+	}
+	for id, u := range d.users {
+		st.Users[id] = checkpointUser{
+			ID:               u.ID,
+			StateCode:        u.StateCode,
+			GeoTagged:        u.GeoTagged,
+			Tweets:           u.Tweets,
+			Mentions:         u.Mentions,
+			ClinicalMentions: u.ClinicalMentions,
+			Hashtags:         u.Hashtags,
+		}
+	}
+	for k, n := range d.organsPerTweet {
+		st.OrgansPerTweet[k] = n
+	}
+	if d.contributions != nil {
+		st.Contributions = make(map[int64]checkpointContribution, len(d.contributions))
+		for id, c := range d.contributions {
+			st.Contributions[id] = checkpointContribution{
+				UserID:    c.userID,
+				Mentions:  c.mentions,
+				Clinical:  c.clinical,
+				Hashtags:  c.hashtags,
+				Distinct:  c.distinct,
+				GeoTagged: c.geoTagged,
+			}
+		}
+	}
+	d.locCache.each(func(k string, v geo.Location) { st.LocCache[k] = v })
+	return st
+}
+
+// restore rebuilds a fresh dataset from a decoded snapshot.
+func restore(st checkpointState) *Dataset {
+	d := NewDataset()
+	d.totalCollected = st.TotalCollected
+	d.usTweets = st.USTweets
+	d.geoTagged = st.GeoTagged
+	d.mentionSum = st.MentionSum
+	d.firstTweet = st.FirstTweet
+	d.lastTweet = st.LastTweet
+	for k, n := range st.OrgansPerTweet {
+		d.organsPerTweet[k] = n
+	}
+	for id, u := range st.Users {
+		d.users[id] = &UserRecord{
+			ID:               u.ID,
+			StateCode:        u.StateCode,
+			GeoTagged:        u.GeoTagged,
+			Tweets:           u.Tweets,
+			Mentions:         u.Mentions,
+			ClinicalMentions: u.ClinicalMentions,
+			Hashtags:         u.Hashtags,
+		}
+	}
+	if st.TrackDeletions {
+		d.TrackDeletions()
+		for id, c := range st.Contributions {
+			d.contributions[id] = tweetContribution{
+				userID:    c.UserID,
+				mentions:  c.Mentions,
+				clinical:  c.Clinical,
+				hashtags:  c.Hashtags,
+				distinct:  c.Distinct,
+				geoTagged: c.GeoTagged,
+			}
+		}
+	}
+	for k, v := range st.LocCache {
+		d.locCache.put(k, v)
+	}
+	return d
+}
+
+// WriteCheckpoint serializes the dataset to w in the checkpoint format.
+func (d *Dataset) WriteCheckpoint(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(d.snapshot()); err != nil {
+		return fmt.Errorf("pipeline: encode checkpoint: %w", err)
+	}
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("pipeline: write checkpoint: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pipeline: write checkpoint: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("pipeline: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a dataset from r, verifying the header and
+// checksum. It returns ErrCheckpointCorrupt (wrapped) for torn or
+// tampered snapshots.
+func ReadCheckpoint(r io.Reader) (*Dataset, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCheckpointCorrupt, err)
+	}
+	if [7]byte(magic[:7]) != [7]byte(checkpointMagic[:7]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCheckpointCorrupt)
+	}
+	if magic[7] != checkpointVersion {
+		return nil, fmt.Errorf("pipeline: checkpoint version %d not supported (want %d)", magic[7], checkpointVersion)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCheckpointCorrupt, err)
+	}
+	length := binary.LittleEndian.Uint64(hdr[0:8])
+	sum := binary.LittleEndian.Uint32(hdr[8:12])
+	const maxCheckpoint = 1 << 32 // sanity bound against a corrupted length
+	if length > maxCheckpoint {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCheckpointCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCheckpointCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpointCorrupt)
+	}
+	var st checkpointState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrCheckpointCorrupt, err)
+	}
+	return restore(st), nil
+}
+
+// SaveCheckpoint atomically writes the dataset snapshot to path: the
+// bytes land in a temporary file in the same directory, are synced to
+// stable storage, and are renamed over path in one step.
+func (d *Dataset) SaveCheckpoint(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("pipeline: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := d.WriteCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pipeline: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("pipeline: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("pipeline: publish checkpoint: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if df, err := os.Open(dir); err == nil {
+		_ = df.Sync()
+		df.Close()
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a dataset snapshot from path. A missing file is
+// reported with os.ErrNotExist (start fresh); a torn or corrupted file
+// with ErrCheckpointCorrupt.
+func LoadCheckpoint(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/twitter"
+)
+
+func TestLocCacheBounded(t *testing.T) {
+	c := newLocCache(8)
+	for i := 0; i < 1000; i++ {
+		c.put(fmt.Sprintf("city-%d", i), geo.Location{Country: "US"})
+	}
+	if c.len() > 16 {
+		t.Errorf("cache holds %d entries, cap is 2×8", c.len())
+	}
+}
+
+func TestLocCacheKeepsHotEntries(t *testing.T) {
+	c := newLocCache(8)
+	hot := geo.Location{Country: "US", StateCode: "KS"}
+	c.put("hot", hot)
+	for i := 0; i < 100; i++ {
+		// Touch the hot key between waves of cold inserts; promotion on
+		// hit must keep it resident across generation rotations.
+		if got, ok := c.get("hot"); !ok || got != hot {
+			t.Fatalf("hot entry evicted after %d cold inserts", i*4)
+		}
+		for j := 0; j < 4; j++ {
+			c.put(fmt.Sprintf("cold-%d-%d", i, j), geo.Location{})
+		}
+	}
+}
+
+func TestLocCacheEachDeduplicates(t *testing.T) {
+	c := newLocCache(2)
+	c.put("a", geo.Location{City: "a1"})
+	c.put("b", geo.Location{})
+	c.put("c", geo.Location{}) // rotates: {a,b} become prev
+	c.put("a", geo.Location{City: "a2"})
+	seen := map[string]geo.Location{}
+	c.each(func(k string, v geo.Location) {
+		if _, dup := seen[k]; dup {
+			t.Errorf("key %q visited twice", k)
+		}
+		seen[k] = v
+	})
+	if seen["a"].City != "a2" {
+		t.Errorf("each returned stale value %+v for promoted key", seen["a"])
+	}
+}
+
+func TestDatasetLocCacheStaysBounded(t *testing.T) {
+	// An adversarial stream of never-repeating profile locations must not
+	// grow the memo without limit (the 385-day memory-exhaustion hazard).
+	d := NewDataset()
+	tw := twitter.Tweet{Text: "please donate a kidney, be an organ donor"}
+	for i := 0; i < 1000; i++ {
+		tw.ID = int64(i)
+		tw.User = twitter.User{ID: int64(i), Location: fmt.Sprintf("nowhere-%d", i)}
+		d.Process(tw)
+	}
+	if n := d.locCache.len(); n > 2*locCacheCap {
+		t.Errorf("dataset locCache grew to %d entries", n)
+	}
+}

@@ -1,0 +1,310 @@
+package twitter
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosServer is the fault-injecting counterpart of StreamServer: it
+// serves a fixed corpus over the Stream API wire format while injecting
+// the failure modes a 385-day collector must survive — mid-stream
+// disconnects, keep-alive-free stalls, truncated/malformed JSON lines,
+// oversized (> 1 MiB) lines, interleaved delete notices, and HTTP 420/503
+// responses carrying Retry-After headers.
+//
+// Unlike the Broadcaster (fire-and-forget fan-out), the ChaosServer
+// tracks a delivery cursor that only advances when a tweet has been
+// written to a client, so a collector that reconnects after any injected
+// fault resumes exactly where it left off and eventually receives every
+// matching tweet exactly once. That property is what lets the chaos
+// integration tests assert bit-identical statistics against a fault-free
+// run. The cursor is shared: the server is a single-collector harness,
+// not a broadcast hub.
+//
+// When the corpus is exhausted the stream closes and subsequent connects
+// receive 410 Gone, terminating a well-behaved client cleanly.
+type ChaosServer struct {
+	cfg    ChaosConfig
+	corpus []Tweet
+
+	mu     sync.Mutex
+	cursor int
+	rng    *rand.Rand
+	stats  ChaosStats
+}
+
+// ChaosConfig tunes the fault mix. The zero value injects nothing (a
+// perfectly clean, lossless replay).
+type ChaosConfig struct {
+	// Seed makes the fault schedule reproducible.
+	Seed uint64
+	// FaultRate is the per-tweet probability of injecting a stream fault
+	// (disconnect, stall, malformed line, oversized line, or delete
+	// notice, chosen uniformly).
+	FaultRate float64
+	// StallDuration is how long a stall fault stays silent — no tweets,
+	// no keep-alives — before dropping the connection (default 2s).
+	// Point it above the client's StallTimeout to exercise stall
+	// detection.
+	StallDuration time.Duration
+	// RateLimitRate is the per-connection probability of answering 420
+	// (Enhance Your Calm) with a Retry-After header.
+	RateLimitRate float64
+	// ServerErrorRate is the per-connection probability of answering 503
+	// with a Retry-After header.
+	ServerErrorRate float64
+	// RetryAfter is the Retry-After header value on 420/503 responses
+	// (default 1s; the header is sent in whole seconds).
+	RetryAfter time.Duration
+	// OversizeBytes is the length of an injected oversized junk line
+	// (default 2 MiB — past the client's 1 MiB line cap).
+	OversizeBytes int
+	// Rate, when positive, throttles delivery to this many tweets per
+	// second.
+	Rate float64
+}
+
+// ChaosStats counts what the server actually injected.
+type ChaosStats struct {
+	Connections int64 // streaming connections accepted (HTTP 200)
+	RateLimited int64 // connections answered 420
+	ServerError int64 // connections answered 503
+	Disconnects int64 // injected mid-stream disconnects
+	Stalls      int64 // injected stalls
+	Malformed   int64 // injected truncated/malformed lines
+	Oversized   int64 // injected oversized lines
+	Deletes     int64 // injected delete notices
+	Delivered   int64 // real tweets written to clients
+}
+
+// chaos fault kinds, drawn uniformly when a fault fires.
+const (
+	chaosDisconnect = iota
+	chaosStall
+	chaosMalformed
+	chaosOversized
+	chaosDelete
+	chaosKinds
+)
+
+// NewChaosServer returns a server replaying corpus with the given fault
+// mix.
+func NewChaosServer(corpus []Tweet, cfg ChaosConfig) *ChaosServer {
+	if cfg.StallDuration <= 0 {
+		cfg.StallDuration = 2 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.OversizeBytes <= 0 {
+		cfg.OversizeBytes = 2 << 20
+	}
+	return &ChaosServer{
+		cfg:    cfg,
+		corpus: corpus,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0xc4a05)),
+	}
+}
+
+// Handler returns an http.Handler serving FilterPath.
+func (s *ChaosServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, s.serve)
+	return mux
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (s *ChaosServer) Stats() ChaosStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Remaining returns how many corpus tweets have not yet been delivered.
+func (s *ChaosServer) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.corpus) - s.cursor
+}
+
+// Reset rewinds the delivery cursor so the corpus replays from the start.
+func (s *ChaosServer) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cursor = 0
+}
+
+// roll draws a uniform float under the lock-protected rng.
+func (s *ChaosServer) roll() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
+func (s *ChaosServer) serve(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "bad form", http.StatusBadRequest)
+		return
+	}
+	filter := NewTrackFilter(r.Form.Get("track"))
+	if filter.Empty() {
+		http.Error(w, "at least one predicate (track) is required", http.StatusNotAcceptable)
+		return
+	}
+	if s.Remaining() == 0 {
+		// Corpus delivered in full: tell reconnecting clients to stop.
+		http.Error(w, "stream has ended", http.StatusGone)
+		return
+	}
+
+	// Connection-level faults: rate limiting and server errors, both
+	// carrying Retry-After like the real API's 420 and 503 responses.
+	retryAfter := fmt.Sprintf("%d", int(s.cfg.RetryAfter.Round(time.Second)/time.Second))
+	if s.cfg.RateLimitRate > 0 && s.roll() < s.cfg.RateLimitRate {
+		s.count(func(st *ChaosStats) { st.RateLimited++ })
+		w.Header().Set("Retry-After", retryAfter)
+		http.Error(w, "Enhance Your Calm", 420)
+		return
+	}
+	if s.cfg.ServerErrorRate > 0 && s.roll() < s.cfg.ServerErrorRate {
+		s.count(func(st *ChaosStats) { st.ServerError++ })
+		w.Header().Set("Retry-After", retryAfter)
+		http.Error(w, "Service Unavailable", http.StatusServiceUnavailable)
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Transfer-Encoding", "chunked")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	s.count(func(st *ChaosStats) { st.Connections++ })
+
+	var tick *time.Ticker
+	if s.cfg.Rate > 0 {
+		tick = time.NewTicker(time.Duration(float64(time.Second) / s.cfg.Rate))
+		defer tick.Stop()
+	}
+	ctx := r.Context()
+	for {
+		if tick != nil {
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				return
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		switch s.deliverNext(w, flusher, filter) {
+		case deliverOK:
+		case deliverStall:
+			// Go silent — no tweets, no keep-alive newlines — long enough
+			// to trip a stall-aware client, then drop the connection.
+			select {
+			case <-time.After(s.cfg.StallDuration):
+			case <-ctx.Done():
+			}
+			return
+		case deliverClose:
+			return
+		}
+	}
+}
+
+type deliverResult int
+
+const (
+	deliverOK deliverResult = iota
+	deliverStall
+	deliverClose
+)
+
+// deliverNext sends the next undelivered corpus tweet (possibly preceded
+// by injected noise lines), advancing the cursor only after the tweet is
+// on the wire. The lock is held across the write so concurrent
+// connections cannot duplicate or skip a tweet.
+func (s *ChaosServer) deliverNext(w http.ResponseWriter, flusher http.Flusher, filter *TrackFilter) deliverResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Skip past corpus tweets the track filter rejects; they are consumed
+	// (cursor advances) but never written, like the real filter endpoint.
+	for s.cursor < len(s.corpus) && !filter.Matches(s.corpus[s.cursor].Text) {
+		s.cursor++
+	}
+	if s.cursor >= len(s.corpus) {
+		return deliverClose
+	}
+	t := s.corpus[s.cursor]
+
+	// Stream-level faults. Noise faults (malformed, oversized, delete)
+	// inject an extra line and still deliver the real tweet, so no data
+	// is lost; connection faults (disconnect, stall) fire before the
+	// write, so the tweet is re-sent on the next connection.
+	if s.cfg.FaultRate > 0 && s.rng.Float64() < s.cfg.FaultRate {
+		switch s.rng.IntN(chaosKinds) {
+		case chaosDisconnect:
+			s.stats.Disconnects++
+			return deliverClose
+		case chaosStall:
+			s.stats.Stalls++
+			return deliverStall
+		case chaosMalformed:
+			s.stats.Malformed++
+			// A truncated tweet payload: valid prefix, no closing brace.
+			if _, err := w.Write([]byte(`{"id":1,"text":"truncated mid-fligh` + "\n")); err != nil {
+				return deliverClose
+			}
+		case chaosOversized:
+			s.stats.Oversized++
+			junk := make([]byte, s.cfg.OversizeBytes)
+			for i := range junk {
+				junk[i] = 'x'
+			}
+			junk[len(junk)-1] = '\n'
+			if _, err := w.Write(junk); err != nil {
+				return deliverClose
+			}
+		case chaosDelete:
+			s.stats.Deletes++
+			// A delete notice for a status this corpus never contains, so
+			// honoring it is a no-op and statistics stay comparable.
+			notice := fmt.Sprintf(`{"delete":{"status":{"id":%d,"user_id":%d}}}`+"\n",
+				int64(1)<<62+s.rng.Int64N(1<<30), s.rng.Int64N(1<<30))
+			if _, err := w.Write([]byte(notice)); err != nil {
+				return deliverClose
+			}
+		}
+	}
+
+	payload, err := json.Marshal(t)
+	if err != nil {
+		// Undeliverable tweet (cannot happen with generated corpora):
+		// drop it rather than wedging the stream.
+		s.cursor++
+		return deliverOK
+	}
+	payload = append(payload, '\n')
+	if _, err := w.Write(payload); err != nil {
+		return deliverClose // client went away; tweet stays undelivered
+	}
+	flusher.Flush()
+	s.cursor++
+	s.stats.Delivered++
+	return deliverOK
+}
+
+// count mutates the stats under the lock.
+func (s *ChaosServer) count(fn func(*ChaosStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(&s.stats)
+}

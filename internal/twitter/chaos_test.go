@@ -1,0 +1,251 @@
+package twitter
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// chaosCorpus builds a small corpus: 2 of every 3 tweets match the
+// "donor kidney" track, the rest are off-topic noise.
+func chaosCorpus(n int) []Tweet {
+	base := time.Date(2015, 4, 1, 0, 0, 0, 0, time.UTC)
+	tweets := make([]Tweet, n)
+	for i := range tweets {
+		text := fmt.Sprintf("be a kidney donor today — story %d", i)
+		if i%3 == 2 {
+			text = fmt.Sprintf("nothing to see here %d", i)
+		}
+		tweets[i] = Tweet{
+			ID:        int64(i + 1),
+			Text:      text,
+			CreatedAt: base.Add(time.Duration(i) * time.Minute),
+			User:      User{ID: int64(i%17 + 1), ScreenName: "u", Location: "Wichita, KS"},
+		}
+	}
+	return tweets
+}
+
+// collectAll runs a hardened client against the server until the stream
+// ends, returning the delivered tweet IDs in order.
+func collectAll(t *testing.T, url string, client *StreamClient) []int64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 64)
+	errc := make(chan error, 1)
+	go func() { errc <- client.Filter(ctx, "donor kidney", out) }()
+	var ids []int64
+	for tw := range out {
+		ids = append(ids, tw.ID)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Filter: %v (collected %d)", err, len(ids))
+	}
+	return ids
+}
+
+func wantIDs(corpus []Tweet) []int64 {
+	f := NewTrackFilter("donor kidney")
+	var ids []int64
+	for _, tw := range corpus {
+		if f.Matches(tw.Text) {
+			ids = append(ids, tw.ID)
+		}
+	}
+	return ids
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChaosServerCleanReplayDeliversExactlyOnce(t *testing.T) {
+	corpus := chaosCorpus(300)
+	cs := NewChaosServer(corpus, ChaosConfig{})
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+
+	client := &StreamClient{BaseURL: hs.URL, InitialBackoff: time.Millisecond}
+	ids := collectAll(t, hs.URL, client)
+	if want := wantIDs(corpus); !equalIDs(ids, want) {
+		t.Errorf("clean replay delivered %d tweets, want %d, or order differs", len(ids), len(want))
+	}
+	if cs.Remaining() != 0 {
+		t.Errorf("Remaining = %d after full replay", cs.Remaining())
+	}
+}
+
+func TestChaosServerExactlyOnceUnderFaults(t *testing.T) {
+	corpus := chaosCorpus(600)
+	want := wantIDs(corpus)
+
+	cs := NewChaosServer(corpus, ChaosConfig{
+		Seed:            7,
+		FaultRate:       0.05,
+		StallDuration:   10 * time.Second, // client stall timer must fire first
+		RateLimitRate:   0.25,
+		ServerErrorRate: 0.25,
+		// Sub-second Retry-After rounds to a "0" header: the floor is
+		// still exercised end-to-end without slowing the test down.
+		RetryAfter: 10 * time.Millisecond,
+	})
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+
+	client := &StreamClient{
+		BaseURL:          hs.URL,
+		InitialBackoff:   time.Millisecond,
+		MaxBackoff:       4 * time.Millisecond,
+		RateLimitBackoff: time.Millisecond,
+		StallTimeout:     100 * time.Millisecond,
+		HealthyTweets:    20,
+		jitter:           func() float64 { return 0.5 },
+	}
+	ids := collectAll(t, hs.URL, client)
+
+	if !equalIDs(ids, want) {
+		t.Fatalf("chaos replay delivered %d tweets, want %d (must be exactly-once, in order)", len(ids), len(want))
+	}
+	st := cs.Stats()
+	if st.Disconnects+st.Stalls+st.Malformed+st.Oversized+st.Deletes == 0 {
+		t.Error("chaos injected no stream faults; test exercised nothing")
+	}
+	clientStats := client.Stats()
+	if clientStats.Connects < 2 {
+		t.Errorf("client connected %d times; faults should force reconnects", clientStats.Connects)
+	}
+	if st.Malformed > 0 && clientStats.MalformedLines == 0 {
+		t.Error("server injected malformed lines but client counted none")
+	}
+	if st.Oversized > 0 && clientStats.SkippedLines == 0 {
+		t.Error("server injected oversized lines but client skipped none")
+	}
+	if st.Stalls > 0 && clientStats.Stalls == 0 {
+		t.Error("server stalled but client's stall timer never fired")
+	}
+	if st.RateLimited > 0 && clientStats.RateLimits == 0 {
+		t.Error("server rate-limited but client counted none")
+	}
+	t.Logf("chaos: %+v", st)
+	t.Logf("client: %+v", clientStats)
+}
+
+func TestChaosServerDeleteNoticesSurfaced(t *testing.T) {
+	corpus := chaosCorpus(200)
+	cs := NewChaosServer(corpus, ChaosConfig{Seed: 3, FaultRate: 0.5})
+	// Only delete faults matter here; re-roll until some are injected by
+	// running the full stream.
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+
+	var deletes []DeleteNotice
+	client := &StreamClient{
+		BaseURL:          hs.URL,
+		InitialBackoff:   time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		RateLimitBackoff: time.Millisecond,
+		StallTimeout:     100 * time.Millisecond,
+		OnDelete:         func(d DeleteNotice) { deletes = append(deletes, d) },
+		jitter:           func() float64 { return 0 },
+	}
+	ids := collectAll(t, hs.URL, client)
+	if want := wantIDs(corpus); !equalIDs(ids, want) {
+		t.Errorf("delivered %d, want %d", len(ids), len(want))
+	}
+	st := cs.Stats()
+	if st.Deletes == 0 {
+		t.Skip("fault schedule injected no deletes at this seed")
+	}
+	if int64(len(deletes)) != st.Deletes {
+		t.Errorf("client surfaced %d delete notices, server injected %d", len(deletes), st.Deletes)
+	}
+	for _, d := range deletes {
+		if d.StatusID < 1<<62 {
+			t.Errorf("injected delete notice %d collides with corpus ID space", d.StatusID)
+		}
+	}
+}
+
+func TestChaosServerGoneAfterExhaustion(t *testing.T) {
+	corpus := chaosCorpus(30)
+	cs := NewChaosServer(corpus, ChaosConfig{})
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+
+	client := &StreamClient{BaseURL: hs.URL, InitialBackoff: time.Millisecond}
+	collectAll(t, hs.URL, client)
+
+	resp, err := hs.Client().Get(hs.URL + FilterPath + "?track=donor+kidney")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 410 {
+		t.Errorf("status after exhaustion = %d, want 410 Gone", resp.StatusCode)
+	}
+
+	// Reset rewinds for another full replay.
+	cs.Reset()
+	if cs.Remaining() != len(corpus) {
+		t.Errorf("Remaining after Reset = %d, want %d", cs.Remaining(), len(corpus))
+	}
+}
+
+func TestChaosServerRejectsEmptyTrack(t *testing.T) {
+	cs := NewChaosServer(chaosCorpus(5), ChaosConfig{})
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + FilterPath + "?track=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 406 {
+		t.Errorf("status = %d, want 406", resp.StatusCode)
+	}
+}
+
+func TestChaosServerRateLimitResponseShape(t *testing.T) {
+	cs := NewChaosServer(chaosCorpus(5), ChaosConfig{RateLimitRate: 1, RetryAfter: 3 * time.Second})
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + FilterPath + "?track=donor+kidney")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 420 {
+		t.Errorf("status = %d, want 420", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", got)
+	}
+}
+
+func TestChaosClientGivesUpCleanlyWhenCancelled(t *testing.T) {
+	// Permanent rate limiting + a cancelled context must not wedge.
+	cs := NewChaosServer(chaosCorpus(5), ChaosConfig{RateLimitRate: 1, RetryAfter: time.Second})
+	hs := httptest.NewServer(cs.Handler())
+	defer hs.Close()
+
+	client := &StreamClient{BaseURL: hs.URL, RateLimitBackoff: time.Millisecond, jitter: func() float64 { return 0 }}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	out := make(chan Tweet, 1)
+	err := client.Filter(ctx, "donor kidney", out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}

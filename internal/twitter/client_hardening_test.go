@@ -1,0 +1,385 @@
+package twitter
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReadLineSizeCap(t *testing.T) {
+	const max = 100
+	long := strings.Repeat("x", 200)
+	veryLong := strings.Repeat("y", 300*1024) // spans many 64 KiB buffers
+	input := "short\n" + long + "\nafter\n" + veryLong + "\nlast\n"
+	br := bufio.NewReaderSize(strings.NewReader(input), 16) // tiny buffer forces accumulation
+
+	var lines []string
+	skips := 0
+	for {
+		line, skipped, err := readLine(br, max)
+		if skipped {
+			skips++
+		} else if len(line) > 0 {
+			lines = append(lines, string(line))
+		}
+		if err != nil {
+			break
+		}
+	}
+	if want := []string{"short", "after", "last"}; !equalStrings(lines, want) {
+		t.Errorf("lines = %q, want %q", lines, want)
+	}
+	if skips != 2 {
+		t.Errorf("skipped = %d, want 2", skips)
+	}
+}
+
+func TestReadLineUnterminatedFinalLine(t *testing.T) {
+	br := bufio.NewReaderSize(strings.NewReader("a\npartial"), 16)
+	line, _, err := readLine(br, 1024)
+	if string(line) != "a" || err != nil {
+		t.Fatalf("first line = %q, %v", line, err)
+	}
+	line, skipped, _ := readLine(br, 1024)
+	if string(line) != "partial" || skipped {
+		t.Errorf("final fragment = %q (skipped=%v), want \"partial\"", line, skipped)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStreamClientSkipsOversizedLines(t *testing.T) {
+	tw := sampleTweet()
+	payload, _ := json.Marshal(tw)
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write(payload)
+		w.Write([]byte("\n"))
+		// An oversized junk line must be skipped, not kill the connection
+		// (the old bufio.Scanner path died here with ErrTooLong).
+		junk := bytes.Repeat([]byte("z"), 2<<20)
+		junk[len(junk)-1] = '\n'
+		w.Write(junk)
+		w.Write(payload)
+		w.Write([]byte("\n"))
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	client := &StreamClient{BaseURL: hs.URL, MaxConnects: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 8)
+	errc := make(chan error, 1)
+	go func() { errc <- client.Filter(ctx, "donor kidney", out) }()
+
+	n := 0
+	for range out {
+		n++
+	}
+	<-errc
+	if n != 2 {
+		t.Errorf("delivered %d tweets, want 2 (oversized line must not break the stream)", n)
+	}
+	if st := client.Stats(); st.SkippedLines != 1 {
+		t.Errorf("SkippedLines = %d, want 1", st.SkippedLines)
+	}
+}
+
+func TestStreamClientStallDetection(t *testing.T) {
+	connects := atomic.Int32{}
+	tw := sampleTweet()
+	payload, _ := json.Marshal(tw)
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, func(w http.ResponseWriter, r *http.Request) {
+		connects.Add(1)
+		w.WriteHeader(200)
+		w.Write(payload)
+		w.Write([]byte("\n"))
+		w.(http.Flusher).Flush()
+		// Go silent forever: no tweets, no keep-alives. Only the client's
+		// stall timer can end this connection.
+		<-r.Context().Done()
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	client := &StreamClient{
+		BaseURL:        hs.URL,
+		StallTimeout:   80 * time.Millisecond,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     2 * time.Millisecond,
+		MaxConnects:    3,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 8)
+	err := client.Filter(ctx, "donor kidney", out)
+	if !errors.Is(err, ErrTooManyReconnects) {
+		t.Fatalf("err = %v, want ErrTooManyReconnects after stalled connections", err)
+	}
+	if got := connects.Load(); got != 3 {
+		t.Errorf("server saw %d connects, want 3", got)
+	}
+	if st := client.Stats(); st.Stalls != 3 || st.Tweets != 3 {
+		t.Errorf("stats = %+v, want 3 stalls and 3 tweets", st)
+	}
+}
+
+func TestStreamClientStallDisabled(t *testing.T) {
+	// StallTimeout < 0 disables the watchdog: a silent connection lives
+	// until the context ends.
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	client := &StreamClient{BaseURL: hs.URL, StallTimeout: -1, MaxConnects: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	out := make(chan Tweet, 1)
+	err := client.Filter(ctx, "donor kidney", out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline (connection must outlive any stall window)", err)
+	}
+	if st := client.Stats(); st.Stalls != 0 {
+		t.Errorf("Stalls = %d, want 0", st.Stalls)
+	}
+}
+
+func TestStreamClientRateLimitSchedule(t *testing.T) {
+	// Two 420s (one with Retry-After), then a clean 200+close. The client
+	// must use the rate-limit ladder, honor Retry-After as a floor, and
+	// survive to the successful connection.
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "Enhance Your Calm", 420)
+		case 2:
+			http.Error(w, "Enhance Your Calm", 420)
+		default:
+			w.WriteHeader(200)
+		}
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	var mu sync.Mutex
+	var waits []time.Duration
+	var kinds []StreamEventKind
+	client := &StreamClient{
+		BaseURL:          hs.URL,
+		InitialBackoff:   time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		RateLimitBackoff: 4 * time.Millisecond,
+		MaxConnects:      3,
+		jitter:           func() float64 { return 1 }, // deterministic: full delay
+		OnStateChange: func(ev StreamEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			kinds = append(kinds, ev.Kind)
+			if ev.Kind == EventBackoff {
+				waits = append(waits, ev.Wait)
+			}
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 1)
+	start := time.Now()
+	err := client.Filter(ctx, "donor kidney", out)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTooManyReconnects) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := client.Stats(); st.RateLimits != 2 || st.Connects != 1 {
+		t.Errorf("stats = %+v, want 2 rate limits and 1 connect", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) < 2 {
+		t.Fatalf("waits = %v, want at least 2 backoff events", waits)
+	}
+	// First 420 carried Retry-After: 1 — the floor beats the 4ms ladder.
+	if waits[0] < time.Second {
+		t.Errorf("first wait %v ignored Retry-After floor of 1s", waits[0])
+	}
+	if elapsed < time.Second {
+		t.Errorf("Filter returned after %v, faster than the Retry-After floor", elapsed)
+	}
+	// Second 420 had no header: the doubled ladder delay (8ms) applies.
+	if waits[1] != 8*time.Millisecond {
+		t.Errorf("second wait = %v, want 8ms (doubled rate-limit backoff)", waits[1])
+	}
+	sawRL := 0
+	for _, k := range kinds {
+		if k == EventRateLimited {
+			sawRL++
+		}
+	}
+	if sawRL != 2 {
+		t.Errorf("saw %d EventRateLimited, want 2", sawRL)
+	}
+}
+
+func TestStreamClient503RetryAfterHonored(t *testing.T) {
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(200)
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	client := &StreamClient{
+		BaseURL:        hs.URL,
+		InitialBackoff: time.Millisecond,
+		MaxConnects:    2,
+		jitter:         func() float64 { return 0 }, // jitter says "now"; floor must still hold
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 1)
+	start := time.Now()
+	_ = client.Filter(ctx, "donor kidney", out)
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("reconnected after %v, Retry-After demanded ≥ 1s", elapsed)
+	}
+}
+
+func TestStreamClientBackoffResetAfterHealthyConnection(t *testing.T) {
+	// Connection plan: fail, fail, healthy (delivers ≥ HealthyTweets),
+	// fail, exhausted. The two failures ramp the ladder 1ms → 2ms; the
+	// healthy connection must reset it so the post-healthy wait is 1ms
+	// again — the standalone backoff-growth bugfix this PR calls out.
+	tw := sampleTweet()
+	payload, _ := json.Marshal(tw)
+	var calls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc(FilterPath, func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1, 2:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case 3:
+			w.WriteHeader(200)
+			for i := 0; i < 3; i++ {
+				w.Write(payload)
+				w.Write([]byte("\n"))
+			}
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	var mu sync.Mutex
+	var waits []time.Duration
+	client := &StreamClient{
+		BaseURL:        hs.URL,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     time.Minute, // far above the waits we expect
+		HealthyAfter:   time.Hour,   // force the tweet-count path
+		HealthyTweets:  2,
+		MaxConnects:    4,
+		jitter:         func() float64 { return 1 },
+		OnStateChange: func(ev StreamEvent) {
+			if ev.Kind == EventBackoff {
+				mu.Lock()
+				waits = append(waits, ev.Wait)
+				mu.Unlock()
+			}
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 16)
+	errc := make(chan error, 1)
+	go func() { errc <- client.Filter(ctx, "donor kidney", out) }()
+	for range out {
+	}
+	if err := <-errc; !errors.Is(err, ErrTooManyReconnects) {
+		t.Fatalf("err = %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{
+		1 * time.Millisecond, // after failure 1
+		2 * time.Millisecond, // after failure 2: doubled
+		1 * time.Millisecond, // after healthy connection 3: reset
+		2 * time.Millisecond, // after failure 4: doubling resumes from the bottom
+	}
+	if fmt.Sprint(waits) != fmt.Sprint(want) {
+		t.Errorf("backoff waits = %v, want %v", waits, want)
+	}
+}
+
+func TestStreamClientPermanent4xxStillFatal(t *testing.T) {
+	hs := httptest.NewServer(http.NotFoundHandler())
+	defer hs.Close()
+	client := &StreamClient{BaseURL: hs.URL, MaxConnects: 5}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	out := make(chan Tweet, 1)
+	err := client.Filter(ctx, "donor kidney", out)
+	if err == nil || errors.Is(err, ErrTooManyReconnects) {
+		t.Errorf("404 must stay permanent, got %v", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if got := parseRetryAfter(h); got != 0 {
+		t.Errorf("absent header = %v, want 0", got)
+	}
+	h.Set("Retry-After", "7")
+	if got := parseRetryAfter(h); got != 7*time.Second {
+		t.Errorf("seconds form = %v, want 7s", got)
+	}
+	h.Set("Retry-After", "-3")
+	if got := parseRetryAfter(h); got != 0 {
+		t.Errorf("negative = %v, want 0", got)
+	}
+	h.Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+	if got := parseRetryAfter(h); got < 20*time.Second || got > 31*time.Second {
+		t.Errorf("http-date form = %v, want ≈30s", got)
+	}
+	h.Set("Retry-After", "soon")
+	if got := parseRetryAfter(h); got != 0 {
+		t.Errorf("garbage = %v, want 0", got)
+	}
+}
