@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fmt
+.PHONY: all build vet test race check bench bench-paper fmt
 
 all: check
 
@@ -14,14 +14,23 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent packages (stream client/server,
-# chaos simulator, parallel ingestion, collector CLI). -short skips the
-# scale-1.0 end of the suite; the concurrency paths are fully exercised.
+# chaos simulator, metrics registry, parallel ingestion, collector CLI).
+# -short skips the scale-1.0 end of the suite; the concurrency paths are
+# fully exercised.
 race:
-	$(GO) test -race -short ./internal/twitter/ ./internal/pipeline/ ./cmd/...
+	$(GO) test -race -short ./internal/obs/ ./internal/twitter/ ./internal/pipeline/ ./cmd/...
 
 check: build vet test race
 
+# Pipeline ingest benchmarks, archived as both benchstat-friendly text
+# (BENCH_pipeline.txt) and machine-readable JSON (BENCH_pipeline.json) so
+# perf PRs can prove their wins against a committed baseline.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/pipeline/ | tee BENCH_pipeline.txt
+	$(GO) run ./cmd/benchjson -in BENCH_pipeline.txt -out BENCH_pipeline.json
+
+# The full per-table/per-figure benchmark suite from the repo root.
+bench-paper:
 	$(GO) test -bench=. -benchmem
 
 fmt:

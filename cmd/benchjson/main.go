@@ -1,0 +1,123 @@
+// Command benchjson converts standard `go test -bench` text output into
+// a JSON document, so benchmark runs can be archived and diffed by
+// machines while the original text stays benchstat-friendly.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/pipeline/ | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_pipeline.json
+//
+// Repeated names (from -count N) become repeated entries; downstream
+// tooling can aggregate however it likes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchRun is one benchmark result line.
+type benchRun struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit → value, e.g. "ns/op": 1234.5
+}
+
+// benchDoc is the whole converted run.
+type benchDoc struct {
+	Goos       string     `json:"goos,omitempty"`
+	Goarch     string     `json:"goarch,omitempty"`
+	Pkg        string     `json:"pkg,omitempty"`
+	CPU        string     `json:"cpu,omitempty"`
+	Benchmarks []benchRun `json:"benchmarks"`
+}
+
+// parse reads go-bench text and extracts header context plus result lines.
+func parse(r io.Reader) (benchDoc, error) {
+	doc := benchDoc{Benchmarks: []benchRun{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // PASS/FAIL or some other Benchmark-prefixed text
+		}
+		run := benchRun{
+			Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return doc, fmt.Errorf("bad metric value %q in line %q", fields[i], line)
+			}
+			run.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, run)
+	}
+	return doc, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "-", "bench text input file (- = stdin)")
+	out := flag.String("out", "-", "JSON output file (- = stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: donorsense/internal/pipeline
+cpu: Example CPU @ 2.00GHz
+BenchmarkProcess-8   	  123456	      9876 ns/op	    1234 B/op	      12 allocs/op
+BenchmarkProcessAll-8	     500	   2345678 ns/op
+PASS
+ok  	donorsense/internal/pipeline	3.456s
+`
+	doc, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "donorsense/internal/pipeline" {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "Process-8" || b0.Iterations != 123456 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 9876 || b0.Metrics["B/op"] != 1234 || b0.Metrics["allocs/op"] != 12 {
+		t.Errorf("b0 metrics = %v", b0.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics["ns/op"] != 2345678 {
+		t.Errorf("b1 metrics = %v", doc.Benchmarks[1].Metrics)
+	}
+}

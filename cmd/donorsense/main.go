@@ -26,12 +26,14 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"donorsense/internal/core"
 	"donorsense/internal/export"
 	"donorsense/internal/gen"
+	"donorsense/internal/obs"
 	"donorsense/internal/organ"
 	"donorsense/internal/pipeline"
 	"donorsense/internal/report"
@@ -288,19 +290,34 @@ func cmdCollect(args []string) error {
 	stallTimeout := fs.Duration("stall-timeout", 90*time.Second, "tear down connections silent for this long")
 	backoff := fs.Duration("backoff", 250*time.Millisecond, "initial reconnect delay (doubles per failure, full jitter)")
 	rlBackoff := fs.Duration("ratelimit-backoff", 60*time.Second, "initial delay after a 420/429 rate limit (doubles per repeat)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/vars on this address (empty = off)")
+	progressEvery := fs.Duration("progress-every", 10*time.Second, "interval between progress log lines (0 = silent)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logJSON := fs.Bool("log-json", false, "emit logs as single-line JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.SetLogger(obs.NewLogger(os.Stderr, level, *logJSON))
+	logger := obs.Logger("collect")
+
+	// lastSaveUnixNano is read by the /healthz checkpoint check from the
+	// telemetry goroutine while the collect loop writes it; 0 = never.
+	var lastSaveUnixNano atomic.Int64
+	started := time.Now()
 
 	d := pipeline.NewDataset()
 	if *checkpoint != "" {
 		switch loaded, err := pipeline.LoadCheckpoint(*checkpoint); {
 		case err == nil:
 			d = loaded
-			fmt.Fprintf(os.Stderr, "resumed from checkpoint %s: %d US tweets, %d users\n",
-				*checkpoint, d.USTweets(), d.Users())
+			logger.Info("resumed from checkpoint",
+				"path", *checkpoint, "us_tweets", d.USTweets(), "users", d.Users())
 		case os.IsNotExist(err):
-			fmt.Fprintf(os.Stderr, "no checkpoint at %s; starting fresh\n", *checkpoint)
+			logger.Info("no checkpoint; starting fresh", "path", *checkpoint)
 		default:
 			return err
 		}
@@ -317,6 +334,57 @@ func cmdCollect(args []string) error {
 		InitialBackoff:   *backoff,
 		RateLimitBackoff: *rlBackoff,
 	}
+
+	// Telemetry: registry + instrumented client/pipeline + HTTP endpoint.
+	var streamMetrics *twitter.StreamMetrics
+	if *telemetryAddr != "" {
+		reg := obs.NewRegistry()
+		d.SetMetrics(pipeline.NewMetrics(reg))
+		streamMetrics = twitter.NewStreamMetrics(reg)
+		streamMetrics.Instrument(reg, client)
+		srv := obs.NewServer(reg)
+		srv.AddHealthCheck("stream", func() (any, error) {
+			st := client.Snapshot()
+			detail := map[string]any{
+				"connected":   streamMetrics.Connected(),
+				"connects":    st.Connects,
+				"retries":     st.Retries,
+				"stalls":      st.Stalls,
+				"rate_limits": st.RateLimits,
+				"tweets":      st.Tweets,
+			}
+			if st.Connects > 0 && !streamMetrics.Connected() {
+				return detail, fmt.Errorf("stream disconnected (reconnecting)")
+			}
+			return detail, nil
+		})
+		srv.AddHealthCheck("checkpoint", func() (any, error) {
+			if *checkpoint == "" {
+				return map[string]any{"enabled": false}, nil
+			}
+			last := lastSaveUnixNano.Load()
+			detail := map[string]any{"enabled": true, "path": *checkpoint}
+			var age time.Duration
+			if last == 0 {
+				age = time.Since(started)
+				detail["age_seconds"] = nil // no save yet this run
+			} else {
+				age = time.Since(time.Unix(0, last))
+				detail["age_seconds"] = age.Seconds()
+			}
+			if age > 5**checkpointEvery {
+				return detail, fmt.Errorf("checkpoint stale: last save %s ago", age.Round(time.Second))
+			}
+			return detail, nil
+		})
+		go func() {
+			logger.Info("telemetry listening", "addr", *telemetryAddr)
+			if err := srv.ListenAndServe(ctx, *telemetryAddr); err != nil {
+				logger.Error("telemetry server failed", "err", err)
+			}
+		}()
+	}
+
 	tweets := make(chan twitter.Tweet, 1024)
 	errc := make(chan error, 1)
 	go func() { errc <- client.Filter(ctx, organ.TrackTerms(), tweets) }()
@@ -325,30 +393,77 @@ func cmdCollect(args []string) error {
 		if *checkpoint == "" {
 			return nil
 		}
-		return d.SaveCheckpoint(*checkpoint)
+		if err := d.SaveCheckpoint(*checkpoint); err != nil {
+			return err
+		}
+		lastSaveUnixNano.Store(time.Now().UnixNano())
+		return nil
 	}
 	lastSave := time.Now()
-	n := 0
-	for t := range tweets {
-		d.Process(t)
-		n++
-		if n%1000 == 0 {
-			fmt.Fprintf(os.Stderr, "collected %d tweets, %d US users\n", n, d.Users())
+
+	// Progress: a periodic one-line pulse — ingest rate, retention, and
+	// checkpoint age — so a multi-day run is never silent.
+	var progressC <-chan time.Time
+	if *progressEvery > 0 {
+		tick := time.NewTicker(*progressEvery)
+		defer tick.Stop()
+		progressC = tick.C
+	}
+	lastProgress := time.Now()
+	lastProgressTweets := int64(0)
+	progress := func(n int) {
+		st := client.Snapshot()
+		elapsed := time.Since(lastProgress)
+		rate := float64(st.Tweets-lastProgressTweets) / elapsed.Seconds()
+		lastProgress, lastProgressTweets = time.Now(), st.Tweets
+		retained := 0.0
+		if d.TotalCollected() > 0 {
+			retained = 100 * float64(d.USTweets()) / float64(d.TotalCollected())
 		}
-		if *checkpoint != "" && time.Since(lastSave) >= *checkpointEvery {
-			if err := save(); err != nil {
-				return err
+		attrs := []any{
+			"tweets", n,
+			"tweets_per_sec", fmt.Sprintf("%.1f", rate),
+			"retained_pct", fmt.Sprintf("%.1f", retained),
+			"users", d.Users(),
+			"connects", st.Connects,
+		}
+		if *checkpoint != "" {
+			if last := lastSaveUnixNano.Load(); last > 0 {
+				attrs = append(attrs, "checkpoint_age", time.Since(time.Unix(0, last)).Round(time.Second).String())
+			} else {
+				attrs = append(attrs, "checkpoint_age", "never")
 			}
-			lastSave = time.Now()
 		}
-		if *maxTweets > 0 && n >= *maxTweets {
-			stop()
-			// Drain remaining deliveries so the client can exit.
-			go func() {
-				for range tweets {
+		logger.Info("progress", attrs...)
+	}
+
+	n := 0
+collect:
+	for {
+		select {
+		case t, ok := <-tweets:
+			if !ok {
+				break collect
+			}
+			d.Process(t)
+			n++
+			if *checkpoint != "" && time.Since(lastSave) >= *checkpointEvery {
+				if err := save(); err != nil {
+					return err
 				}
-			}()
-			break
+				lastSave = time.Now()
+			}
+			if *maxTweets > 0 && n >= *maxTweets {
+				stop()
+				// Drain remaining deliveries so the client can exit.
+				go func() {
+					for range tweets {
+					}
+				}()
+				break collect
+			}
+		case <-progressC:
+			progress(n)
 		}
 	}
 	if err := <-errc; err != nil && ctx.Err() == nil {
@@ -361,11 +476,12 @@ func cmdCollect(args []string) error {
 	if err := save(); err != nil {
 		return err
 	}
-	cs := client.Stats()
-	fmt.Fprintf(os.Stderr, "stream ended after %d tweets; analyzing\n", n)
-	fmt.Fprintf(os.Stderr,
-		"client stats: %d connects, %d disconnects, %d retries, %d rate-limits, %d stalls, %d skipped lines, %d malformed lines\n",
-		cs.Connects, cs.Disconnects, cs.Retries, cs.RateLimits, cs.Stalls, cs.SkippedLines, cs.MalformedLines)
+	cs := client.Snapshot()
+	logger.Info("stream ended; analyzing", "tweets", n)
+	logger.Info("client stats",
+		"connects", cs.Connects, "disconnects", cs.Disconnects, "retries", cs.Retries,
+		"rate_limits", cs.RateLimits, "stalls", cs.Stalls,
+		"skipped_lines", cs.SkippedLines, "malformed_lines", cs.MalformedLines)
 	if d.Users() == 0 {
 		return fmt.Errorf("no US users collected; nothing to analyze")
 	}

@@ -11,13 +11,19 @@
 // it delivers the corpus exactly once through injected mid-stream
 // disconnects, stalls, malformed/oversized lines, delete notices, and
 // 420/503 responses with Retry-After — the weather a 385-day collector
-// must survive.
+// must survive. At exit a chaos run prints one machine-readable JSON
+// line on stdout summarizing every injected fault, so CI can diff the
+// injected counts against what the collector under test observed.
 //
 //	streamsim -chaos -fault-rate 0.01 -stall 5s -ratelimit 0.05
+//
+// With -telemetry-addr the simulator also serves /metrics, /healthz and
+// /debug/pprof, mirroring the collector's own telemetry endpoint.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"donorsense/internal/gen"
+	"donorsense/internal/obs"
 	"donorsense/internal/twitter"
 )
 
@@ -41,6 +48,7 @@ func main() {
 	rateLimit := flag.Float64("ratelimit", 0.02, "chaos: per-connection probability of a 420 rate-limit response")
 	serverErr := flag.Float64("servererr", 0.02, "chaos: per-connection probability of a 503 response")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "chaos: Retry-After advertised on 420/503 responses")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
 	cfg := chaosFlags{
@@ -51,7 +59,7 @@ func main() {
 		serverErrorRate: *serverErr,
 		retryAfter:      *retryAfter,
 	}
-	if err := run(*addr, *scale, *seed, *rate, *loop, cfg); err != nil {
+	if err := run(*addr, *scale, *seed, *rate, *loop, cfg, *telemetryAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "streamsim:", err)
 		os.Exit(1)
 	}
@@ -67,15 +75,33 @@ type chaosFlags struct {
 	retryAfter      time.Duration
 }
 
-func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos chaosFlags) error {
+// serveTelemetry starts the obs endpoint (when addr is non-empty) with
+// gauge funcs over the simulator's state.
+func serveTelemetry(ctx context.Context, addr string, reg *obs.Registry) {
+	if addr == "" {
+		return
+	}
+	logger := obs.Logger("streamsim")
+	srv := obs.NewServer(reg)
+	srv.AddHealthCheck("simulator", func() (any, error) { return "serving", nil })
+	go func() {
+		logger.Info("telemetry listening", "addr", addr)
+		if err := srv.ListenAndServe(ctx, addr); err != nil {
+			logger.Error("telemetry server failed", "err", err)
+		}
+	}()
+}
+
+func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos chaosFlags, telemetryAddr string) error {
 	cfg := gen.DefaultConfig(scale)
 	cfg.Seed = seed
-	fmt.Fprintf(os.Stderr, "generating corpus at scale %g...\n", scale)
+	logger := obs.Logger("streamsim")
+	logger.Info("generating corpus", "scale", scale)
 	corpus := gen.Generate(cfg)
-	fmt.Fprintf(os.Stderr, "corpus ready: %d tweets, %d users\n", len(corpus.Tweets), len(corpus.Profiles))
+	logger.Info("corpus ready", "tweets", len(corpus.Tweets), "users", len(corpus.Profiles))
 
 	if chaos.enabled {
-		return runChaos(addr, corpus.Tweets, rate, seed, chaos)
+		return runChaos(addr, corpus.Tweets, rate, seed, chaos, telemetryAddr)
 	}
 
 	b := twitter.NewBroadcaster()
@@ -83,6 +109,14 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("donorsense_sim_subscribers",
+		"Clients currently subscribed to the broadcast stream.",
+		func() float64 { return float64(b.NumSubscribers()) })
+	reg.Gauge("donorsense_sim_corpus_tweets", "Tweets in the replayed corpus.").
+		Set(float64(len(corpus.Tweets)))
+	serveTelemetry(ctx, telemetryAddr, reg)
 
 	go func() {
 		<-ctx.Done()
@@ -115,11 +149,11 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 				break
 			}
 		}
-		fmt.Fprintln(os.Stderr, "replay complete; closing stream")
+		logger.Info("replay complete; closing stream")
 		b.Close()
 	}()
 
-	fmt.Fprintf(os.Stderr, "serving stream API on %s (filter: %s)\n", addr, twitter.FilterPath)
+	logger.Info("serving stream API", "addr", addr, "filter", twitter.FilterPath)
 	err := srv.ListenAndServe()
 	if err == http.ErrServerClosed {
 		return nil
@@ -127,8 +161,72 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 	return err
 }
 
+// chaosSummary is the machine-readable exit line of a -chaos run: the
+// server-side ground truth of every injected fault, diffable in CI
+// against the counters a collector under test reported.
+type chaosSummary struct {
+	Event       string `json:"event"` // always "chaos_summary"
+	Connections int64  `json:"connections"`
+	Delivered   int64  `json:"delivered"`
+	Remaining   int    `json:"remaining"`
+	Injected    struct {
+		Disconnects int64 `json:"disconnects"`
+		Stalls      int64 `json:"stalls"`
+		Malformed   int64 `json:"malformed"`
+		Oversized   int64 `json:"oversized"`
+		Deletes     int64 `json:"deletes"`
+		RateLimited int64 `json:"rate_limited"`
+		ServerError int64 `json:"server_errors"`
+	} `json:"injected"`
+}
+
+// chaosSummaryJSON renders the final stats line for a chaos run.
+func chaosSummaryJSON(st twitter.ChaosStats, remaining int) (string, error) {
+	s := chaosSummary{Event: "chaos_summary", Connections: st.Connections, Delivered: st.Delivered, Remaining: remaining}
+	s.Injected.Disconnects = st.Disconnects
+	s.Injected.Stalls = st.Stalls
+	s.Injected.Malformed = st.Malformed
+	s.Injected.Oversized = st.Oversized
+	s.Injected.Deletes = st.Deletes
+	s.Injected.RateLimited = st.RateLimited
+	s.Injected.ServerError = st.ServerError
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// chaosMetrics registers scrape-time views of the injected-fault counters.
+func chaosMetrics(reg *obs.Registry, cs *twitter.ChaosServer) {
+	stat := func(field func(twitter.ChaosStats) int64) func() float64 {
+		return func() float64 { return float64(field(cs.Stats())) }
+	}
+	reg.CounterFunc("donorsense_chaos_connections_total",
+		"Streaming connections accepted (HTTP 200).", stat(func(s twitter.ChaosStats) int64 { return s.Connections }))
+	reg.CounterFunc("donorsense_chaos_delivered_total",
+		"Real tweets written to clients.", stat(func(s twitter.ChaosStats) int64 { return s.Delivered }))
+	reg.CounterFunc("donorsense_chaos_disconnects_total",
+		"Injected mid-stream disconnects.", stat(func(s twitter.ChaosStats) int64 { return s.Disconnects }))
+	reg.CounterFunc("donorsense_chaos_stalls_total",
+		"Injected stalls.", stat(func(s twitter.ChaosStats) int64 { return s.Stalls }))
+	reg.CounterFunc("donorsense_chaos_malformed_total",
+		"Injected malformed lines.", stat(func(s twitter.ChaosStats) int64 { return s.Malformed }))
+	reg.CounterFunc("donorsense_chaos_oversized_total",
+		"Injected oversized lines.", stat(func(s twitter.ChaosStats) int64 { return s.Oversized }))
+	reg.CounterFunc("donorsense_chaos_deletes_total",
+		"Injected delete notices.", stat(func(s twitter.ChaosStats) int64 { return s.Deletes }))
+	reg.CounterFunc("donorsense_chaos_rate_limited_total",
+		"Connections answered 420.", stat(func(s twitter.ChaosStats) int64 { return s.RateLimited }))
+	reg.CounterFunc("donorsense_chaos_server_errors_total",
+		"Connections answered 503.", stat(func(s twitter.ChaosStats) int64 { return s.ServerError }))
+	reg.GaugeFunc("donorsense_chaos_remaining",
+		"Corpus tweets not yet delivered.", func() float64 { return float64(cs.Remaining()) })
+}
+
 // runChaos serves the corpus through the exactly-once chaos harness.
-func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, chaos chaosFlags) error {
+func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, chaos chaosFlags, telemetryAddr string) error {
+	logger := obs.Logger("streamsim")
 	cs := twitter.NewChaosServer(tweets, twitter.ChaosConfig{
 		Seed:            seed,
 		FaultRate:       chaos.faultRate,
@@ -149,14 +247,22 @@ func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, ch
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Fprintf(os.Stderr,
-		"serving CHAOS stream API on %s (fault-rate %g, stall %s, ratelimit %g, servererr %g)\n",
-		addr, chaos.faultRate, chaos.stall, chaos.rateLimitRate, chaos.serverErrorRate)
+	reg := obs.NewRegistry()
+	chaosMetrics(reg, cs)
+	serveTelemetry(ctx, telemetryAddr, reg)
+
+	logger.Info("serving CHAOS stream API", "addr", addr,
+		"fault_rate", chaos.faultRate, "stall", chaos.stall.String(),
+		"ratelimit", chaos.rateLimitRate, "servererr", chaos.serverErrorRate)
 	err := srv.ListenAndServe()
 	st := cs.Stats()
-	fmt.Fprintf(os.Stderr,
-		"chaos stats: %d delivered, %d disconnects, %d stalls, %d malformed, %d oversized, %d deletes, %d rate-limited, %d 503s\n",
-		st.Delivered, st.Disconnects, st.Stalls, st.Malformed, st.Oversized, st.Deletes, st.RateLimited, st.ServerError)
+	logger.Info("chaos run finished",
+		"delivered", st.Delivered, "disconnects", st.Disconnects, "stalls", st.Stalls,
+		"malformed", st.Malformed, "oversized", st.Oversized, "deletes", st.Deletes,
+		"rate_limited", st.RateLimited, "server_errors", st.ServerError)
+	if line, jerr := chaosSummaryJSON(st, cs.Remaining()); jerr == nil {
+		fmt.Println(line)
+	}
 	if err == http.ErrServerClosed {
 		return nil
 	}

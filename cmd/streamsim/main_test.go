@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"donorsense/internal/twitter"
+)
+
+// TestChaosSummaryJSON pins the machine-readable exit line's schema so
+// CI scripts parsing it don't silently break.
+func TestChaosSummaryJSON(t *testing.T) {
+	st := twitter.ChaosStats{
+		Connections: 7, Delivered: 100, Disconnects: 3, Stalls: 2,
+		Malformed: 4, Oversized: 1, Deletes: 5, RateLimited: 6, ServerError: 8,
+	}
+	line, err := chaosSummaryJSON(st, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("summary not valid JSON: %v\n%s", err, line)
+	}
+	if got["event"] != "chaos_summary" {
+		t.Errorf("event = %v, want chaos_summary", got["event"])
+	}
+	if got["delivered"] != 100.0 || got["connections"] != 7.0 || got["remaining"] != 9.0 {
+		t.Errorf("top-level fields wrong: %s", line)
+	}
+	inj, ok := got["injected"].(map[string]any)
+	if !ok {
+		t.Fatalf("injected not an object: %s", line)
+	}
+	want := map[string]float64{
+		"disconnects": 3, "stalls": 2, "malformed": 4, "oversized": 1,
+		"deletes": 5, "rate_limited": 6, "server_errors": 8,
+	}
+	for k, v := range want {
+		if inj[k] != v {
+			t.Errorf("injected.%s = %v, want %g", k, inj[k], v)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package geo
 import (
 	"math"
 	"strings"
+	"time"
 	"unicode"
 )
 
@@ -50,8 +51,18 @@ func (l Location) IsUSState() bool {
 // GPS points to US states. It replaces the paper's OpenStreetMap/Nominatim
 // calls with an offline gazetteer; see DESIGN.md §2.
 //
-// A Geocoder is safe for concurrent use.
-type Geocoder struct{}
+// A Geocoder is safe for concurrent use once its hooks are set; set them
+// before sharing it across goroutines.
+type Geocoder struct {
+	// OnLocate, when set, observes every profile-string resolution with
+	// its outcome and duration — the telemetry layer's window into
+	// geocode latency and accuracy mix. Hooks must be cheap; they run on
+	// the ingest hot path.
+	OnLocate func(loc Location, d time.Duration)
+	// OnReverse likewise observes every GPS reverse-geocode; ok mirrors
+	// Reverse's second return.
+	OnReverse func(loc Location, ok bool, d time.Duration)
+}
 
 // NewGeocoder returns a ready Geocoder backed by the package gazetteer.
 func NewGeocoder() *Geocoder { return &Geocoder{} }
@@ -171,6 +182,16 @@ func phrase(seg []segToken, i, j int) string {
 //     hint is present.
 //  5. Bare country words give country accuracy.
 func (g *Geocoder) Locate(raw string) Location {
+	if g.OnLocate == nil {
+		return g.locate(raw)
+	}
+	start := time.Now()
+	loc := g.locate(raw)
+	g.OnLocate(loc, time.Since(start))
+	return loc
+}
+
+func (g *Geocoder) locate(raw string) Location {
 	segs := splitSegments(raw)
 	if len(segs) == 0 {
 		return Location{}
@@ -327,6 +348,16 @@ const reverseCityRadiusDeg = 0.8
 // the smallest containing state bounding box. ok is false when neither
 // strategy matches — the point is outside the USA.
 func (g *Geocoder) Reverse(lat, lon float64) (Location, bool) {
+	if g.OnReverse == nil {
+		return g.reverse(lat, lon)
+	}
+	start := time.Now()
+	loc, ok := g.reverse(lat, lon)
+	g.OnReverse(loc, ok, time.Since(start))
+	return loc, ok
+}
+
+func (g *Geocoder) reverse(lat, lon float64) (Location, bool) {
 	// Nearest city, equirectangular squared distance with the longitude
 	// axis compressed by cos(lat).
 	coslat := math.Cos(lat * math.Pi / 180)

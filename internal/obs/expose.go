@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE lines (emitted even when the family has no series
+// yet, so dashboards see the full schema from the first scrape), series
+// sorted by label values, histograms as cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*series, len(keys))
+	for i, k := range keys {
+		children[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+
+	for _, s := range children {
+		if f.kind == KindHistogram {
+			f.writeHistogram(w, s)
+			continue
+		}
+		v := s.val.Load()
+		if s.fn != nil {
+			v = s.fn()
+		}
+		w.WriteString(f.name)
+		writeLabels(w, f.labels, s.labelValues, "", "")
+		w.WriteByte(' ')
+		w.WriteString(formatValue(v))
+		w.WriteByte('\n')
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum and _count.
+func (f *family) writeHistogram(w *bufio.Writer, s *series) {
+	cum := uint64(0)
+	for i, ub := range f.buckets {
+		cum += s.counts[i].Load()
+		w.WriteString(f.name)
+		w.WriteString("_bucket")
+		writeLabels(w, f.labels, s.labelValues, "le", formatValue(ub))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatUint(cum, 10))
+		w.WriteByte('\n')
+	}
+	cum += s.counts[len(f.buckets)].Load()
+	w.WriteString(f.name)
+	w.WriteString("_bucket")
+	writeLabels(w, f.labels, s.labelValues, "le", "+Inf")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+
+	w.WriteString(f.name)
+	w.WriteString("_sum")
+	writeLabels(w, f.labels, s.labelValues, "", "")
+	w.WriteByte(' ')
+	w.WriteString(formatValue(s.sum.Load()))
+	w.WriteByte('\n')
+
+	w.WriteString(f.name)
+	w.WriteString("_count")
+	writeLabels(w, f.labels, s.labelValues, "", "")
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(s.count.Load(), 10))
+	w.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}, appending the extra pair (used for the
+// histogram le label) when extraName is non-empty. Nothing is written
+// when there are no labels at all.
+func writeLabels(w *bufio.Writer, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(n)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(values[i]))
+		w.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraName)
+		w.WriteString(`="`)
+		w.WriteString(extraValue)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline, per the
+// exposition-format spec.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation, integers without a decimal point.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Export flattens the registry into a name{labels} → value map — the
+// /debug/vars (expvar) bridge representation. Histograms export their
+// _sum and _count.
+func (r *Registry) Export() map[string]any {
+	out := make(map[string]any)
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		f.mu.RLock()
+		for _, s := range f.series {
+			key := f.name
+			if len(f.labels) > 0 {
+				pairs := make([]string, len(f.labels))
+				for i, n := range f.labels {
+					pairs[i] = n + "=" + s.labelValues[i]
+				}
+				key += "{" + strings.Join(pairs, ",") + "}"
+			}
+			if f.kind == KindHistogram {
+				out[key+"_sum"] = s.sum.Load()
+				out[key+"_count"] = s.count.Load()
+				continue
+			}
+			if s.fn != nil {
+				out[key] = s.fn()
+			} else {
+				out[key] = s.val.Load()
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// Handler serves the registry in the exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition output: family
+// ordering, HELP/TYPE lines, label rendering and escaping, histogram
+// cumulative buckets with _sum/_count, and scrape-time func instruments.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("app_requests_total", "Requests served.")
+	c.Add(3)
+	c.Inc()
+
+	g := r.Gauge("app_temperature", "Current temperature.")
+	g.Set(36.5)
+
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 42 })
+
+	v := r.CounterVec("app_errors_total", "Errors by kind.", "kind", "detail")
+	v.With("io", `path "a\b"`).Add(2)
+	v.With("net", "line1\nline2").Inc()
+
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP app_errors_total Errors by kind.
+# TYPE app_errors_total counter
+app_errors_total{kind="io",detail="path \"a\\b\""} 2
+app_errors_total{kind="net",detail="line1\nline2"} 1
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="10"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 55.55
+app_latency_seconds_count 4
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total 4
+# HELP app_temperature Current temperature.
+# TYPE app_temperature gauge
+app_temperature 36.5
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 42
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestEmptyVecStillExposesSchema: a labeled family with no children yet
+// must still surface its HELP/TYPE lines so dashboards see the schema.
+func TestEmptyVecStillExposesSchema(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("app_things_total", "Things.", "kind")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP app_things_total Things.\n# TYPE app_things_total counter\n"
+	if sb.String() != want {
+		t.Errorf("got %q, want %q", sb.String(), want)
+	}
+}
+
+// TestCounterIgnoresNegative: counters are monotonic.
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %g, want 5", got)
+	}
+}
+
+// TestReRegisterSameShapeIsIdempotent: fetching the same family twice
+// returns the same underlying series.
+func TestReRegisterSameShapeIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help").Inc()
+	r.Counter("x_total", "help").Inc()
+	if got := r.Counter("x_total", "help").Value(); got != 2 {
+		t.Errorf("Value = %g, want 2", got)
+	}
+}
+
+// TestReRegisterDifferentShapePanics: a name reused with another kind is
+// a programming error.
+func TestReRegisterDifferentShapePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("y_total", "")
+}
+
+// TestHistogramQuantileDerivable: bucket counts must be cumulative and
+// consistent with _count, the property quantile estimation relies on.
+func TestHistogramQuantileDerivable(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005) // le 0.001
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05) // le 0.1
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_bucket{le="0.001"} 90`,
+		`lat_bucket{le="0.01"} 90`,
+		`lat_bucket{le="0.1"} 100`,
+		`lat_bucket{le="+Inf"} 100`,
+		`lat_count 100`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}

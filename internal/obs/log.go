@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging: every component of the collector logs through a
+// shared slog base logger tagged with a "component" attribute, so a
+// multi-day run's stderr is grep-able by subsystem and machine-parseable
+// when JSON output is selected.
+
+// baseLogger is the process-wide base; Logger derives component loggers
+// from it. Defaults to slog's default logger until SetLogger runs.
+var baseLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs the base logger all components derive from.
+func SetLogger(l *slog.Logger) { baseLogger.Store(l) }
+
+// Logger returns the shared base logger tagged with the component name.
+func Logger(component string) *slog.Logger {
+	if l := baseLogger.Load(); l != nil {
+		return l.With("component", component)
+	}
+	return slog.Default().With("component", component)
+}
+
+// NewLogger builds a slog logger writing to w at the given level, as
+// human-readable text or single-line JSON.
+func NewLogger(w io.Writer, level slog.Level, asJSON bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}

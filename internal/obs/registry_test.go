@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentStress hammers every instrument type from many
+// goroutines while scrapes run concurrently, then asserts the final
+// counts are exact. Run with -race (the Makefile's race target includes
+// this package) to prove the lock-free hot path is sound.
+func TestRegistryConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 2000
+	)
+	r := NewRegistry()
+	counter := r.Counter("stress_counter_total", "")
+	gauge := r.Gauge("stress_gauge", "")
+	hist := r.Histogram("stress_hist", "", []float64{0.25, 0.5, 0.75})
+	vec := r.CounterVec("stress_vec_total", "", "worker")
+	hvec := r.HistogramVec("stress_hvec", "", []float64{1, 2}, "worker")
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", g%4) // contended label children
+			for i := 0; i < iterations; i++ {
+				counter.Inc()
+				gauge.Add(1)
+				hist.Observe(float64(i%4) / 4)
+				vec.With(label).Inc()
+				hvec.With(label).Observe(float64(i % 3))
+			}
+		}(g)
+	}
+	// Concurrent scrapes must never block or corrupt the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	total := float64(goroutines * iterations)
+	if got := counter.Value(); got != total {
+		t.Errorf("counter = %g, want %g", got, total)
+	}
+	if got := gauge.Value(); got != total {
+		t.Errorf("gauge = %g, want %g", got, total)
+	}
+	if got := hist.Count(); got != uint64(total) {
+		t.Errorf("histogram count = %d, want %g", got, total)
+	}
+	vecSum := 0.0
+	for g := 0; g < 4; g++ {
+		vecSum += vec.With(fmt.Sprintf("w%d", g)).Value()
+	}
+	if vecSum != total {
+		t.Errorf("vec sum = %g, want %g", vecSum, total)
+	}
+	hvecSum := uint64(0)
+	for g := 0; g < 4; g++ {
+		hvecSum += hvec.With(fmt.Sprintf("w%d", g)).Count()
+	}
+	if hvecSum != uint64(total) {
+		t.Errorf("hvec count sum = %d, want %g", hvecSum, total)
+	}
+}
+
+// TestExpBuckets checks the generator used for byte-size layouts.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExport flattens the registry for the expvar bridge.
+func TestExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(7)
+	r.CounterVec("b_total", "", "k").With("v").Add(2)
+	h := r.Histogram("h", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	m := r.Export()
+	if m["a_total"] != 7.0 {
+		t.Errorf("a_total = %v", m["a_total"])
+	}
+	if m["b_total{k=v}"] != 2.0 {
+		t.Errorf("b_total{k=v} = %v", m["b_total{k=v}"])
+	}
+	if m["h_count"] != uint64(2) {
+		t.Errorf("h_count = %v", m["h_count"])
+	}
+	if m["h_sum"] != 2.5 {
+		t.Errorf("h_sum = %v", m["h_sum"])
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the collector's telemetry endpoint:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       JSON health summary (registered checks + uptime)
+//	/debug/pprof/  the standard profiling handlers
+//	/debug/vars    expvar, including a flattened view of the registry
+//
+// It is deliberately separate from any data-serving listener so operators
+// can firewall it independently.
+type Server struct {
+	reg   *Registry
+	start time.Time
+
+	mu     sync.RWMutex
+	checks map[string]HealthCheck
+}
+
+// HealthCheck reports one component's health: a JSON-serializable detail
+// value and an error when the component is unhealthy.
+type HealthCheck func() (detail any, err error)
+
+// NewServer returns a telemetry server over the registry.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, start: time.Now(), checks: make(map[string]HealthCheck)}
+	bridgeExpvar(reg)
+	return s
+}
+
+// AddHealthCheck registers (or replaces) a named component check consulted
+// by /healthz.
+func (s *Server) AddHealthCheck(name string, fn HealthCheck) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checks[name] = fn
+}
+
+// Handler returns the telemetry mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// healthState is the /healthz response body.
+type healthState struct {
+	Status        string            `json:"status"` // "ok" or "degraded"
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Checks        map[string]any    `json:"checks,omitempty"`
+	Errors        map[string]string `json:"errors,omitempty"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	checks := make(map[string]HealthCheck, len(s.checks))
+	for name, fn := range s.checks {
+		checks[name] = fn
+	}
+	s.mu.RUnlock()
+
+	st := healthState{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Checks:        make(map[string]any, len(checks)),
+	}
+	for name, fn := range checks {
+		detail, err := fn()
+		st.Checks[name] = detail
+		if err != nil {
+			if st.Errors == nil {
+				st.Errors = make(map[string]string)
+			}
+			st.Errors[name] = err.Error()
+			st.Status = "degraded"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// ListenAndServe serves the telemetry endpoint on addr until ctx is done,
+// then shuts down gracefully and returns any terminal serve error.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+	}()
+	err = srv.Serve(ln)
+	<-done
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// bridgedRegistry is the registry currently published under the
+// "donorsense_metrics" expvar; expvar.Publish is global and forbids
+// re-publishing, so the Func closure indirects through this pointer.
+var (
+	bridgeOnce      sync.Once
+	bridgedRegistry atomic.Pointer[Registry]
+)
+
+// bridgeExpvar publishes the registry as the "donorsense_metrics" expvar.
+// The latest bridged registry wins, matching the one-telemetry-server-
+// per-process deployment.
+func bridgeExpvar(reg *Registry) {
+	bridgedRegistry.Store(reg)
+	bridgeOnce.Do(func() {
+		expvar.Publish("donorsense_metrics", expvar.Func(func() any {
+			r := bridgedRegistry.Load()
+			if r == nil {
+				return nil
+			}
+			return r.Export()
+		}))
+	})
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "A counter.").Add(9)
+	s := NewServer(reg)
+	s.AddHealthCheck("always_ok", func() (any, error) { return "fine", nil })
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	code, body := get(t, hs.URL+"/metrics")
+	if code != 200 || !strings.Contains(body, "test_total 9") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get(t, hs.URL+"/healthz")
+	if code != 200 {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	var st struct {
+		Status string         `json:"status"`
+		Checks map[string]any `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if st.Status != "ok" || st.Checks["always_ok"] != "fine" {
+		t.Errorf("healthz = %+v", st)
+	}
+
+	// /debug/vars must include the bridged registry view.
+	code, body = get(t, hs.URL+"/debug/vars")
+	if code != 200 || !strings.Contains(body, "donorsense_metrics") {
+		t.Errorf("/debug/vars = %d (want donorsense_metrics key)", code)
+	}
+
+	// pprof index should respond (content-type text/html).
+	code, body = get(t, hs.URL+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "pprof") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestServerHealthzDegraded(t *testing.T) {
+	s := NewServer(NewRegistry())
+	s.AddHealthCheck("broken", func() (any, error) { return nil, fmt.Errorf("on fire") })
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	code, body := get(t, hs.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("degraded healthz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "on fire") || !strings.Contains(body, "degraded") {
+		t.Errorf("healthz body missing failure detail: %s", body)
+	}
+}

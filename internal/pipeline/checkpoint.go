@@ -231,15 +231,33 @@ func ReadCheckpoint(r io.Reader) (*Dataset, error) {
 
 // SaveCheckpoint atomically writes the dataset snapshot to path: the
 // bytes land in a temporary file in the same directory, are synced to
-// stable storage, and are renamed over path in one step.
-func (d *Dataset) SaveCheckpoint(path string) error {
+// stable storage, and are renamed over path in one step. When metrics
+// are attached the save duration, snapshot size, and success/failure are
+// recorded.
+func (d *Dataset) SaveCheckpoint(path string) (err error) {
+	var start time.Time
+	var written countingWriter
+	if m := d.metrics; m != nil {
+		start = time.Now()
+		defer func() {
+			if err != nil {
+				m.ckptErrors.Inc()
+				return
+			}
+			m.ckptSaves.Inc()
+			m.ckptSeconds.Since(start)
+			m.ckptBytes.Set(float64(written.n))
+			m.ckptLast.Set(float64(time.Now().Unix()))
+		}()
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("pipeline: checkpoint temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := d.WriteCheckpoint(tmp); err != nil {
+	written.w = tmp
+	if err := d.WriteCheckpoint(&written); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -259,6 +277,19 @@ func (d *Dataset) SaveCheckpoint(path string) error {
 		df.Close()
 	}
 	return nil
+}
+
+// countingWriter counts the bytes that pass through to w — the
+// checkpoint-size gauge's source.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // LoadCheckpoint reads a dataset snapshot from path. A missing file is

@@ -112,6 +112,10 @@ type Dataset struct {
 	// contributions, when non-nil (TrackDeletions), maps retained status
 	// IDs to their reversal records for delete-notice compliance.
 	contributions map[int64]tweetContribution
+
+	// metrics, when non-nil (SetMetrics), instruments every stage of
+	// Process. Nil keeps the hot path branch-cheap and allocation-free.
+	metrics *Metrics
 }
 
 // NewDataset returns an empty dataset.
@@ -128,13 +132,39 @@ func NewDataset() *Dataset {
 // Process runs one tweet through collect → augment → filter and folds it
 // into the dataset. It returns what happened to the tweet.
 func (d *Dataset) Process(t twitter.Tweet) Outcome {
+	m := d.metrics
+	if m == nil {
+		return d.process(t)
+	}
+	start := time.Now()
+	o := d.process(t)
+	m.observeOutcome(d, o, time.Since(start))
+	return o
+}
+
+func (d *Dataset) process(t twitter.Tweet) Outcome {
+	m := d.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	ex := d.extractor.Extract(t.Text)
+	if m != nil {
+		m.stage.With(StageExtract).Since(t0)
+	}
 	if !ex.InContext() {
 		return Rejected
 	}
 	d.totalCollected++
 
+	if m != nil {
+		t0 = time.Now()
+	}
 	loc, viaGeoTag := d.locate(t)
+	if m != nil {
+		m.stage.With(StageLocate).Since(t0)
+		m.filter.With(filterCause(t.Coordinates != nil, loc, viaGeoTag)).Inc()
+	}
 	if !loc.IsUSState() {
 		return CollectedNonUS
 	}
@@ -188,7 +218,13 @@ func (d *Dataset) locate(t twitter.Tweet) (loc geo.Location, viaGeoTag bool) {
 	}
 	raw := t.User.Location
 	if l, ok := d.locCache.get(raw); ok {
+		if d.metrics != nil {
+			d.metrics.cacheHits.Inc()
+		}
 		return l, false
+	}
+	if d.metrics != nil {
+		d.metrics.cacheMisses.Inc()
 	}
 	l := d.geocoder.Locate(raw)
 	d.locCache.put(raw, l)
@@ -208,6 +244,8 @@ const locCacheCap = 1 << 16
 type locCache struct {
 	cap       int
 	cur, prev map[string]geo.Location
+	// onRotate, when set, observes each generation rotation (telemetry).
+	onRotate func()
 }
 
 func newLocCache(capacity int) *locCache {
@@ -232,6 +270,9 @@ func (c *locCache) put(k string, v geo.Location) {
 	if len(c.cur) >= c.cap {
 		c.prev = c.cur
 		c.cur = make(map[string]geo.Location, c.cap/4)
+		if c.onRotate != nil {
+			c.onRotate()
+		}
 	}
 	c.cur[k] = v
 }

@@ -122,7 +122,7 @@ func TestChaosServerExactlyOnceUnderFaults(t *testing.T) {
 	if st.Disconnects+st.Stalls+st.Malformed+st.Oversized+st.Deletes == 0 {
 		t.Error("chaos injected no stream faults; test exercised nothing")
 	}
-	clientStats := client.Stats()
+	clientStats := client.Snapshot()
 	if clientStats.Connects < 2 {
 		t.Errorf("client connected %d times; faults should force reconnects", clientStats.Connects)
 	}

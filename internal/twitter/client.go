@@ -133,7 +133,8 @@ type StreamEvent struct {
 }
 
 // StreamStats is a snapshot of the client's lifetime counters. It is safe
-// to call Stats from any goroutine while Filter runs.
+// to call Snapshot from any goroutine while Filter runs — the API the
+// tests, the collector's exit summary, and the telemetry layer all share.
 type StreamStats struct {
 	Connects       int64 // established connections (HTTP 200)
 	Disconnects    int64 // established connections that ended
@@ -152,8 +153,9 @@ type streamCounters struct {
 	skippedLines, malformedLines, deleteNotices, tweets atomic.Int64
 }
 
-// Stats returns a snapshot of the client's lifetime counters.
-func (c *StreamClient) Stats() StreamStats {
+// Snapshot returns a point-in-time copy of the client's lifetime
+// counters.
+func (c *StreamClient) Snapshot() StreamStats {
 	return StreamStats{
 		Connects:       c.stats.connects.Load(),
 		Disconnects:    c.stats.disconnects.Load(),

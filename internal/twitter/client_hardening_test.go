@@ -102,7 +102,7 @@ func TestStreamClientSkipsOversizedLines(t *testing.T) {
 	if n != 2 {
 		t.Errorf("delivered %d tweets, want 2 (oversized line must not break the stream)", n)
 	}
-	if st := client.Stats(); st.SkippedLines != 1 {
+	if st := client.Snapshot(); st.SkippedLines != 1 {
 		t.Errorf("SkippedLines = %d, want 1", st.SkippedLines)
 	}
 }
@@ -142,7 +142,7 @@ func TestStreamClientStallDetection(t *testing.T) {
 	if got := connects.Load(); got != 3 {
 		t.Errorf("server saw %d connects, want 3", got)
 	}
-	if st := client.Stats(); st.Stalls != 3 || st.Tweets != 3 {
+	if st := client.Snapshot(); st.Stalls != 3 || st.Tweets != 3 {
 		t.Errorf("stats = %+v, want 3 stalls and 3 tweets", st)
 	}
 }
@@ -167,7 +167,7 @@ func TestStreamClientStallDisabled(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want deadline (connection must outlive any stall window)", err)
 	}
-	if st := client.Stats(); st.Stalls != 0 {
+	if st := client.Snapshot(); st.Stalls != 0 {
 		t.Errorf("Stalls = %d, want 0", st.Stalls)
 	}
 }
@@ -220,7 +220,7 @@ func TestStreamClientRateLimitSchedule(t *testing.T) {
 	if !errors.Is(err, ErrTooManyReconnects) {
 		t.Fatalf("err = %v", err)
 	}
-	if st := client.Stats(); st.RateLimits != 2 || st.Connects != 1 {
+	if st := client.Snapshot(); st.RateLimits != 2 || st.Connects != 1 {
 		t.Errorf("stats = %+v, want 2 rate limits and 1 connect", st)
 	}
 	mu.Lock()
