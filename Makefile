@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-paper fmt
+.PHONY: all build vet test race check bench benchcmp bench-paper fmt
+
+# Packages on the ingest hot path whose benchmarks are archived and gated.
+BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
 
 all: check
 
@@ -22,12 +25,22 @@ race:
 
 check: build vet test race
 
-# Pipeline ingest benchmarks, archived as both benchstat-friendly text
-# (BENCH_pipeline.txt) and machine-readable JSON (BENCH_pipeline.json) so
-# perf PRs can prove their wins against a committed baseline.
+# Ingest hot-path benchmarks (pipeline, extractor, geocoder), archived as
+# both benchstat-friendly text (BENCH_pipeline.txt) and machine-readable
+# JSON (BENCH_pipeline.json) so perf PRs can prove their wins against a
+# committed baseline.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/pipeline/ | tee BENCH_pipeline.txt
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) | tee BENCH_pipeline.txt
 	$(GO) run ./cmd/benchjson -in BENCH_pipeline.txt -out BENCH_pipeline.json
+
+# Run the hot-path benchmarks fresh and diff them against the committed
+# baseline; fails when ns/op or allocs/op regress by more than 10% on any
+# benchmark. (Absolute numbers are machine-dependent — run `make bench`
+# on the same machine first for a meaningful gate.)
+benchcmp:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) > /tmp/benchcmp_new.txt
+	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_new.txt -out /tmp/benchcmp_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_pipeline.json /tmp/benchcmp_new.json
 
 # The full per-table/per-figure benchmark suite from the repo root.
 bench-paper:

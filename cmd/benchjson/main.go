@@ -7,6 +7,16 @@
 //
 // Repeated names (from -count N) become repeated entries; downstream
 // tooling can aggregate however it likes.
+//
+// With -compare it instead diffs two archived JSON runs and gates on
+// regressions — the perf-PR guard `make benchcmp` builds on:
+//
+//	benchjson -compare [-threshold 10] old.json new.json
+//
+// Repeated entries are averaged, ns/op and allocs/op deltas are printed
+// per benchmark, and the exit status is 1 when either metric regresses
+// by more than the threshold percentage on any benchmark present in both
+// files.
 package main
 
 import (
@@ -15,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -86,10 +98,133 @@ func parse(r io.Reader) (benchDoc, error) {
 	return doc, sc.Err()
 }
 
+// loadDoc reads an archived benchmark JSON document.
+func loadDoc(path string) (benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return benchDoc{}, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return benchDoc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// aggregate averages repeated entries (from -count N runs) into one
+// metric map per benchmark name.
+func aggregate(doc benchDoc) map[string]map[string]float64 {
+	sums := map[string]map[string]float64{}
+	counts := map[string]map[string]int{}
+	for _, run := range doc.Benchmarks {
+		if sums[run.Name] == nil {
+			sums[run.Name] = map[string]float64{}
+			counts[run.Name] = map[string]int{}
+		}
+		for unit, v := range run.Metrics {
+			sums[run.Name][unit] += v
+			counts[run.Name][unit]++
+		}
+	}
+	for name, m := range sums {
+		for unit := range m {
+			m[unit] /= float64(counts[name][unit])
+		}
+	}
+	return sums
+}
+
+// compareUnits are the metrics the regression gate inspects.
+var compareUnits = []string{"ns/op", "allocs/op"}
+
+// compare diffs two aggregated runs, writing a per-benchmark report to w.
+// It returns the names that regressed beyond threshold percent on any
+// gated metric.
+func compare(w io.Writer, oldAgg, newAgg map[string]map[string]float64, threshold float64) []string {
+	names := make([]string, 0, len(newAgg))
+	for name := range newAgg {
+		if _, ok := oldAgg[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var regressed []string
+	for _, name := range names {
+		bad := false
+		fmt.Fprintf(w, "%s\n", name)
+		for _, unit := range compareUnits {
+			o, hasOld := oldAgg[name][unit]
+			n, hasNew := newAgg[name][unit]
+			if !hasOld || !hasNew {
+				continue
+			}
+			var delta float64
+			switch {
+			case o != 0:
+				delta = (n - o) / o * 100
+			case n != 0:
+				delta = math.Inf(1) // 0 → something is an unbounded regression
+			}
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				bad = true
+			}
+			fmt.Fprintf(w, "  %-10s %14.2f → %14.2f  %+7.2f%%%s\n", unit, o, n, delta, mark)
+		}
+		if bad {
+			regressed = append(regressed, name)
+		}
+	}
+	for name := range newAgg {
+		if _, ok := oldAgg[name]; !ok {
+			fmt.Fprintf(w, "%s\n  (new benchmark, no baseline)\n", name)
+		}
+	}
+	for name := range oldAgg {
+		if _, ok := newAgg[name]; !ok {
+			fmt.Fprintf(w, "%s\n  (baseline only, not in new run)\n", name)
+		}
+	}
+	return regressed
+}
+
+// runCompare drives -compare mode and returns the process exit code.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+		return 2
+	}
+	oldDoc, err := loadDoc(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	regressed := compare(os.Stdout, aggregate(oldDoc), aggregate(newDoc), threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%: %s\n",
+			len(regressed), threshold, strings.Join(regressed, ", "))
+		return 1
+	}
+	fmt.Printf("no regressions beyond %.1f%%\n", threshold)
+	return 0
+}
+
 func main() {
 	in := flag.String("in", "-", "bench text input file (- = stdin)")
 	out := flag.String("out", "-", "JSON output file (- = stdout)")
+	cmp := flag.Bool("compare", false, "compare two archived JSON runs (old.json new.json) instead of converting")
+	threshold := flag.Float64("threshold", 10, "allowed ns/op and allocs/op regression percent in -compare mode")
 	flag.Parse()
+
+	if *cmp {
+		os.Exit(runCompare(flag.Args(), *threshold))
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {

@@ -36,3 +36,53 @@ ok  	donorsense/internal/pipeline	3.456s
 		t.Errorf("b1 metrics = %v", doc.Benchmarks[1].Metrics)
 	}
 }
+
+func TestAggregateAveragesRepeats(t *testing.T) {
+	doc := benchDoc{Benchmarks: []benchRun{
+		{Name: "X-8", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 4}},
+		{Name: "X-8", Metrics: map[string]float64{"ns/op": 300, "allocs/op": 4}},
+		{Name: "Y-8", Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	agg := aggregate(doc)
+	if agg["X-8"]["ns/op"] != 200 || agg["X-8"]["allocs/op"] != 4 {
+		t.Errorf("X-8 = %v", agg["X-8"])
+	}
+	if agg["Y-8"]["ns/op"] != 50 {
+		t.Errorf("Y-8 = %v", agg["Y-8"])
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldAgg := map[string]map[string]float64{
+		"Fast-8":   {"ns/op": 100, "allocs/op": 10},
+		"Slow-8":   {"ns/op": 100, "allocs/op": 10},
+		"Allocs-8": {"ns/op": 100, "allocs/op": 0},
+		"Gone-8":   {"ns/op": 100},
+	}
+	newAgg := map[string]map[string]float64{
+		"Fast-8":   {"ns/op": 90, "allocs/op": 10},  // improved
+		"Slow-8":   {"ns/op": 150, "allocs/op": 10}, // +50% ns/op
+		"Allocs-8": {"ns/op": 100, "allocs/op": 3},  // 0 → 3 allocs
+		"New-8":    {"ns/op": 1},
+	}
+	var sb strings.Builder
+	regressed := compare(&sb, oldAgg, newAgg, 10)
+	if len(regressed) != 2 || regressed[0] != "Allocs-8" || regressed[1] != "Slow-8" {
+		t.Errorf("regressed = %v, want [Allocs-8 Slow-8]", regressed)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "new benchmark, no baseline", "baseline only, not in new run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldAgg := map[string]map[string]float64{"A-8": {"ns/op": 100, "allocs/op": 10}}
+	newAgg := map[string]map[string]float64{"A-8": {"ns/op": 105, "allocs/op": 10}}
+	var sb strings.Builder
+	if regressed := compare(&sb, oldAgg, newAgg, 10); len(regressed) != 0 {
+		t.Errorf("regressed = %v, want none within threshold", regressed)
+	}
+}

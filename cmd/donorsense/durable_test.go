@@ -136,3 +136,36 @@ func TestCollectCheckpointResumeMatchesUninterrupted(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectWorkersThroughChaosMatchesCleanRun: live collection with
+// -workers 4 under fault injection must print the exact same Table I /
+// Figure 2 statistics as a fault-free sequential run — the bit-identical
+// guarantee of the chunked parallel ingest, end to end through the CLI.
+func TestCollectWorkersThroughChaosMatchesCleanRun(t *testing.T) {
+	corpus := durableCorpus()
+
+	clean := twitter.NewChaosServer(corpus, twitter.ChaosConfig{})
+	cleanSrv := httptest.NewServer(clean.Handler())
+	defer cleanSrv.Close()
+	cleanOut := captureStdout(t, func() error {
+		return cmdCollect(collectArgs(cleanSrv.URL))
+	})
+
+	chaos := twitter.NewChaosServer(corpus, twitter.ChaosConfig{
+		Seed:            31,
+		FaultRate:       0.01,
+		StallDuration:   5 * time.Second,
+		RateLimitRate:   0.2,
+		ServerErrorRate: 0.2,
+		RetryAfter:      10 * time.Millisecond,
+	})
+	chaosSrv := httptest.NewServer(chaos.Handler())
+	defer chaosSrv.Close()
+	parallelOut := captureStdout(t, func() error {
+		return cmdCollect(collectArgs(chaosSrv.URL, "-workers", "4"))
+	})
+
+	if got, want := statsSection(t, parallelOut), statsSection(t, cleanOut); got != want {
+		t.Errorf("parallel chaos-run statistics differ from sequential fault-free run:\n--- workers=4 chaos ---\n%s\n--- sequential clean ---\n%s", got, want)
+	}
+}

@@ -285,6 +285,7 @@ func cmdCollect(args []string) error {
 	k := fs.Int("k", 12, "user cluster count (Figure 7)")
 	sweep := fs.String("sweep", "", "comma-separated ks for the model-selection sweep")
 	sil := fs.Int("silhouette-sample", 2000, "silhouette sample size (0 = exact)")
+	workers := fs.Int("workers", 1, "extract/geocode workers for live collection (0 = GOMAXPROCS, 1 = sequential)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: load on start (if present), save periodically and on shutdown")
 	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "interval between periodic checkpoint saves")
 	stallTimeout := fs.Duration("stall-timeout", 90*time.Second, "tear down connections silent for this long")
@@ -438,32 +439,71 @@ func cmdCollect(args []string) error {
 	}
 
 	n := 0
-collect:
-	for {
-		select {
-		case t, ok := <-tweets:
-			if !ok {
-				break collect
-			}
-			d.Process(t)
-			n++
-			if *checkpoint != "" && time.Since(lastSave) >= *checkpointEvery {
-				if err := save(); err != nil {
-					return err
-				}
-				lastSave = time.Now()
-			}
-			if *maxTweets > 0 && n >= *maxTweets {
-				stop()
-				// Drain remaining deliveries so the client can exit.
-				go func() {
-					for range tweets {
+	if *workers != 1 {
+		// Parallel ingest: extraction and geocoding fan out across
+		// workers while folding (and these callbacks) stay on this
+		// goroutine, so the checkpoint/progress closures read a quiescent
+		// dataset exactly as in the sequential loop below.
+		var saveErr error
+		reachedMax := false
+		n = d.CollectParallel(ctx, tweets, pipeline.CollectOptions{
+			Workers: *workers,
+			OnFold: func(total int) bool {
+				if *checkpoint != "" && time.Since(lastSave) >= *checkpointEvery {
+					if err := save(); err != nil {
+						saveErr = err
+						return false
 					}
-				}()
-				break collect
+					lastSave = time.Now()
+				}
+				if *maxTweets > 0 && total >= *maxTweets {
+					reachedMax = true
+					return false
+				}
+				return true
+			},
+			Ticks:  progressC,
+			OnTick: progress,
+		})
+		if saveErr != nil {
+			return saveErr
+		}
+		if reachedMax {
+			stop()
+			// Drain remaining deliveries so the client can exit.
+			go func() {
+				for range tweets {
+				}
+			}()
+		}
+	} else {
+	collect:
+		for {
+			select {
+			case t, ok := <-tweets:
+				if !ok {
+					break collect
+				}
+				d.Process(t)
+				n++
+				if *checkpoint != "" && time.Since(lastSave) >= *checkpointEvery {
+					if err := save(); err != nil {
+						return err
+					}
+					lastSave = time.Now()
+				}
+				if *maxTweets > 0 && n >= *maxTweets {
+					stop()
+					// Drain remaining deliveries so the client can exit.
+					go func() {
+						for range tweets {
+						}
+					}()
+					break collect
+				}
+			case <-progressC:
+				progress(n)
 			}
-		case <-progressC:
-			progress(n)
 		}
 	}
 	if err := <-errc; err != nil && ctx.Err() == nil {

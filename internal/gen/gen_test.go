@@ -237,7 +237,7 @@ func TestOrganPopularityOrder(t *testing.T) {
 		if testCorpus.Profiles[tw.User.ID].TweetCount == 0 {
 			continue
 		}
-		for _, o := range ex.Extract(tw.Text).Organs {
+		for _, o := range ex.Extract(tw.Text).Organs() {
 			usersByOrgan[o.Index()][tw.User.ID] = true
 		}
 	}
@@ -263,7 +263,7 @@ func TestOrgansPerTweetCalibration(t *testing.T) {
 			continue
 		}
 		tweets++
-		organsTotal += len(ex.Extract(tw.Text).Organs)
+		organsTotal += len(ex.Extract(tw.Text).Organs())
 	}
 	avg := float64(organsTotal) / float64(tweets)
 	if math.Abs(avg-1.03) > 0.02 {
@@ -283,7 +283,7 @@ func TestOrgansPerUserCalibration(t *testing.T) {
 			m = map[organ.Organ]bool{}
 			perUser[tw.User.ID] = m
 		}
-		for _, o := range ex.Extract(tw.Text).Organs {
+		for _, o := range ex.Extract(tw.Text).Organs() {
 			m[o] = true
 		}
 	}

@@ -64,7 +64,7 @@ func TestCampaignHashtagsCarryNoOrganMentions(t *testing.T) {
 	ex := text.NewExtractor()
 	for _, tag := range campaignHashtags {
 		e := ex.Extract("hello world " + tag)
-		if len(e.Organs) != 0 {
+		if e.NumOrgans() != 0 {
 			t.Errorf("hashtag %q introduces organ mentions", tag)
 		}
 	}

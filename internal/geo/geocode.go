@@ -2,9 +2,7 @@ package geo
 
 import (
 	"math"
-	"strings"
 	"time"
-	"unicode"
 )
 
 // Accuracy grades how precisely a location string was resolved.
@@ -84,87 +82,6 @@ var usCountryWords = map[string]bool{
 	"america": true, "estados unidos": true, "murica": true,
 }
 
-// segToken is one token of a location segment, remembering its original
-// casing so "LA" (city or Louisiana) can be told apart from "la".
-type segToken struct {
-	text  string // lowercase
-	upper bool   // was written all-uppercase with len == 2..3
-}
-
-// splitSegments breaks a raw location string into comma-ish segments of
-// tokens. Letters and digits form tokens; ',', '/', '|', ';', and bullet
-// characters break segments; everything else is whitespace.
-func splitSegments(raw string) [][]segToken {
-	var segs [][]segToken
-	var cur []segToken
-	var tok []rune
-	hasLower := false
-	flushTok := func() {
-		if len(tok) == 0 {
-			return
-		}
-		t := string(tok)
-		lt := strings.ToLower(t)
-		up := !hasLower && len(tok) >= 2 && len(tok) <= 3
-		cur = append(cur, segToken{text: lt, upper: up})
-		tok = tok[:0]
-		hasLower = false
-	}
-	flushSeg := func() {
-		flushTok()
-		if len(cur) > 0 {
-			segs = append(segs, cur)
-			cur = nil
-		}
-	}
-	for _, r := range raw {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
-			if unicode.IsLower(r) {
-				hasLower = true
-			}
-			tok = append(tok, unicode.ToLower(r))
-		case r == ',' || r == '/' || r == '|' || r == ';' || r == '•' || r == '·' || r == '~':
-			flushSeg()
-		case r == '.' || r == '-':
-			// Periods and hyphens bind: "D.C." -> "dc", "Winston-Salem"
-			// -> "winston salem" (hyphen becomes a token break w/o
-			// segment break).
-			if r == '-' {
-				flushTok()
-			}
-		default:
-			flushTok()
-		}
-	}
-	flushSeg()
-	return segs
-}
-
-// allDigits reports whether s consists solely of ASCII digits.
-func allDigits(s string) bool {
-	for i := 0; i < len(s); i++ {
-		if s[i] < '0' || s[i] > '9' {
-			return false
-		}
-	}
-	return len(s) > 0
-}
-
-// phrase joins tokens i..j (inclusive) of a segment with spaces, with
-// "saint" canonicalized to "st".
-func phrase(seg []segToken, i, j int) string {
-	parts := make([]string, 0, j-i+1)
-	for k := i; k <= j; k++ {
-		t := seg[k].text
-		if t == "saint" {
-			t = "st"
-		}
-		parts = append(parts, t)
-	}
-	return strings.Join(parts, " ")
-}
-
 // Locate resolves a self-reported profile location string. It never
 // errors: unresolvable strings return a Location with AccuracyNone.
 //
@@ -192,83 +109,77 @@ func (g *Geocoder) Locate(raw string) Location {
 }
 
 func (g *Geocoder) locate(raw string) Location {
-	segs := splitSegments(raw)
-	if len(segs) == 0 {
+	sc := locScratchPool.Get().(*locScratch)
+	defer locScratchPool.Put(sc)
+	sc.reset()
+	segment(raw, sc)
+	totalSegs := sc.segments()
+	if totalSegs == 0 {
 		return Location{}
 	}
 
-	type span struct{ seg, i, j int }
-	type nameHit struct {
-		code string
-		at   span
-	}
-	type cityHit struct {
-		city City
-		at   span
-	}
 	var (
 		stateCode    string // from explicit code
-		stateNames   []nameHit
-		cityMatches  []cityHit
-		cityBest     *City // most populous US city candidate
+		cityBest     *City  // most populous US city candidate
 		foreignName  string
 		foreignCity  foreignPlace
 		sawUSCountry bool
-		totalSegs    = len(segs)
 	)
 
-	for si, seg := range segs {
+	for si := 0; si < totalSegs; si++ {
+		seg := sc.segToks(si)
 		for i := 0; i < len(seg); i++ {
 			for j := i; j < len(seg) && j < i+4; j++ {
-				p := phrase(seg, i, j)
+				p := sc.phraseBytes(seg, i, j)
 				if i == j && len(p) == 2 {
-					if st, ok := stateByCode[strings.ToUpper(p)]; ok {
+					if st, ok := stateByLowerCode[string(p)]; ok {
 						accept := seg[i].upper ||
-							!ambiguousCodes[p] ||
+							!ambiguousCodes[string(p)] ||
 							(si > 0 && si == totalSegs-1) ||
 							(si == totalSegs-1 && i == len(seg)-1 && totalSegs > 1)
 						// A trailing ambiguous code in a one-segment
 						// string ("melbourne fl") is accepted when
 						// another token precedes it.
 						if !accept && totalSegs == 1 && i == len(seg)-1 && i > 0 {
-							accept = !ambiguousCodes[p] || seg[i].upper
+							accept = !ambiguousCodes[string(p)] || seg[i].upper
 						}
-						if accept && p != "us" {
+						if accept && string(p) != "us" {
 							stateCode = st.Code
 						}
 					}
 				}
-				if i == j && len(p) == 5 && allDigits(p) {
+				if i == j && len(p) == 5 && allDigitsBytes(p) {
 					// A 5-digit token is read as a ZIP code; the prefix
 					// pins the state as firmly as an explicit code.
-					if st, ok := ZIPState(p); ok && stateCode == "" {
+					prefix := int(p[0]-'0')*100 + int(p[1]-'0')*10 + int(p[2]-'0')
+					if st, ok := zipStateFromPrefix(prefix); ok && stateCode == "" {
 						stateCode = st
 					}
 				}
-				if st, ok := stateByName[p]; ok {
-					stateNames = append(stateNames, nameHit{st.Code, span{si, i, j}})
+				if st, ok := stateByName[string(p)]; ok {
+					sc.stateNames = append(sc.stateNames, nameHit{st.Code, locSpan{si, i, j}})
 				}
-				if usCountryWords[p] || (p == "us" && seg[i].upper) {
+				if usCountryWords[string(p)] || (string(p) == "us" && seg[i].upper) {
 					sawUSCountry = true
 				}
-				if al, ok := cityAliases[p]; ok {
+				if al, ok := cityAliases[string(p)]; ok {
 					for _, c := range cityIndex[al.name] {
 						if c.StateCode == al.state {
-							cityMatches = append(cityMatches, cityHit{*c, span{si, i, j}})
+							sc.cityMatches = append(sc.cityMatches, cityHit{*c, locSpan{si, i, j}})
 						}
 					}
 				}
-				if list, ok := cityIndex[p]; ok {
+				if list, ok := cityIndex[string(p)]; ok {
 					for _, c := range list {
-						cityMatches = append(cityMatches, cityHit{*c, span{si, i, j}})
+						sc.cityMatches = append(sc.cityMatches, cityHit{*c, locSpan{si, i, j}})
 					}
 				}
-				if fc, ok := foreignCities[p]; ok {
+				if fc, ok := foreignCities[string(p)]; ok {
 					if fc.Population > foreignCity.Population {
 						foreignCity = fc
 					}
 				}
-				if cc, ok := foreignCountries[p]; ok {
+				if cc, ok := foreignCountries[string(p)]; ok {
 					foreignName = cc
 				}
 			}
@@ -279,9 +190,9 @@ func (g *Geocoder) locate(raw string) Location {
 	// phrase is part of the city name, not a hint: "Kansas City" must not
 	// read as the state of Kansas.
 	stateName := ""
-	for _, sn := range stateNames {
+	for _, sn := range sc.stateNames {
 		swallowed := false
-		for _, ch := range cityMatches {
+		for _, ch := range sc.cityMatches {
 			if ch.at.seg == sn.at.seg && ch.at.i <= sn.at.i && ch.at.j >= sn.at.j &&
 				(ch.at.j-ch.at.i) > (sn.at.j-sn.at.i) {
 				swallowed = true
@@ -300,7 +211,7 @@ func (g *Geocoder) locate(raw string) Location {
 
 	// City + agreeing state → city accuracy.
 	if stateHint != "" {
-		for _, ch := range cityMatches {
+		for _, ch := range sc.cityMatches {
 			if ch.city.StateCode == stateHint {
 				return Location{Country: "US", StateCode: ch.city.StateCode, City: ch.city.Name, Accuracy: AccuracyCity}
 			}
@@ -310,9 +221,9 @@ func (g *Geocoder) locate(raw string) Location {
 	}
 
 	// Pick the most populous US city candidate.
-	for i := range cityMatches {
-		if cityBest == nil || cityMatches[i].city.Population > cityBest.Population {
-			cityBest = &cityMatches[i].city
+	for i := range sc.cityMatches {
+		if cityBest == nil || sc.cityMatches[i].city.Population > cityBest.Population {
+			cityBest = &sc.cityMatches[i].city
 		}
 	}
 

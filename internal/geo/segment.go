@@ -1,0 +1,176 @@
+package geo
+
+import (
+	"sync"
+	"unicode"
+	"unicode/utf8"
+)
+
+// The segmenter is the allocation-heavy half of profile-location
+// geocoding: every tweet without a GPS tag runs its profile string
+// through here (on a cache miss). Instead of materializing rune slices
+// and per-segment string slices, tokens are lowered into one reusable
+// byte buffer and described by spans, and candidate slices are reused
+// across calls through a pool — so a steady-state Locate allocates
+// nothing beyond what escapes in the returned Location (which is all
+// interned gazetteer strings).
+
+// segTok is one token of a location segment: a span into the scratch
+// buffer, its segment index, and whether it was written all-uppercase
+// with 2–3 runes (so "LA" can be told apart from "la").
+type segTok struct {
+	lo, hi int32 // byte range into locScratch.buf (lowercase text)
+	seg    int16 // index of the comma-ish segment the token belongs to
+	upper  bool
+}
+
+// locSpan locates a matched phrase: segment index plus first/last token
+// offsets within that segment.
+type locSpan struct{ seg, i, j int }
+
+// nameHit is a state-name match.
+type nameHit struct {
+	code string
+	at   locSpan
+}
+
+// cityHit is a gazetteer-city match.
+type cityHit struct {
+	city City
+	at   locSpan
+}
+
+// locScratch holds every buffer one Locate call needs. Instances are
+// pooled; all slices keep their capacity between calls.
+type locScratch struct {
+	buf      []byte   // lowered token text, concatenated
+	toks     []segTok // token spans in input order
+	segStart []int32  // toks index where each (non-empty) segment begins
+	phrase   []byte   // assembly buffer for multi-token phrases
+
+	stateNames  []nameHit
+	cityMatches []cityHit
+}
+
+var locScratchPool = sync.Pool{New: func() any { return new(locScratch) }}
+
+func (sc *locScratch) reset() {
+	sc.buf = sc.buf[:0]
+	sc.toks = sc.toks[:0]
+	sc.segStart = sc.segStart[:0]
+	sc.phrase = sc.phrase[:0]
+	sc.stateNames = sc.stateNames[:0]
+	sc.cityMatches = sc.cityMatches[:0]
+}
+
+// segments returns how many non-empty segments were found.
+func (sc *locScratch) segments() int { return len(sc.segStart) }
+
+// segToks returns the tokens of segment si.
+func (sc *locScratch) segToks(si int) []segTok {
+	lo := sc.segStart[si]
+	hi := int32(len(sc.toks))
+	if si+1 < len(sc.segStart) {
+		hi = sc.segStart[si+1]
+	}
+	return sc.toks[lo:hi]
+}
+
+// tokBytes returns the lowered text of one token.
+func (sc *locScratch) tokBytes(t segTok) []byte { return sc.buf[t.lo:t.hi] }
+
+// segment breaks a raw location string into comma-ish segments of
+// tokens. Letters, digits, and apostrophes form tokens; ',', '/', '|',
+// ';', and bullet characters break segments; periods bind ("D.C." ->
+// "dc"); hyphens break tokens without breaking the segment; everything
+// else is whitespace. Token text is lowered into the scratch buffer.
+func segment(raw string, sc *locScratch) {
+	var (
+		seg      int16
+		segOpen  bool // current segment has at least one token
+		tokStart = -1 // buf offset of the open token, -1 when none
+		tokRunes int
+		tokLower bool
+	)
+	flushTok := func() {
+		if tokStart < 0 {
+			return
+		}
+		if !segOpen {
+			sc.segStart = append(sc.segStart, int32(len(sc.toks)))
+			segOpen = true
+		}
+		up := !tokLower && tokRunes >= 2 && tokRunes <= 3
+		sc.toks = append(sc.toks, segTok{lo: int32(tokStart), hi: int32(len(sc.buf)), seg: seg, upper: up})
+		tokStart, tokRunes, tokLower = -1, 0, false
+	}
+	flushSeg := func() {
+		flushTok()
+		if segOpen {
+			seg++
+			segOpen = false
+		}
+	}
+	for _, r := range raw {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
+			if unicode.IsLower(r) {
+				tokLower = true
+			}
+			if tokStart < 0 {
+				tokStart = len(sc.buf)
+			}
+			if r < utf8.RuneSelf {
+				c := byte(r)
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				sc.buf = append(sc.buf, c)
+			} else {
+				sc.buf = utf8.AppendRune(sc.buf, unicode.ToLower(r))
+			}
+			tokRunes++
+		case r == ',' || r == '/' || r == '|' || r == ';' || r == '•' || r == '·' || r == '~':
+			flushSeg()
+		case r == '.' || r == '-':
+			// Periods and hyphens bind: "D.C." -> "dc", "Winston-Salem"
+			// -> "winston salem" (hyphen becomes a token break w/o
+			// segment break).
+			if r == '-' {
+				flushTok()
+			}
+		default:
+			flushTok()
+		}
+	}
+	flushSeg()
+}
+
+// phraseBytes assembles tokens i..j (inclusive) of a segment into the
+// scratch phrase buffer, space-joined, with "saint" canonicalized to
+// "st". The returned slice is valid until the next phraseBytes call.
+func (sc *locScratch) phraseBytes(seg []segTok, i, j int) []byte {
+	sc.phrase = sc.phrase[:0]
+	for k := i; k <= j; k++ {
+		if k > i {
+			sc.phrase = append(sc.phrase, ' ')
+		}
+		t := sc.tokBytes(seg[k])
+		if string(t) == "saint" {
+			sc.phrase = append(sc.phrase, "st"...)
+		} else {
+			sc.phrase = append(sc.phrase, t...)
+		}
+	}
+	return sc.phrase
+}
+
+// allDigitsBytes reports whether b consists solely of ASCII digits.
+func allDigitsBytes(b []byte) bool {
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return len(b) > 0
+}

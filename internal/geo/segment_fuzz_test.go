@@ -1,0 +1,110 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// referenceSplitSegments is the pre-optimization segmenter, kept verbatim
+// as the oracle for FuzzSegmentDifferential: the pooled scratch segmenter
+// must produce the same segments, token text, and uppercase flags for any
+// input, or the geocoder's resolution ladder could silently diverge.
+func referenceSplitSegments(raw string) [][]refSegToken {
+	var segs [][]refSegToken
+	var cur []refSegToken
+	var tok []rune
+	hasLower := false
+	flushTok := func() {
+		if len(tok) == 0 {
+			return
+		}
+		t := string(tok)
+		lt := strings.ToLower(t)
+		up := !hasLower && len(tok) >= 2 && len(tok) <= 3
+		cur = append(cur, refSegToken{text: lt, upper: up})
+		tok = tok[:0]
+		hasLower = false
+	}
+	flushSeg := func() {
+		flushTok()
+		if len(cur) > 0 {
+			segs = append(segs, cur)
+			cur = nil
+		}
+	}
+	for _, r := range raw {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'':
+			if unicode.IsLower(r) {
+				hasLower = true
+			}
+			tok = append(tok, unicode.ToLower(r))
+		case r == ',' || r == '/' || r == '|' || r == ';' || r == '•' || r == '·' || r == '~':
+			flushSeg()
+		case r == '.' || r == '-':
+			if r == '-' {
+				flushTok()
+			}
+		default:
+			flushTok()
+		}
+	}
+	flushSeg()
+	return segs
+}
+
+type refSegToken struct {
+	text  string
+	upper bool
+}
+
+// FuzzSegmentDifferential checks the scratch-based segmenter against the
+// reference implementation token by token.
+func FuzzSegmentDifferential(f *testing.F) {
+	seeds := []string{
+		"Austin, TX 78701",
+		"new orleans, la",
+		"Winston-Salem / NC",
+		"Washington D.C.",
+		"São Paulo • Brasil",
+		"KANSAS CITY ~ MO",
+		"İstanbul",
+		"  ,,;/|  ",
+		"melbourne fl",
+		"Saint Louis",
+		"a'b'c 12345 XY",
+		"\xff\xfe broken utf8 \x80",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		want := referenceSplitSegments(raw)
+
+		sc := new(locScratch)
+		sc.reset()
+		segment(raw, sc)
+
+		if sc.segments() != len(want) {
+			t.Fatalf("segment(%q): %d segments, reference %d", raw, sc.segments(), len(want))
+		}
+		for si := 0; si < sc.segments(); si++ {
+			got := sc.segToks(si)
+			ref := want[si]
+			if len(got) != len(ref) {
+				t.Fatalf("segment(%q) seg %d: %d tokens, reference %d", raw, si, len(got), len(ref))
+			}
+			for k, tok := range got {
+				if string(sc.tokBytes(tok)) != ref[k].text {
+					t.Errorf("segment(%q) seg %d tok %d: text %q, reference %q",
+						raw, si, k, sc.tokBytes(tok), ref[k].text)
+				}
+				if tok.upper != ref[k].upper {
+					t.Errorf("segment(%q) seg %d tok %d (%q): upper=%v, reference %v",
+						raw, si, k, sc.tokBytes(tok), tok.upper, ref[k].upper)
+				}
+			}
+		}
+	})
+}

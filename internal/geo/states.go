@@ -135,6 +135,17 @@ var stateByCode = func() map[string]*State {
 	return m
 }()
 
+// stateByLowerCode indexes the gazetteer by lowercase USPS code, so the
+// geocoder's already-lowered tokens can probe it without a per-phrase
+// strings.ToUpper allocation.
+var stateByLowerCode = func() map[string]*State {
+	m := make(map[string]*State, len(states))
+	for i := range states {
+		m[strings.ToLower(states[i].Code)] = &states[i]
+	}
+	return m
+}()
+
 // stateByName indexes the gazetteer by lowercase full name.
 var stateByName = func() map[string]*State {
 	m := make(map[string]*State, len(states))

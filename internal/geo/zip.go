@@ -86,6 +86,12 @@ func ZIPState(zip string) (string, bool) {
 	if len(zip) == 5 {
 		prefix = n / 100
 	}
+	return zipStateFromPrefix(prefix)
+}
+
+// zipStateFromPrefix resolves a numeric 3-digit ZIP prefix to a state
+// code by binary search over the allocation table.
+func zipStateFromPrefix(prefix int) (string, bool) {
 	lo, hi := 0, len(zipRanges)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2

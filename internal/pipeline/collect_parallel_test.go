@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/obs"
+	"donorsense/internal/twitter"
+)
+
+// feed delivers a corpus over a channel the way a stream client does.
+func feed(tweets []twitter.Tweet) <-chan twitter.Tweet {
+	ch := make(chan twitter.Tweet, 64)
+	go func() {
+		for _, t := range tweets {
+			ch <- t
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// assertDatasetsIdentical extends checkpoint_test's assertDatasetsEqual
+// with the aggregate counters and per-user records.
+func assertDatasetsIdentical(t *testing.T, got, want *Dataset) {
+	t.Helper()
+	assertDatasetsEqual(t, got, want)
+	if got.Users() != want.Users() || got.USTweets() != want.USTweets() ||
+		got.TotalCollected() != want.TotalCollected() || got.GeoTagged() != want.GeoTagged() {
+		t.Fatalf("aggregate counters differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			got.Users(), got.USTweets(), got.TotalCollected(), got.GeoTagged(),
+			want.Users(), want.USTweets(), want.TotalCollected(), want.GeoTagged())
+	}
+	if !reflect.DeepEqual(got.Stats(), want.Stats()) {
+		t.Errorf("stats differ:\n%+v\n%+v", got.Stats(), want.Stats())
+	}
+	want.EachUser(func(u *UserRecord) {
+		gu := got.users[u.ID]
+		if gu == nil || *gu != *u {
+			t.Fatalf("user %d differs: %+v vs %+v", u.ID, gu, u)
+		}
+	})
+}
+
+// TestCollectParallelMatchesCollect: the streaming parallel path must
+// produce a bit-identical dataset to sequential Collect over the same
+// delivery sequence — the Table I guarantee for live collection.
+func TestCollectParallelMatchesCollect(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.01))
+
+	seq := NewDataset()
+	seqN := seq.Collect(context.Background(), feed(corpus.Tweets))
+
+	par := NewDataset()
+	parN := par.CollectParallel(context.Background(), feed(corpus.Tweets), CollectOptions{Workers: 4})
+
+	if parN != seqN {
+		t.Fatalf("parallel folded %d tweets, sequential %d", parN, seqN)
+	}
+	assertDatasetsIdentical(t, par, seq)
+}
+
+// TestCollectParallelWorkerOne: Workers == 1 must behave exactly like
+// Collect, including the per-tweet OnFold cadence.
+func TestCollectParallelWorkerOne(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.002))
+	seq := NewDataset()
+	seq.Collect(context.Background(), feed(corpus.Tweets))
+
+	par := NewDataset()
+	folds := 0
+	n := par.CollectParallel(context.Background(), feed(corpus.Tweets), CollectOptions{
+		Workers: 1,
+		OnFold:  func(total int) bool { folds = total; return true },
+	})
+	if n != len(corpus.Tweets) || folds != n {
+		t.Fatalf("folded %d (last callback %d), want %d", n, folds, len(corpus.Tweets))
+	}
+	assertDatasetsIdentical(t, par, seq)
+}
+
+// TestCollectParallelEarlyStop: OnFold returning false must stop the
+// collection near the threshold (on a chunk boundary), not run the whole
+// stream dry.
+func TestCollectParallelEarlyStop(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.02))
+	if len(corpus.Tweets) < 5000 {
+		t.Fatalf("corpus too small for an early-stop test: %d", len(corpus.Tweets))
+	}
+	d := NewDataset()
+	const stopAt = 500
+	n := d.CollectParallel(context.Background(), feed(corpus.Tweets), CollectOptions{
+		Workers: 4,
+		OnFold:  func(total int) bool { return total < stopAt },
+	})
+	if n < stopAt {
+		t.Errorf("stopped after %d tweets, threshold %d", n, stopAt)
+	}
+	// The stop may overshoot by at most one chunk beyond the threshold.
+	if n >= stopAt+ingestChunkSize {
+		t.Errorf("folded %d tweets, want < %d", n, stopAt+ingestChunkSize)
+	}
+}
+
+// TestCollectParallelTicks: a tick delivered while the collector is idle
+// must invoke OnTick on the folding goroutine.
+func TestCollectParallelTicks(t *testing.T) {
+	tweets := make(chan twitter.Tweet)
+	ticks := make(chan time.Time, 1)
+	ticked := make(chan int, 1)
+	done := make(chan int, 1)
+	d := NewDataset()
+	go func() {
+		done <- d.CollectParallel(context.Background(), tweets, CollectOptions{
+			Workers: 2,
+			Ticks:   ticks,
+			OnTick:  func(total int) { ticked <- total },
+		})
+	}()
+	ticks <- time.Now()
+	select {
+	case <-ticked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("tick never observed")
+	}
+	close(tweets)
+	if n := <-done; n != 0 {
+		t.Errorf("folded %d tweets from an empty stream", n)
+	}
+}
+
+// TestCollectParallelContextCancel: cancellation must end collection and
+// still return a consistent dataset.
+func TestCollectParallelContextCancel(t *testing.T) {
+	tweets := make(chan twitter.Tweet)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := NewDataset()
+	if n := d.CollectParallel(ctx, tweets, CollectOptions{Workers: 4}); n != 0 {
+		t.Errorf("folded %d tweets under a cancelled context", n)
+	}
+}
+
+// TestProcessAllWiresMetrics: the parallel path must feed the same
+// instruments Process does — outcome counters, stage histograms, and the
+// geocode memo hit/miss counters (it used to bypass all of them).
+func TestProcessAllWiresMetrics(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.01))
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	d := NewDataset()
+	d.SetMetrics(m)
+	rej, nonUS, us := d.ProcessAll(corpus.Tweets, 4)
+
+	if got := int(m.tweets.With(outcomeLabel(Rejected)).Value()); got != rej {
+		t.Errorf("rejected counter %d, want %d", got, rej)
+	}
+	if got := int(m.tweets.With(outcomeLabel(CollectedNonUS)).Value()); got != nonUS {
+		t.Errorf("non-US counter %d, want %d", got, nonUS)
+	}
+	if got := int(m.tweets.With(outcomeLabel(CollectedUS)).Value()); got != us {
+		t.Errorf("US counter %d, want %d", got, us)
+	}
+	if got := int(m.stage.With(StageExtract).Count()); got != len(corpus.Tweets) {
+		t.Errorf("extract stage observed %d tweets, want %d", got, len(corpus.Tweets))
+	}
+	if got := int(m.stage.With(StageLocate).Count()); got != nonUS+us {
+		t.Errorf("locate stage observed %d tweets, want %d in-context", got, nonUS+us)
+	}
+	if hits, misses := m.cacheHits.Value(), m.cacheMisses.Value(); hits == 0 || misses == 0 {
+		t.Errorf("cache counters hits=%v misses=%v, want both > 0", hits, misses)
+	}
+	if got := int(m.usTweets.Value()); got != us {
+		t.Errorf("us_tweets gauge %d, want %d", got, us)
+	}
+}

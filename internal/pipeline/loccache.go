@@ -1,0 +1,172 @@
+package pipeline
+
+import (
+	"sync"
+
+	"donorsense/internal/geo"
+)
+
+// locCacheCap bounds the geocode memo across all shards; the cache holds
+// at most twice this many entries.
+const locCacheCap = 1 << 16
+
+// locCacheShards is the number of independently locked memo shards. Must
+// be a power of two so a hash can pick a shard with a mask.
+const locCacheShards = 16
+
+// locCache is a two-generation bounded memo: lookups hit the current
+// generation then the previous one (promoting on hit); when the current
+// generation fills, it becomes the previous and a fresh one starts. Hot
+// strings survive rotation, cold ones age out, and memory stays O(cap)
+// with O(1) operations — all an adversarial profile-location stream can
+// do is evict cold entries. It is not safe for concurrent use; the
+// sharded wrapper below adds locking.
+type locCache struct {
+	cap       int
+	cur, prev map[string]geo.Location
+	// onRotate, when set, observes each generation rotation (telemetry).
+	onRotate func()
+}
+
+func newLocCache(capacity int) *locCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &locCache{cap: capacity, cur: make(map[string]geo.Location)}
+}
+
+func (c *locCache) get(k string) (geo.Location, bool) {
+	if l, ok := c.cur[k]; ok {
+		return l, true
+	}
+	if l, ok := c.prev[k]; ok {
+		c.put(k, l) // promote so hot entries survive the next rotation
+		return l, true
+	}
+	return geo.Location{}, false
+}
+
+func (c *locCache) put(k string, v geo.Location) {
+	if len(c.cur) >= c.cap {
+		// Overwriting a key already in the current generation does not
+		// grow it, so only rotate for genuinely new keys.
+		if _, exists := c.cur[k]; !exists {
+			c.prev = c.cur
+			c.cur = make(map[string]geo.Location, c.cap/4)
+			if c.onRotate != nil {
+				c.onRotate()
+			}
+		}
+	}
+	c.cur[k] = v
+}
+
+// len reports the total cached entries across both generations.
+func (c *locCache) len() int { return len(c.cur) + len(c.prev) }
+
+// each visits every cached entry (current generation winning duplicates).
+func (c *locCache) each(fn func(string, geo.Location)) {
+	for k, v := range c.prev {
+		if _, shadowed := c.cur[k]; !shadowed {
+			fn(k, v)
+		}
+	}
+	for k, v := range c.cur {
+		fn(k, v)
+	}
+}
+
+// lockedLocCache is one shard: a generation memo behind a read/write lock.
+type lockedLocCache struct {
+	mu sync.RWMutex
+	c  *locCache
+}
+
+// shardedLocCache splits the geocode memo across locCacheShards
+// independently locked shards so ProcessAll workers can probe it
+// concurrently. The common case — a hot profile string sitting in a
+// shard's current generation — takes only a read lock; promotions from
+// the previous generation and inserts lock one shard, never the whole
+// cache. Aside from rotations happening per shard, semantics match a
+// single locCache of the same total capacity.
+type shardedLocCache struct {
+	shards [locCacheShards]lockedLocCache
+}
+
+func newShardedLocCache(capacity int) *shardedLocCache {
+	per := capacity / locCacheShards
+	if per < 1 {
+		per = 1
+	}
+	s := &shardedLocCache{}
+	for i := range s.shards {
+		s.shards[i].c = newLocCache(per)
+	}
+	return s
+}
+
+// shard picks a shard by FNV-1a over the key.
+func (s *shardedLocCache) shard(k string) *lockedLocCache {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(locCacheShards-1)]
+}
+
+func (s *shardedLocCache) get(k string) (geo.Location, bool) {
+	sh := s.shard(k)
+	sh.mu.RLock()
+	l, ok := sh.c.cur[k]
+	sh.mu.RUnlock()
+	if ok {
+		return l, true
+	}
+	// Miss in the current generation: the previous-generation lookup
+	// promotes on hit, so it needs the write lock (and re-checks cur in
+	// case another goroutine inserted meanwhile).
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.get(k)
+}
+
+func (s *shardedLocCache) put(k string, v geo.Location) {
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.c.put(k, v)
+	sh.mu.Unlock()
+}
+
+// len reports the total cached entries across all shards and generations.
+func (s *shardedLocCache) len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.c.len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// each visits every cached entry across all shards.
+func (s *shardedLocCache) each(fn func(string, geo.Location)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.c.each(fn)
+		sh.mu.RUnlock()
+	}
+}
+
+// setOnRotate installs (or clears, with nil) the rotation observer on
+// every shard.
+func (s *shardedLocCache) setOnRotate(fn func()) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.onRotate = fn
+		sh.mu.Unlock()
+	}
+}

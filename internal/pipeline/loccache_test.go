@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"donorsense/internal/geo"
@@ -64,5 +65,104 @@ func TestDatasetLocCacheStaysBounded(t *testing.T) {
 	}
 	if n := d.locCache.len(); n > 2*locCacheCap {
 		t.Errorf("dataset locCache grew to %d entries", n)
+	}
+}
+
+// TestLocCachePutExistingKeyNoRotation: overwriting a key that is already
+// in the full current generation must not rotate — the map does not grow,
+// and a needless rotation would age out a whole generation of hot
+// entries. Regression test for the rotate-on-overwrite bug.
+func TestLocCachePutExistingKeyNoRotation(t *testing.T) {
+	c := newLocCache(4)
+	rotations := 0
+	c.onRotate = func() { rotations++ }
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k-%d", i), geo.Location{})
+	}
+	if rotations != 0 {
+		t.Fatalf("filling to cap rotated %d times", rotations)
+	}
+	for i := 0; i < 10; i++ {
+		c.put("k-0", geo.Location{Country: "US"})
+	}
+	if rotations != 0 {
+		t.Errorf("overwriting an existing key rotated %d times", rotations)
+	}
+	if c.len() != 4 {
+		t.Errorf("cache holds %d entries, want 4", c.len())
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := c.get(fmt.Sprintf("k-%d", i)); !ok {
+			t.Errorf("entry k-%d lost without any rotation", i)
+		}
+	}
+	// A genuinely new key must still rotate.
+	c.put("k-new", geo.Location{})
+	if rotations != 1 {
+		t.Errorf("new key past cap rotated %d times, want 1", rotations)
+	}
+}
+
+func TestShardedLocCacheBasics(t *testing.T) {
+	s := newShardedLocCache(locCacheShards * 4)
+	want := geo.Location{Country: "US", StateCode: "KS", Accuracy: geo.AccuracyState}
+	s.put("wichita ks", want)
+	if got, ok := s.get("wichita ks"); !ok || got != want {
+		t.Fatalf("get = %+v, %v", got, ok)
+	}
+	if _, ok := s.get("missing"); ok {
+		t.Fatal("phantom hit")
+	}
+	if n := s.len(); n != 1 {
+		t.Errorf("len = %d, want 1", n)
+	}
+	seen := 0
+	s.each(func(k string, v geo.Location) {
+		seen++
+		if k != "wichita ks" || v != want {
+			t.Errorf("each visited %q %+v", k, v)
+		}
+	})
+	if seen != 1 {
+		t.Errorf("each visited %d entries", seen)
+	}
+}
+
+// TestShardedLocCacheBounded: the shard ensemble must respect the global
+// bound no matter how skewed the key stream is.
+func TestShardedLocCacheBounded(t *testing.T) {
+	capacity := locCacheShards * 8
+	s := newShardedLocCache(capacity)
+	for i := 0; i < capacity*20; i++ {
+		s.put(fmt.Sprintf("city-%d", i), geo.Location{})
+	}
+	if n := s.len(); n > 2*capacity {
+		t.Errorf("sharded cache holds %d entries, bound is %d", n, 2*capacity)
+	}
+}
+
+// TestShardedLocCacheConcurrent hammers one cache from many goroutines;
+// run under -race this is the data-race check for the shared memo.
+func TestShardedLocCacheConcurrent(t *testing.T) {
+	s := newShardedLocCache(256)
+	rotations := 0
+	var mu sync.Mutex
+	s.setOnRotate(func() { mu.Lock(); rotations++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("loc-%d", i%512)
+				if _, ok := s.get(k); !ok {
+					s.put(k, geo.Location{Country: "US"})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.len(); n == 0 {
+		t.Error("cache empty after concurrent fill")
 	}
 }

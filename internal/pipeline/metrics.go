@@ -90,12 +90,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 func (d *Dataset) SetMetrics(m *Metrics) {
 	d.metrics = m
 	if m == nil {
-		d.locCache.onRotate = nil
+		d.locCache.setOnRotate(nil)
 		d.geocoder.OnLocate = nil
 		d.geocoder.OnReverse = nil
 		return
 	}
-	d.locCache.onRotate = m.cacheRotations.Inc
+	d.locCache.setOnRotate(m.cacheRotations.Inc)
 	d.geocoder.OnLocate = func(loc geo.Location, dur time.Duration) {
 		m.geoSeconds.Observe(dur.Seconds())
 		m.geoResolutions.With("profile", loc.Accuracy.String()).Inc()
@@ -121,6 +121,27 @@ func (d *Dataset) SetMetrics(m *Metrics) {
 func (m *Metrics) observeOutcome(d *Dataset, o Outcome, elapsed time.Duration) {
 	m.tweets.With(outcomeLabel(o)).Inc()
 	m.stage.With(StageIngest).Observe(elapsed.Seconds())
+	m.updateSizes(d)
+}
+
+// observeFold is observeOutcome's twin for the parallel path: the outcome
+// counter plus the stage timings measured on the worker. The ingest stage
+// records extract + locate worker time (the fold itself is map updates,
+// negligible next to either). The filter counter only fires for
+// in-context tweets, exactly as in Process. Size gauges are refreshed
+// once per chunk via updateSizes, not here.
+func (m *Metrics) observeFold(o Outcome, p prepared, hadGPS bool) {
+	m.tweets.With(outcomeLabel(o)).Inc()
+	m.stage.With(StageExtract).Observe(p.dExtract.Seconds())
+	m.stage.With(StageIngest).Observe((p.dExtract + p.dLocate).Seconds())
+	if o != Rejected {
+		m.stage.With(StageLocate).Observe(p.dLocate.Seconds())
+		m.filter.With(filterCause(hadGPS, p.loc, p.viaGeoTag)).Inc()
+	}
+}
+
+// updateSizes refreshes the dataset size gauges.
+func (m *Metrics) updateSizes(d *Dataset) {
 	m.users.Set(float64(len(d.users)))
 	m.usTweets.Set(float64(d.usTweets))
 	m.totalCollected.Set(float64(d.totalCollected))

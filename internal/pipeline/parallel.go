@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"donorsense/internal/geo"
 	"donorsense/internal/text"
@@ -11,93 +13,84 @@ import (
 
 // The expensive stages of Process — tokenizing/extracting the text and
 // geocoding the location — are pure, so they parallelize cleanly. The
-// fold into Dataset state stays single-threaded. ProcessAll shards the
-// expensive work across workers and preserves the exact semantics (and,
-// because folding happens in input order, the exact resulting state) of
-// calling Process sequentially.
+// fold into Dataset state stays single-threaded. Work travels in
+// fixed-size, sequence-numbered chunks: workers pull chunks from a
+// channel and fill pooled result buffers, and one folder consumes
+// finished chunks in input order. Because folding happens in input
+// order, the resulting dataset state is bit-identical to processing the
+// tweets sequentially, while memory stays O(workers · chunk) instead of
+// O(corpus) — the streaming CollectParallel path relies on both.
+
+// ingestChunkSize is how many tweets one worker prepares per chunk: big
+// enough to amortize channel handoffs, small enough that a handful of
+// in-flight chunks fit comfortably in cache.
+const ingestChunkSize = 256
 
 // prepared carries the precomputed expensive parts of one tweet.
 type prepared struct {
 	ex        text.Extraction
 	loc       geo.Location
 	viaGeoTag bool
+	// dExtract/dLocate are worker-side stage timings, recorded only when
+	// metrics are attached (zero otherwise).
+	dExtract time.Duration
+	dLocate  time.Duration
 }
 
-// ProcessAll runs the corpus through the dataset using the given number
-// of workers for extraction and geocoding (0 means GOMAXPROCS). It
-// returns the per-outcome counts. The dataset must not be used
-// concurrently with this call.
-func (d *Dataset) ProcessAll(tweets []twitter.Tweet, workers int) (rejected, nonUS, us int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || len(tweets) < 256 {
-		for _, t := range tweets {
-			switch d.Process(t) {
-			case Rejected:
-				rejected++
-			case CollectedNonUS:
-				nonUS++
-			case CollectedUS:
-				us++
-			}
-		}
-		return rejected, nonUS, us
-	}
+// ingestChunk is one unit of parallel work: a window of the input and a
+// recycled buffer of prepared results, tagged with a sequence number so
+// the folder can restore input order.
+type ingestChunk struct {
+	seq    int
+	tweets []twitter.Tweet
+	preps  []prepared
+}
 
-	preps := make([]prepared, len(tweets))
+// startIngestWorkers launches the extract/geocode workers: each reads
+// chunks from in, fills their prepared buffers, and delivers them to
+// out. The returned WaitGroup completes once in is closed and drained.
+func (d *Dataset) startIngestWorkers(workers int, in, out chan ingestChunk) *sync.WaitGroup {
 	var wg sync.WaitGroup
-	chunk := (len(tweets) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(tweets) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(tweets) {
-			hi = len(tweets)
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			// Per-worker extractor and geocode cache: no shared mutable
-			// state on the hot path.
+			// The extractor is per-worker scratch; the geocoder, sharded
+			// cache, and metric counters are shared and concurrency-safe.
 			ex := text.NewExtractor()
-			gc := geo.NewGeocoder()
-			cache := make(map[string]geo.Location)
-			for i := lo; i < hi; i++ {
-				t := tweets[i]
-				p := prepared{ex: ex.Extract(t.Text)}
-				if t.Coordinates != nil {
-					if l, ok := gc.Reverse(t.Coordinates.Lat, t.Coordinates.Lon); ok {
-						p.loc, p.viaGeoTag = l, true
-					}
-				} else {
-					l, ok := cache[t.User.Location]
-					if !ok {
-						l = gc.Locate(t.User.Location)
-						cache[t.User.Location] = l
-					}
-					p.loc = l
-				}
-				preps[i] = p
+			for c := range in {
+				d.prepareChunk(ex, &c)
+				out <- c
 			}
-		}(lo, hi)
+		}()
 	}
-	wg.Wait()
+	return &wg
+}
 
-	// Serial fold, in input order.
-	for i, t := range tweets {
-		switch d.fold(t, preps[i]) {
-		case Rejected:
-			rejected++
-		case CollectedNonUS:
-			nonUS++
-		case CollectedUS:
-			us++
+// prepareChunk runs the pure stages over one chunk. Location work is
+// skipped for out-of-context tweets, exactly as in Process.
+func (d *Dataset) prepareChunk(ex *text.Extractor, c *ingestChunk) {
+	m := d.metrics
+	c.preps = c.preps[:0]
+	for _, t := range c.tweets {
+		var p prepared
+		if m == nil {
+			p.ex = ex.Extract(t.Text)
+			if p.ex.InContext() {
+				p.loc, p.viaGeoTag = d.locate(t)
+			}
+		} else {
+			t0 := time.Now()
+			p.ex = ex.Extract(t.Text)
+			p.dExtract = time.Since(t0)
+			if p.ex.InContext() {
+				t0 = time.Now()
+				p.loc, p.viaGeoTag = d.locate(t)
+				p.dLocate = time.Since(t0)
+			}
 		}
+		c.preps = append(c.preps, p)
 	}
-	return rejected, nonUS, us
 }
 
 // fold applies a prepared tweet to the dataset state; it mirrors Process
@@ -142,4 +135,279 @@ func (d *Dataset) fold(t twitter.Tweet, p prepared) Outcome {
 		d.OnUSTweet(t, p.ex)
 	}
 	return CollectedUS
+}
+
+// foldChunk folds one prepared chunk into the dataset in input order,
+// feeding the per-tweet instruments and refreshing the size gauges once
+// per chunk.
+func (d *Dataset) foldChunk(c ingestChunk) (rejected, nonUS, us int) {
+	m := d.metrics
+	for i, t := range c.tweets {
+		o := d.fold(t, c.preps[i])
+		switch o {
+		case Rejected:
+			rejected++
+		case CollectedNonUS:
+			nonUS++
+		case CollectedUS:
+			us++
+		}
+		if m != nil {
+			m.observeFold(o, c.preps[i], t.Coordinates != nil)
+		}
+	}
+	if m != nil {
+		m.updateSizes(d)
+	}
+	return rejected, nonUS, us
+}
+
+// ProcessAll runs the corpus through the dataset using the given number
+// of workers for extraction and geocoding (0 means GOMAXPROCS). It
+// returns the per-outcome counts. The dataset must not be used
+// concurrently with this call. The resulting dataset state is identical
+// to calling Process on every tweet in order.
+func (d *Dataset) ProcessAll(tweets []twitter.Tweet, workers int) (rejected, nonUS, us int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(tweets) < 2*ingestChunkSize {
+		for _, t := range tweets {
+			switch d.Process(t) {
+			case Rejected:
+				rejected++
+			case CollectedNonUS:
+				nonUS++
+			case CollectedUS:
+				us++
+			}
+		}
+		return rejected, nonUS, us
+	}
+
+	// A fixed pool of prepared buffers caps in-flight chunks (and thus
+	// memory) at inflight · ingestChunkSize regardless of corpus size:
+	// the feeder blocks on free until the folder recycles a buffer. out
+	// holds one slot per buffer so workers never block delivering.
+	inflight := workers + 2
+	in := make(chan ingestChunk, workers)
+	out := make(chan ingestChunk, inflight)
+	free := make(chan []prepared, inflight)
+	for i := 0; i < inflight; i++ {
+		free <- make([]prepared, 0, ingestChunkSize)
+	}
+
+	wg := d.startIngestWorkers(workers, in, out)
+	go func() {
+		seq := 0
+		for lo := 0; lo < len(tweets); lo += ingestChunkSize {
+			hi := min(lo+ingestChunkSize, len(tweets))
+			in <- ingestChunk{seq: seq, tweets: tweets[lo:hi], preps: <-free}
+			seq++
+		}
+		close(in)
+	}()
+	go func() { wg.Wait(); close(out) }()
+
+	// Fold strictly in sequence order; chunks that finish early wait in
+	// pending (bounded by the buffer pool).
+	pending := make(map[int]ingestChunk, inflight)
+	next := 0
+	for c := range out {
+		pending[c.seq] = c
+		for {
+			cc, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			r, nu, u := d.foldChunk(cc)
+			rejected += r
+			nonUS += nu
+			us += u
+			free <- cc.preps
+		}
+	}
+	return rejected, nonUS, us
+}
+
+// CollectOptions configures CollectParallel.
+type CollectOptions struct {
+	// Workers is the number of extract/geocode workers (0 = GOMAXPROCS;
+	// 1 = a sequential per-tweet path identical to Collect).
+	Workers int
+	// OnFold, when set, runs after each folded chunk with the cumulative
+	// folded-tweet count; returning false stops collection early. The
+	// stop lands on a chunk boundary, so somewhat more tweets than the
+	// caller's threshold may already be folded when it fires.
+	OnFold func(total int) bool
+	// Ticks, when set, is observed between chunks; each tick invokes
+	// OnTick with the cumulative count. OnFold and OnTick both run on
+	// the calling goroutine, so reading the dataset from them is safe.
+	Ticks  <-chan time.Time
+	OnTick func(total int)
+}
+
+// CollectParallel drains tweets from the channel like Collect but runs
+// extraction and geocoding on opts.Workers workers, batching arrivals
+// into chunks. Chunks are folded in arrival order, so the dataset ends
+// bit-identical to Collect consuming the same delivery sequence. A
+// partial chunk is flushed whenever the stream has no tweet immediately
+// ready, so a slow stream never strands tweets in the batch buffer. It
+// returns the number of tweets folded into the dataset.
+func (d *Dataset) CollectParallel(ctx context.Context, tweets <-chan twitter.Tweet, opts CollectOptions) int {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		n := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return n
+			case t, ok := <-tweets:
+				if !ok {
+					return n
+				}
+				d.Process(t)
+				n++
+				if opts.OnFold != nil && !opts.OnFold(n) {
+					return n
+				}
+			case <-opts.Ticks:
+				if opts.OnTick != nil {
+					opts.OnTick(n)
+				}
+			}
+		}
+	}
+
+	inflight := workers + 2
+	in := make(chan ingestChunk, workers)
+	out := make(chan ingestChunk, inflight)
+	free := make(chan ingestChunk, inflight)
+	for i := 0; i < inflight; i++ {
+		free <- ingestChunk{
+			tweets: make([]twitter.Tweet, 0, ingestChunkSize),
+			preps:  make([]prepared, 0, ingestChunkSize),
+		}
+	}
+	wg := d.startIngestWorkers(workers, in, out)
+
+	var (
+		pending = make(map[int]ingestChunk, inflight)
+		seq     int
+		next    int
+		total   int
+		stopped bool
+	)
+	// foldReady folds every consecutively-sequenced chunk available,
+	// recycling buffers; once stopped, finished chunks just accumulate
+	// in pending (bounded by the buffer pool) and are discarded later.
+	foldReady := func(c ingestChunk) {
+		pending[c.seq] = c
+		for !stopped {
+			cc, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			d.foldChunk(cc)
+			total += len(cc.tweets)
+			cc.tweets = cc.tweets[:0]
+			free <- cc
+			if opts.OnFold != nil && !opts.OnFold(total) {
+				stopped = true
+			}
+		}
+	}
+	cur := <-free
+	// dispatch hands the current batch to the workers and acquires the
+	// next buffer. Both waits service out in the meantime: the folder is
+	// this same goroutine, so draining here is what keeps the workers
+	// moving (and prevents deadlock) when every buffer is in flight.
+	dispatch := func() {
+		if len(cur.tweets) == 0 {
+			return
+		}
+		cur.seq = seq
+		seq++
+		for c, sent := cur, false; !sent; {
+			select {
+			case in <- c:
+				sent = true
+			case done := <-out:
+				foldReady(done)
+			}
+		}
+		for {
+			select {
+			case cur = <-free:
+				return
+			case done := <-out:
+				foldReady(done)
+			}
+		}
+	}
+
+loop:
+	for !stopped {
+		if len(cur.tweets) == 0 {
+			select {
+			case <-ctx.Done():
+				break loop
+			case t, ok := <-tweets:
+				if !ok {
+					break loop
+				}
+				cur.tweets = append(cur.tweets, t)
+				if len(cur.tweets) == ingestChunkSize {
+					dispatch()
+				}
+			case done := <-out:
+				foldReady(done)
+			case <-opts.Ticks:
+				if opts.OnTick != nil {
+					opts.OnTick(total)
+				}
+			}
+		} else {
+			// A partial batch is in hand: take more input only when it
+			// is immediately available, otherwise flush it.
+			select {
+			case <-ctx.Done():
+				break loop
+			case t, ok := <-tweets:
+				if !ok {
+					break loop
+				}
+				cur.tweets = append(cur.tweets, t)
+				if len(cur.tweets) == ingestChunkSize {
+					dispatch()
+				}
+			case done := <-out:
+				foldReady(done)
+			case <-opts.Ticks:
+				if opts.OnTick != nil {
+					opts.OnTick(total)
+				}
+			default:
+				dispatch()
+			}
+		}
+	}
+	// Flush the tail batch, then drain the workers, folding whatever is
+	// still in flight (unless a stop discarded the suffix).
+	if !stopped {
+		dispatch()
+	}
+	close(in)
+	go func() { wg.Wait(); close(out) }()
+	for c := range out {
+		foldReady(c)
+	}
+	return total
 }

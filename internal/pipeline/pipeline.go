@@ -88,8 +88,9 @@ type Dataset struct {
 	// repeat heavily across tweets of the same user. It is bounded: a
 	// 385-day run sees an unbounded stream of distinct (possibly
 	// adversarial) profile strings, and an uncapped map is a
-	// memory-exhaustion hazard.
-	locCache *locCache
+	// memory-exhaustion hazard. Sharded so ProcessAll / CollectParallel
+	// workers can share it without contending on one lock.
+	locCache *shardedLocCache
 
 	users map[int64]*UserRecord
 
@@ -123,7 +124,7 @@ func NewDataset() *Dataset {
 	return &Dataset{
 		extractor:      text.NewExtractor(),
 		geocoder:       geo.NewGeocoder(),
-		locCache:       newLocCache(locCacheCap),
+		locCache:       newShardedLocCache(locCacheCap),
 		users:          make(map[int64]*UserRecord),
 		organsPerTweet: make(map[int]int),
 	}
@@ -229,67 +230,6 @@ func (d *Dataset) locate(t twitter.Tweet) (loc geo.Location, viaGeoTag bool) {
 	l := d.geocoder.Locate(raw)
 	d.locCache.put(raw, l)
 	return l, false
-}
-
-// locCacheCap bounds each generation of the geocode memo; the cache holds
-// at most twice this many entries.
-const locCacheCap = 1 << 16
-
-// locCache is a two-generation bounded memo: lookups hit the current
-// generation then the previous one (promoting on hit); when the current
-// generation fills, it becomes the previous and a fresh one starts. Hot
-// strings survive rotation, cold ones age out, and memory stays O(cap)
-// with O(1) operations — all an adversarial profile-location stream can
-// do is evict cold entries.
-type locCache struct {
-	cap       int
-	cur, prev map[string]geo.Location
-	// onRotate, when set, observes each generation rotation (telemetry).
-	onRotate func()
-}
-
-func newLocCache(capacity int) *locCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &locCache{cap: capacity, cur: make(map[string]geo.Location)}
-}
-
-func (c *locCache) get(k string) (geo.Location, bool) {
-	if l, ok := c.cur[k]; ok {
-		return l, true
-	}
-	if l, ok := c.prev[k]; ok {
-		c.put(k, l) // promote so hot entries survive the next rotation
-		return l, true
-	}
-	return geo.Location{}, false
-}
-
-func (c *locCache) put(k string, v geo.Location) {
-	if len(c.cur) >= c.cap {
-		c.prev = c.cur
-		c.cur = make(map[string]geo.Location, c.cap/4)
-		if c.onRotate != nil {
-			c.onRotate()
-		}
-	}
-	c.cur[k] = v
-}
-
-// len reports the total cached entries across both generations.
-func (c *locCache) len() int { return len(c.cur) + len(c.prev) }
-
-// each visits every cached entry (current generation winning duplicates).
-func (c *locCache) each(fn func(string, geo.Location)) {
-	for k, v := range c.prev {
-		if _, shadowed := c.cur[k]; !shadowed {
-			fn(k, v)
-		}
-	}
-	for k, v := range c.cur {
-		fn(k, v)
-	}
 }
 
 // Collect drains tweets from the channel into the dataset until the

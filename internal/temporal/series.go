@@ -59,8 +59,12 @@ func (s *Series) Observe(t twitter.Tweet, ex text.Extraction) bool {
 		return false
 	}
 	s.totals[d]++
-	for _, o := range ex.Organs {
-		s.counts[d][o.Index()]++
+	// Iterate the mention counts rather than materializing an organ
+	// slice; Observe runs once per retained US tweet on the hot path.
+	for i, m := range ex.Mentions {
+		if m > 0 {
+			s.counts[d][i]++
+		}
 	}
 	return true
 }

@@ -1,19 +1,21 @@
 package text
 
 import (
-	"strings"
-
 	"donorsense/internal/organ"
 )
 
 // Extraction is the result of matching a tweet against the Figure 1
-// keyword product.
+// keyword product. It is a pure value: context terms are carried as
+// interned vocabulary IDs and organs as a bitmask, so an Extraction can
+// be copied, buffered, and folded later without referencing any
+// extractor scratch state.
 type Extraction struct {
-	// ContextTerms are the donation-context terms found, in order of first
-	// appearance, deduplicated.
-	ContextTerms []string
-	// Organs are the distinct organs mentioned, in canonical order.
-	Organs []organ.Organ
+	// ctxTerms holds the IDs of the donation-context terms found, in
+	// order of first appearance, deduplicated. ctxN is the count.
+	ctxTerms [maxContextTerms]uint8
+	ctxN     uint8
+	// organs is the distinct-organ bitmask, bit i = organ with Index i.
+	organs uint8
 	// Mentions counts subject-form occurrences per organ (a tweet saying
 	// "kidney" twice counts 2 for kidney).
 	Mentions [organ.Count]int
@@ -27,7 +29,56 @@ type Extraction struct {
 // InContext reports whether the tweet satisfies the collection predicate:
 // at least one Context term and at least one Subject term (Figure 1).
 func (e Extraction) InContext() bool {
-	return len(e.ContextTerms) > 0 && len(e.Organs) > 0
+	return e.ctxN > 0 && e.organs != 0
+}
+
+// ContextTerms returns the donation-context terms found, in order of
+// first appearance, deduplicated. The strings are interned vocabulary
+// terms; only the slice header is allocated, and nil is returned when no
+// term matched. Hot paths should prefer NumContextTerms.
+func (e Extraction) ContextTerms() []string {
+	if e.ctxN == 0 {
+		return nil
+	}
+	out := make([]string, e.ctxN)
+	for i := range out {
+		out[i] = vocab.terms[e.ctxTerms[i]]
+	}
+	return out
+}
+
+// NumContextTerms returns how many distinct context terms matched,
+// without allocating.
+func (e Extraction) NumContextTerms() int { return int(e.ctxN) }
+
+// Organs returns the distinct organs mentioned, in canonical order, or
+// nil when none matched. Hot paths should prefer HasOrgan or iterating
+// Mentions, which do not allocate.
+func (e Extraction) Organs() []organ.Organ {
+	if e.organs == 0 {
+		return nil
+	}
+	out := make([]organ.Organ, 0, organ.Count)
+	for _, o := range organ.All() {
+		if e.organs&(1<<uint(o.Index())) != 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// HasOrgan reports whether the organ was mentioned at least once.
+func (e Extraction) HasOrgan(o organ.Organ) bool {
+	return e.organs&(1<<uint(o.Index())) != 0
+}
+
+// NumOrgans returns how many distinct organs were mentioned.
+func (e Extraction) NumOrgans() int {
+	n := 0
+	for b := e.organs; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
 }
 
 // TotalMentions returns the total number of organ-subject occurrences.
@@ -40,85 +91,64 @@ func (e Extraction) TotalMentions() int {
 }
 
 // Extractor matches tweet text against the organ-donation keyword set.
-// It is safe for concurrent use after construction.
+// The keyword index itself is immutable and shared package-wide; an
+// Extractor carries only reusable scratch buffers (token spans, lowered
+// text, epoch-stamped seen marks), so Extract allocates nothing in the
+// steady state. The scratch makes an Extractor NOT safe for concurrent
+// use — construction is cheap, so give each goroutine its own.
 type Extractor struct {
-	// contextUnigrams holds single-word context terms.
-	contextUnigrams map[string]bool
-	// contextBigrams holds two-word context terms keyed by first word,
-	// e.g. "waiting" -> {"list"}.
-	contextBigrams map[string]map[string]bool
+	spans []span
+	lower []byte
+	// seen[id] == epoch marks context term id as already emitted for the
+	// current Extract call; bumping epoch resets all marks in O(1).
+	seen  [maxContextTerms]uint32
+	epoch uint32
 }
 
-// NewExtractor builds an Extractor from the canonical keyword vocabulary
-// in package organ.
-func NewExtractor() *Extractor {
-	e := &Extractor{
-		contextUnigrams: make(map[string]bool),
-		contextBigrams:  make(map[string]map[string]bool),
-	}
-	for _, c := range organ.ContextWords() {
-		parts := strings.Fields(c)
-		switch len(parts) {
-		case 1:
-			e.contextUnigrams[parts[0]] = true
-		case 2:
-			m := e.contextBigrams[parts[0]]
-			if m == nil {
-				m = make(map[string]bool)
-				e.contextBigrams[parts[0]] = m
-			}
-			m[parts[1]] = true
-		default:
-			// The vocabulary only contains unigrams and bigrams; longer
-			// phrases would need a trie, which nothing requires yet.
-			panic("text: context term longer than two words: " + c)
-		}
-	}
-	return e
-}
+// NewExtractor returns an Extractor backed by the canonical keyword
+// vocabulary in package organ.
+func NewExtractor() *Extractor { return &Extractor{} }
 
 // Extract tokenizes the tweet text and returns its context terms and
 // organ mentions.
 func (e *Extractor) Extract(tweet string) Extraction {
-	toks := Tokenize(tweet)
-	words := make([]string, 0, len(toks))
+	e.scan(tweet)
+	e.epoch++
+	if e.epoch == 0 { // uint32 wrap: clear stale marks, restart epochs
+		e.seen = [maxContextTerms]uint32{}
+		e.epoch = 1
+	}
 	var ex Extraction
-	for _, t := range toks {
-		switch t.Kind {
-		case Word, Hashtag:
-			words = append(words, t.Text)
-		}
-		if t.Kind == Hashtag {
+	for i := range e.spans {
+		sp := e.spans[i]
+		if sp.hashtag {
 			ex.Hashtags++
 		}
-	}
-	seenCtx := make(map[string]bool)
-	seenOrg := [organ.Count]bool{}
-	for i, w := range words {
-		if e.contextUnigrams[w] && !seenCtx[w] {
-			seenCtx[w] = true
-			ex.ContextTerms = append(ex.ContextTerms, w)
+		w := e.lower[sp.lo:sp.hi]
+		if id, ok := vocab.unigram[string(w)]; ok && e.seen[id] != e.epoch {
+			e.seen[id] = e.epoch
+			ex.ctxTerms[ex.ctxN] = id
+			ex.ctxN++
 		}
-		if seconds, ok := e.contextBigrams[w]; ok && i+1 < len(words) {
-			if next := words[i+1]; seconds[next] {
-				term := w + " " + next
-				if !seenCtx[term] {
-					seenCtx[term] = true
-					ex.ContextTerms = append(ex.ContextTerms, term)
+		if rules, ok := vocab.bigrams[string(w)]; ok && i+1 < len(e.spans) {
+			next := e.lower[e.spans[i+1].lo:e.spans[i+1].hi]
+			for _, br := range rules {
+				if br.second == string(next) {
+					if e.seen[br.id] != e.epoch {
+						e.seen[br.id] = e.epoch
+						ex.ctxTerms[ex.ctxN] = br.id
+						ex.ctxN++
+					}
+					break
 				}
 			}
 		}
-		if o, ok := organ.SubjectOrgan(w); ok {
-			ex.Mentions[o.Index()]++
-			seenOrg[o.Index()] = true
-			if organ.IsClinicalForm(w) {
+		if si, ok := vocab.subject[string(w)]; ok {
+			ex.Mentions[si.organ.Index()]++
+			ex.organs |= 1 << uint(si.organ.Index())
+			if si.clinical {
 				ex.ClinicalMentions++
 			}
-		}
-	}
-	for _, o := range organ.All() {
-		if seenOrg[o.Index()] {
-			ex.Organs = append(ex.Organs, o)
 		}
 	}
 	return ex
@@ -126,20 +156,27 @@ func (e *Extractor) Extract(tweet string) Extraction {
 
 // MatchesFilter reports whether the tweet satisfies the Stream API filter
 // predicate without building the full extraction. Equivalent to
-// Extract(tweet).InContext().
+// Extract(tweet).InContext(), and allocation-free like Extract.
 func (e *Extractor) MatchesFilter(tweet string) bool {
-	words := Words(tweet)
+	e.scan(tweet)
 	haveCtx, haveOrg := false, false
-	for i, w := range words {
+	for i := range e.spans {
+		w := e.lower[e.spans[i].lo:e.spans[i].hi]
 		if !haveCtx {
-			if e.contextUnigrams[w] {
+			if _, ok := vocab.unigram[string(w)]; ok {
 				haveCtx = true
-			} else if seconds, ok := e.contextBigrams[w]; ok && i+1 < len(words) && seconds[words[i+1]] {
-				haveCtx = true
+			} else if rules, ok := vocab.bigrams[string(w)]; ok && i+1 < len(e.spans) {
+				next := e.lower[e.spans[i+1].lo:e.spans[i+1].hi]
+				for _, br := range rules {
+					if br.second == string(next) {
+						haveCtx = true
+						break
+					}
+				}
 			}
 		}
 		if !haveOrg {
-			if _, ok := organ.SubjectOrgan(w); ok {
+			if _, ok := vocab.subject[string(w)]; ok {
 				haveOrg = true
 			}
 		}

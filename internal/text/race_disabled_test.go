@@ -1,0 +1,8 @@
+//go:build !race
+
+package text
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which instruments allocations and invalidates strict
+// allocs-per-op budgets.
+const raceEnabled = false

@@ -1,0 +1,106 @@
+package text
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// span is one matchable token (word or hashtag body) located in an
+// Extractor's lowered scratch buffer.
+type span struct {
+	lo, hi  int32 // byte range into Extractor.lower
+	hashtag bool
+}
+
+// scan fills e.spans and e.lower with the matchable tokens of s. It
+// mirrors Tokenize's boundary rules exactly — mentions, URLs, and number
+// tokens are consumed with the same rules but not recorded — while
+// reusing the Extractor's buffers so steady-state scanning allocates
+// nothing.
+func (e *Extractor) scan(s string) {
+	e.spans = e.spans[:0]
+	e.lower = e.lower[:0]
+	i := 0
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case r == '#' || r == '@':
+			j := i + size
+			for j < len(s) {
+				rr, sz := utf8.DecodeRuneInString(s[j:])
+				if !isTagRune(rr) {
+					break
+				}
+				j += sz
+			}
+			if j > i+size && r == '#' {
+				e.appendSpan(s[i+size:j], true)
+			}
+			i = j
+		case unicode.IsLetter(r):
+			if hasURLPrefix(s[i:]) {
+				j := i
+				for j < len(s) {
+					rr, sz := utf8.DecodeRuneInString(s[j:])
+					if unicode.IsSpace(rr) {
+						break
+					}
+					j += sz
+				}
+				i = j
+				continue
+			}
+			j := i
+			for j < len(s) {
+				rr, sz := utf8.DecodeRuneInString(s[j:])
+				if !isWordRune(rr) {
+					break
+				}
+				j += sz
+			}
+			e.appendSpan(s[i:j], false)
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(s) {
+				rr, sz := utf8.DecodeRuneInString(s[j:])
+				if unicode.IsDigit(rr) {
+					j += sz
+					continue
+				}
+				// A comma binds digit groups ("60,000") only when a digit
+				// follows immediately — same rule as Tokenize.
+				if rr == ',' && j+sz < len(s) {
+					nr, _ := utf8.DecodeRuneInString(s[j+sz:])
+					if unicode.IsDigit(nr) {
+						j += sz
+						continue
+					}
+				}
+				break
+			}
+			i = j
+		default:
+			i += size
+		}
+	}
+}
+
+// appendSpan lowers raw into the scratch buffer and records its span.
+// Lowering matches strings.ToLower rune for rune (simple Unicode case
+// mapping), with a byte fast path for ASCII.
+func (e *Extractor) appendSpan(raw string, hashtag bool) {
+	lo := int32(len(e.lower))
+	for _, r := range raw {
+		if r < utf8.RuneSelf {
+			c := byte(r)
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			e.lower = append(e.lower, c)
+		} else {
+			e.lower = utf8.AppendRune(e.lower, unicode.ToLower(r))
+		}
+	}
+	e.spans = append(e.spans, span{lo: lo, hi: int32(len(e.lower)), hashtag: hashtag})
+}

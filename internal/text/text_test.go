@@ -195,14 +195,14 @@ func TestExtract(t *testing.T) {
 		if ex.InContext() != tt.wantCtx {
 			t.Errorf("Extract(%q).InContext() = %v, want %v", tt.in, ex.InContext(), tt.wantCtx)
 		}
-		if !reflect.DeepEqual(ex.Organs, tt.wantOrgans) {
-			t.Errorf("Extract(%q).Organs = %v, want %v", tt.in, ex.Organs, tt.wantOrgans)
+		if !reflect.DeepEqual(ex.Organs(), tt.wantOrgans) {
+			t.Errorf("Extract(%q).Organs = %v, want %v", tt.in, ex.Organs(), tt.wantOrgans)
 		}
 		if ex.TotalMentions() != tt.wantTotal {
 			t.Errorf("Extract(%q).TotalMentions() = %d, want %d", tt.in, ex.TotalMentions(), tt.wantTotal)
 		}
-		if !reflect.DeepEqual(ex.ContextTerms, tt.wantContext) {
-			t.Errorf("Extract(%q).ContextTerms = %v, want %v", tt.in, ex.ContextTerms, tt.wantContext)
+		if !reflect.DeepEqual(ex.ContextTerms(), tt.wantContext) {
+			t.Errorf("Extract(%q).ContextTerms = %v, want %v", tt.in, ex.ContextTerms(), tt.wantContext)
 		}
 	}
 }
@@ -210,7 +210,7 @@ func TestExtract(t *testing.T) {
 func TestExtractMentionHandleDoesNotCount(t *testing.T) {
 	e := NewExtractor()
 	ex := e.Extract("@heart_donor hello")
-	if len(ex.Organs) != 0 || len(ex.ContextTerms) != 0 {
+	if ex.NumOrgans() != 0 || ex.NumContextTerms() != 0 {
 		t.Errorf("mention handle matched keywords: %+v", ex)
 	}
 }
@@ -247,8 +247,8 @@ func TestExtractClinicalVariants(t *testing.T) {
 	e := NewExtractor()
 	ex := e.Extract("renal transplant recipient with pulmonary complications")
 	wantOrgans := []organ.Organ{organ.Kidney, organ.Lung}
-	if !reflect.DeepEqual(ex.Organs, wantOrgans) {
-		t.Errorf("Organs = %v, want %v", ex.Organs, wantOrgans)
+	if !reflect.DeepEqual(ex.Organs(), wantOrgans) {
+		t.Errorf("Organs = %v, want %v", ex.Organs(), wantOrgans)
 	}
 	if !ex.InContext() {
 		t.Error("clinical-variant tweet should be in context")

@@ -131,14 +131,36 @@ func isWordRune(r rune) bool {
 }
 
 // hasURLPrefix reports whether the string starts with http:// or
-// https:// (case-insensitive).
+// https:// (case-insensitive). It compares bytes in place — the check
+// runs once per letter-initial token on the ingest hot path, so it must
+// not allocate the way a strings.ToLower round trip would.
 func hasURLPrefix(s string) bool {
-	const h, hs = "http://", "https://"
-	if len(s) >= len(hs) {
-		s = s[:len(hs)]
+	rest, ok := cutPrefixFold(s, "http")
+	if !ok {
+		return false
 	}
-	s = strings.ToLower(s)
-	return strings.HasPrefix(s, h) || strings.HasPrefix(s, hs)
+	if r, ok2 := cutPrefixFold(rest, "s"); ok2 {
+		rest = r
+	}
+	return strings.HasPrefix(rest, "://")
+}
+
+// cutPrefixFold strips an ASCII-lowercase prefix from s, matching
+// case-insensitively.
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) {
+		return s, false
+	}
+	for i := 0; i < len(prefix); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != prefix[i] {
+			return s, false
+		}
+	}
+	return s[len(prefix):], true
 }
 
 // Words returns just the matchable word-like token texts (words and

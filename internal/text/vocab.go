@@ -1,0 +1,86 @@
+package text
+
+import (
+	"strings"
+
+	"donorsense/internal/organ"
+)
+
+// The matcher vocabulary is tiny and fixed (Figure 1's Context terms plus
+// the organ subject surface forms), so the extractor can intern every
+// canonical term string once and track per-tweet "seen" state in a small
+// epoch-stamped array instead of a per-tweet map. Term IDs index both the
+// interned string table and the Extractor's seen array.
+
+// maxContextTerms bounds the context vocabulary so term IDs fit in a
+// uint8 and Extraction can carry its terms inline without allocating.
+const maxContextTerms = 32
+
+// bigramRule is one two-word context term keyed by its first word.
+type bigramRule struct {
+	second string // second word of the term
+	id     uint8  // term ID of the canonical phrase
+}
+
+// subjectInfo is the precomputed lookup result for one subject surface
+// form, folding organ.SubjectOrgan and organ.IsClinicalForm into a single
+// map probe on the hot path.
+type subjectInfo struct {
+	organ    organ.Organ
+	clinical bool
+}
+
+// matcherVocab is the immutable, package-wide keyword index shared by all
+// Extractors.
+type matcherVocab struct {
+	// terms holds the canonical context-term strings by ID ("waiting
+	// list" stays one interned string, never re-concatenated).
+	terms []string
+	// unigram maps single-word context terms to their ID.
+	unigram map[string]uint8
+	// bigrams maps the first word of two-word context terms to the rules
+	// completing them.
+	bigrams map[string][]bigramRule
+	// subject maps every organ subject surface form to its organ and
+	// clinical flag.
+	subject map[string]subjectInfo
+}
+
+// vocab is built once at package init from the canonical keyword set.
+var vocab = buildVocab()
+
+func buildVocab() *matcherVocab {
+	v := &matcherVocab{
+		unigram: make(map[string]uint8),
+		bigrams: make(map[string][]bigramRule),
+		subject: make(map[string]subjectInfo),
+	}
+	for _, c := range organ.ContextWords() {
+		parts := strings.Fields(c)
+		if len(v.terms) >= maxContextTerms {
+			panic("text: context vocabulary exceeds maxContextTerms")
+		}
+		id := uint8(len(v.terms))
+		switch len(parts) {
+		case 1:
+			v.terms = append(v.terms, parts[0])
+			v.unigram[parts[0]] = id
+		case 2:
+			// Intern the canonical space-joined form once.
+			v.terms = append(v.terms, parts[0]+" "+parts[1])
+			v.bigrams[parts[0]] = append(v.bigrams[parts[0]], bigramRule{second: parts[1], id: id})
+		default:
+			// The vocabulary only contains unigrams and bigrams; longer
+			// phrases would need a trie, which nothing requires yet.
+			panic("text: context term longer than two words: " + c)
+		}
+	}
+	for _, w := range organ.SubjectWords() {
+		o, ok := organ.SubjectOrgan(w)
+		if !ok {
+			panic("text: subject word with no organ: " + w)
+		}
+		v.subject[w] = subjectInfo{organ: o, clinical: organ.IsClinicalForm(w)}
+	}
+	return v
+}
