@@ -4,6 +4,9 @@ GO ?= go
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
+# Packages of the analytics engine (flat matrices + clustering), archived
+# and gated separately from the ingest path.
+ANALYTICS_PKGS = ./internal/cluster/ ./internal/mat/
 
 all: check
 
@@ -21,7 +24,7 @@ test:
 # -short skips the scale-1.0 end of the suite; the concurrency paths are
 # fully exercised.
 race:
-	$(GO) test -race -short ./internal/obs/ ./internal/twitter/ ./internal/pipeline/ ./cmd/...
+	$(GO) test -race -short ./internal/obs/ ./internal/twitter/ ./internal/pipeline/ ./internal/cluster/ ./cmd/...
 
 check: build vet test race
 
@@ -32,6 +35,8 @@ check: build vet test race
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) | tee BENCH_pipeline.txt
 	$(GO) run ./cmd/benchjson -in BENCH_pipeline.txt -out BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(ANALYTICS_PKGS) | tee BENCH_analytics.txt
+	$(GO) run ./cmd/benchjson -in BENCH_analytics.txt -out BENCH_analytics.json
 
 # Run the hot-path benchmarks fresh and diff them against the committed
 # baseline; fails when ns/op or allocs/op regress by more than 10% on any
@@ -41,6 +46,9 @@ benchcmp:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) > /tmp/benchcmp_new.txt
 	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_new.txt -out /tmp/benchcmp_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_pipeline.json /tmp/benchcmp_new.json
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(ANALYTICS_PKGS) > /tmp/benchcmp_analytics_new.txt
+	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_analytics_new.txt -out /tmp/benchcmp_analytics_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_analytics.json /tmp/benchcmp_analytics_new.json
 
 # The full per-table/per-figure benchmark suite from the repo root.
 bench-paper:

@@ -130,10 +130,12 @@ func parseKs(s string) ([]int, error) {
 	return out, nil
 }
 
-func analyzeDataset(d *pipeline.Dataset, k int, sweep string, silhouetteSample int, series *temporal.Series, exportDir string) error {
+func analyzeDataset(d *pipeline.Dataset, k int, sweep string, silhouetteSample, workers int, metrics *report.Metrics, series *temporal.Series, exportDir string) error {
 	cfg := report.DefaultAnalysisConfig()
 	cfg.KUsers = k
 	cfg.SilhouetteSample = silhouetteSample
+	cfg.Workers = workers
+	cfg.Metrics = metrics
 	ks, err := parseKs(sweep)
 	if err != nil {
 		return err
@@ -246,7 +248,7 @@ func cmdAnalyze(args []string) error {
 	sweep := fs.String("sweep", "6,8,10,12,14,16", "comma-separated ks for the model-selection sweep (empty to skip)")
 	sil := fs.Int("silhouette-sample", 2000, "silhouette sample size (0 = exact)")
 	extensions := fs.Bool("extensions", false, "also print multiple-testing corrections and the temporal burst sensor")
-	workers := fs.Int("workers", 0, "pipeline workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "pipeline and analysis workers (0 = GOMAXPROCS; any value gives identical results)")
 	exportDir := fs.String("export", "", "directory to write CSV/JSON results into (empty = no export)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -275,7 +277,7 @@ func cmdAnalyze(args []string) error {
 		}
 	}
 	d.ProcessAll(tweets, *workers)
-	return analyzeDataset(d, *k, *sweep, *sil, series, *exportDir)
+	return analyzeDataset(d, *k, *sweep, *sil, *workers, nil, series, *exportDir)
 }
 
 func cmdCollect(args []string) error {
@@ -338,9 +340,11 @@ func cmdCollect(args []string) error {
 
 	// Telemetry: registry + instrumented client/pipeline + HTTP endpoint.
 	var streamMetrics *twitter.StreamMetrics
+	var analyzeMetrics *report.Metrics
 	if *telemetryAddr != "" {
 		reg := obs.NewRegistry()
 		d.SetMetrics(pipeline.NewMetrics(reg))
+		analyzeMetrics = report.NewMetrics(reg)
 		streamMetrics = twitter.NewStreamMetrics(reg)
 		streamMetrics.Instrument(reg, client)
 		srv := obs.NewServer(reg)
@@ -525,7 +529,7 @@ func cmdCollect(args []string) error {
 	if d.Users() == 0 {
 		return fmt.Errorf("no US users collected; nothing to analyze")
 	}
-	return analyzeDataset(d, *k, *sweep, *sil, nil, "")
+	return analyzeDataset(d, *k, *sweep, *sil, *workers, analyzeMetrics, nil, "")
 }
 
 // cmdReplay serves an archived NDJSON corpus over the Stream API

@@ -14,11 +14,22 @@ import (
 
 // Distance computes the dissimilarity of two equal-length vectors. All
 // implementations in this package are symmetric and zero on identical
-// inputs.
+// inputs, and panic when the vectors differ in length — a silent
+// truncation (or index panic deep in the loop) would otherwise turn a
+// caller's shape bug into a wrong distance.
 type Distance func(a, b []float64) float64
+
+// checkLens panics with a diagnosable message on mismatched vector
+// lengths. Every exported Distance starts with it.
+func checkLens(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cluster: distance over mismatched vector lengths %d vs %d", len(a), len(b)))
+	}
+}
 
 // Euclidean is the L2 distance.
 func Euclidean(a, b []float64) float64 {
+	checkLens(a, b)
 	s := 0.0
 	for i := range a {
 		d := a[i] - b[i]
@@ -29,6 +40,7 @@ func Euclidean(a, b []float64) float64 {
 
 // SquaredEuclidean is the L2 distance squared (K-Means inertia metric).
 func SquaredEuclidean(a, b []float64) float64 {
+	checkLens(a, b)
 	s := 0.0
 	for i := range a {
 		d := a[i] - b[i]
@@ -40,6 +52,7 @@ func SquaredEuclidean(a, b []float64) float64 {
 // bhattCoeff returns the Bhattacharyya coefficient Σ√(p_i·q_i), clamped
 // to [0, 1] against floating-point drift.
 func bhattCoeff(p, q []float64) float64 {
+	checkLens(p, q)
 	bc := 0.0
 	for i := range p {
 		if p[i] > 0 && q[i] > 0 {
@@ -73,6 +86,7 @@ func Hellinger(p, q []float64) float64 {
 // JensenShannon is the Jensen–Shannon divergence (base-2 logarithm,
 // bounded [0,1]) between two discrete distributions.
 func JensenShannon(p, q []float64) float64 {
+	checkLens(p, q)
 	kl := func(a, b []float64) float64 {
 		s := 0.0
 		for i := range a {
@@ -89,8 +103,18 @@ func JensenShannon(p, q []float64) float64 {
 	return kl(p, m)/2 + kl(q, m)/2
 }
 
-// PairwiseMatrix computes the full symmetric distance matrix of the rows.
+// PairwiseMatrix computes the full symmetric distance matrix of the
+// rows, using every core (see PairwiseMatrixWorkers).
 func PairwiseMatrix(rows [][]float64, d Distance) ([][]float64, error) {
+	return PairwiseMatrixWorkers(rows, d, 0)
+}
+
+// PairwiseMatrixWorkers computes the full symmetric distance matrix of
+// the rows across workers goroutines (0 = GOMAXPROCS). The returned
+// rows share one flat backing array; only the strict upper triangle is
+// computed (each row owned by one worker, so the pass is deterministic
+// for any worker count) and then mirrored.
+func PairwiseMatrixWorkers(rows [][]float64, d Distance, workers int) ([][]float64, error) {
 	n := len(rows)
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no rows")
@@ -101,15 +125,26 @@ func PairwiseMatrix(rows [][]float64, d Distance) ([][]float64, error) {
 			return nil, fmt.Errorf("cluster: row %d has %d cols, want %d", i, len(r), w)
 		}
 	}
+	backing := make([]float64, n*n)
 	m := make([][]float64, n)
 	for i := range m {
-		m[i] = make([]float64, n)
+		m[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
-	for i := 0; i < n; i++ {
+	nw := resolveWorkers(workers)
+	// Upper triangle: row i owns cells (i, j>i). Rows are claimed from a
+	// shared counter, which also balances the shrinking row lengths.
+	parallelChunks(n, nw, func(i int) {
+		ri, mi := rows[i], m[i]
 		for j := i + 1; j < n; j++ {
-			v := d(rows[i], rows[j])
-			m[i][j], m[j][i] = v, v
+			mi[j] = d(ri, rows[j])
 		}
-	}
+	})
+	// Mirror into the lower triangle, row-parallel again.
+	parallelChunks(n, nw, func(j int) {
+		mj := m[j]
+		for i := 0; i < j; i++ {
+			mj[i] = m[i][j]
+		}
+	})
 	return m, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"donorsense/internal/mat"
 )
 
 // KMeansResult is the outcome of one K-Means run.
@@ -29,25 +31,44 @@ type KMeansConfig struct {
 	// Restarts runs the algorithm this many times with different seeds
 	// and keeps the lowest-inertia result (default 1).
 	Restarts int
+	// Workers bounds the concurrency of the assignment pass and of the
+	// restarts (0 = GOMAXPROCS). Any worker count produces bit-identical
+	// results: the assignment pass reduces over fixed-size row chunks
+	// whose partial sums are folded in chunk order, never in scheduling
+	// order.
+	Workers int
 }
 
+// assignChunkRows is the fixed row-chunk granularity of the assignment
+// pass. It is deliberately independent of the worker count: the chunk
+// decomposition (and therefore every floating-point fold) is identical
+// whether one goroutine walks the chunks or eight do.
+const assignChunkRows = 1024
+
 // KMeans clusters the rows into cfg.K clusters using k-means++
-// initialization and Lloyd's algorithm. This is the algorithm behind the
-// paper's Figure 7 user clustering (k = 12, chosen via silhouette /
-// inertia / average-cluster-size sweeps).
+// initialization and Lloyd's algorithm with Hamerly's triangle-
+// inequality pruning. This is the algorithm behind the paper's Figure 7
+// user clustering (k = 12, chosen via silhouette / inertia /
+// average-cluster-size sweeps). It copies rows into a flat matrix once;
+// callers that already hold a *mat.Dense should use KMeansDense, which
+// runs zero-copy.
 func KMeans(rows [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
-	n := len(rows)
-	if n == 0 {
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("cluster: kmeans on empty data")
 	}
+	m, err := denseFromRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: kmeans: %w", err)
+	}
+	return KMeansDense(m, cfg)
+}
+
+// KMeansDense is KMeans over a flat row-major matrix, without copying
+// the data.
+func KMeansDense(m *mat.Dense, cfg KMeansConfig) (*KMeansResult, error) {
+	n := m.Rows()
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("cluster: kmeans k=%d with n=%d", cfg.K, n)
-	}
-	dim := len(rows[0])
-	for i, r := range rows {
-		if len(r) != dim {
-			return nil, fmt.Errorf("cluster: row %d has %d cols, want %d", i, len(r), dim)
-		}
 	}
 	maxIter := cfg.MaxIterations
 	if maxIter <= 0 {
@@ -61,100 +82,99 @@ func KMeans(rows [][]float64, cfg KMeansConfig) (*KMeansResult, error) {
 	if restarts <= 0 {
 		restarts = 1
 	}
+	workers := resolveWorkers(cfg.Workers)
 
-	var best *KMeansResult
-	for attempt := 0; attempt < restarts; attempt++ {
+	// Restarts are independent runs (each owns its PCG stream), so they
+	// run concurrently; each still chunk-parallelizes its assignment
+	// pass. The best pick scans attempts in order with a strict <, so
+	// the earliest attempt wins inertia ties exactly as a sequential
+	// loop would.
+	results := make([]*KMeansResult, restarts)
+	parallelChunks(restarts, workers, func(attempt int) {
 		r := rand.New(rand.NewPCG(cfg.Seed, uint64(attempt)))
-		res := kmeansOnce(rows, cfg.K, maxIter, tol, r)
-		if best == nil || res.Inertia < best.Inertia {
+		results[attempt] = kmeansOnce(m, cfg.K, maxIter, tol, r, workers)
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Inertia < best.Inertia {
 			best = res
 		}
 	}
 	return best, nil
 }
 
-func kmeansOnce(rows [][]float64, k, maxIter int, tol float64, r *rand.Rand) *KMeansResult {
-	n, dim := len(rows), len(rows[0])
-	centroids := kmeansPlusPlusInit(rows, k, r)
-	labels := make([]int, n)
-	sizes := make([]int, k)
+// kmeansRun is the per-restart state of the pruned Lloyd iteration. All
+// per-point slices are chunk-owned during parallel passes; all global
+// reductions fold per-chunk partials in chunk index order, making every
+// run bit-identical for any worker count.
+type kmeansRun struct {
+	data    []float64 // n×dim row-major points
+	n, dim  int
+	k       int
+	workers int
 
-	var inertia float64
+	pos    []float64 // k×dim current centroid positions
+	oldPos []float64 // k×dim scratch for the previous positions
+	sums   []float64 // k×dim running per-cluster vector sums
+	counts []int     // points per cluster (maintained incrementally)
+
+	labels []int
+	upper  []float64 // u(i): upper bound on d(x_i, pos[labels[i]])
+	lower  []float64 // l(i): lower bound on d(x_i, second-closest centroid)
+
+	half  []float64 // s(c): half the distance from c to its nearest other centroid
+	drift []float64 // per-centroid movement of the last update
+
+	parts []kmeansChunk
+}
+
+// kmeansChunk is one chunk's contribution to a pass: vector-sum and
+// count deltas from reassignments, plus the chunk's farthest-point
+// candidate for empty-cluster repair.
+type kmeansChunk struct {
+	deltaSums []float64 // k×dim
+	deltaCnt  []int     // k
+	farIdx    int
+	farD      float64
+}
+
+func kmeansOnce(m *mat.Dense, k, maxIter int, tol float64, r *rand.Rand, workers int) *KMeansResult {
+	n, dim := m.Rows(), m.Cols()
+	run := &kmeansRun{
+		data: m.Data(), n: n, dim: dim, k: k, workers: workers,
+		pos:    kmeansPlusPlusInit(m, k, r),
+		oldPos: make([]float64, k*dim),
+		sums:   make([]float64, k*dim),
+		counts: make([]int, k),
+		labels: make([]int, n),
+		upper:  make([]float64, n),
+		lower:  make([]float64, n),
+		half:   make([]float64, k),
+		drift:  make([]float64, k),
+	}
+	nChunks := (n + assignChunkRows - 1) / assignChunkRows
+	run.parts = make([]kmeansChunk, nChunks)
+	for i := range run.parts {
+		run.parts[i] = kmeansChunk{deltaSums: make([]float64, k*dim), deltaCnt: make([]int, k)}
+	}
+
+	run.initialAssign()
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		// Assignment step.
-		inertia = 0
-		for i := range sizes {
-			sizes[i] = 0
-		}
-		for i, row := range rows {
-			bi, bd := 0, math.Inf(1)
-			for c := range centroids {
-				if d := SquaredEuclidean(row, centroids[c]); d < bd {
-					bd, bi = d, c
-				}
-			}
-			labels[i] = bi
-			sizes[bi]++
-			inertia += bd
-		}
-		// Update step.
-		newCentroids := make([][]float64, k)
-		for c := range newCentroids {
-			newCentroids[c] = make([]float64, dim)
-		}
-		for i, row := range rows {
-			c := newCentroids[labels[i]]
-			for j, v := range row {
-				c[j] += v
-			}
-		}
-		moved := 0.0
-		for c := range newCentroids {
-			if sizes[c] == 0 {
-				// Empty cluster: re-seed at the point farthest from its
-				// centroid, the standard repair.
-				far, fd := 0, -1.0
-				for i, row := range rows {
-					if d := SquaredEuclidean(row, centroids[labels[i]]); d > fd {
-						fd, far = d, i
-					}
-				}
-				copy(newCentroids[c], rows[far])
-				moved += 1 // force another iteration
-				continue
-			}
-			inv := 1 / float64(sizes[c])
-			for j := range newCentroids[c] {
-				newCentroids[c][j] *= inv
-			}
-			moved += SquaredEuclidean(centroids[c], newCentroids[c])
-		}
-		centroids = newCentroids
-		if moved <= tol {
+		run.refreshHalf()
+		run.assignPruned()
+		if moved := run.updateCentroids(); moved <= tol {
 			break
 		}
 	}
-
-	// Final assignment against the last centroids.
-	inertia = 0
-	for i := range sizes {
-		sizes[i] = 0
-	}
-	for i, row := range rows {
-		bi, bd := 0, math.Inf(1)
-		for c := range centroids {
-			if d := SquaredEuclidean(row, centroids[c]); d < bd {
-				bd, bi = d, c
-			}
-		}
-		labels[i] = bi
-		sizes[bi]++
-		inertia += bd
+	labels, sizes, inertia := run.finalAssign()
+	cents := make([][]float64, k)
+	for c := range cents {
+		cents[c] = run.pos[c*dim : c*dim+dim : c*dim+dim]
 	}
 	return &KMeansResult{
 		K:          k,
-		Centroids:  centroids,
+		Centroids:  cents,
 		Labels:     labels,
 		Inertia:    inertia,
 		Iterations: iter + 1,
@@ -162,20 +182,305 @@ func kmeansOnce(rows [][]float64, k, maxIter int, tol float64, r *rand.Rand) *KM
 	}
 }
 
+// initialAssign runs one exact pass: every point finds its two closest
+// centroids, seeding labels, both bounds, and the per-cluster sums.
+func (run *kmeansRun) initialAssign() {
+	parallelChunks(len(run.parts), run.workers, func(c int) {
+		p := &run.parts[c]
+		lo, hi := run.chunkBounds(c)
+		run.resetChunk(p)
+		for i := lo; i < hi; i++ {
+			row := run.row(i)
+			bi, bd, sd := run.closestTwo(row)
+			run.labels[i] = bi
+			run.upper[i] = math.Sqrt(bd)
+			run.lower[i] = math.Sqrt(sd)
+			p.deltaCnt[bi]++
+			addTo(p.deltaSums[bi*run.dim:(bi+1)*run.dim], row)
+		}
+	})
+	run.foldDeltas()
+}
+
+// assignPruned is the Hamerly-pruned assignment pass. A point whose
+// upper bound stays below max(s(label), lower) provably keeps its
+// assignment and skips the centroid scan entirely; everything else
+// tightens its upper bound and, if still unresolved, rescans exactly.
+// Reassignments are folded as per-chunk sum/count deltas in chunk order.
+func (run *kmeansRun) assignPruned() {
+	parallelChunks(len(run.parts), run.workers, func(c int) {
+		p := &run.parts[c]
+		lo, hi := run.chunkBounds(c)
+		run.resetChunk(p)
+		maxDrift := 0.0
+		for _, d := range run.drift {
+			if d > maxDrift {
+				maxDrift = d
+			}
+		}
+		for i := lo; i < hi; i++ {
+			a := run.labels[i]
+			// Carry the bounds across the last centroid move.
+			u := run.upper[i] + run.drift[a]
+			l := run.lower[i] - maxDrift
+			m := run.half[a]
+			if l > m {
+				m = l
+			}
+			if u <= m {
+				run.upper[i], run.lower[i] = u, l
+				if u > p.farD {
+					p.farD, p.farIdx = u, i
+				}
+				continue
+			}
+			row := run.row(i)
+			// Tighten: the exact distance may already satisfy the bound.
+			u = math.Sqrt(sqDistTo(row, run.pos[a*run.dim:(a+1)*run.dim]))
+			if u <= m {
+				run.upper[i], run.lower[i] = u, l
+				if u > p.farD {
+					p.farD, p.farIdx = u, i
+				}
+				continue
+			}
+			bi, bd, sd := run.closestTwo(row)
+			run.upper[i] = math.Sqrt(bd)
+			run.lower[i] = math.Sqrt(sd)
+			if run.upper[i] > p.farD {
+				p.farD, p.farIdx = run.upper[i], i
+			}
+			if bi != a {
+				run.labels[i] = bi
+				p.deltaCnt[a]--
+				p.deltaCnt[bi]++
+				dim := run.dim
+				subFrom(p.deltaSums[a*dim:(a+1)*dim], row)
+				addTo(p.deltaSums[bi*dim:(bi+1)*dim], row)
+			}
+		}
+	})
+	run.foldDeltas()
+}
+
+// updateCentroids recomputes positions from the running sums, repairs
+// empty clusters at the farthest-by-bound point, and records per-
+// centroid drift for the next pass's bound updates. It returns the
+// total squared movement (the Lloyd convergence measure).
+func (run *kmeansRun) updateCentroids() float64 {
+	dim := run.dim
+	copy(run.oldPos, run.pos)
+	// Farthest candidate folded in chunk order: lowest index wins ties.
+	farIdx, farD := 0, -1.0
+	for c := range run.parts {
+		if run.parts[c].farD > farD {
+			farD, farIdx = run.parts[c].farD, run.parts[c].farIdx
+		}
+	}
+	moved := 0.0
+	for c := 0; c < run.k; c++ {
+		nc := run.pos[c*dim : (c+1)*dim]
+		if run.counts[c] == 0 {
+			// Empty cluster: re-seed at the point farthest from its
+			// centroid (by the maintained bound), the standard repair.
+			copy(nc, run.row(farIdx))
+			run.drift[c] = math.Sqrt(sqDistTo(run.oldPos[c*dim:(c+1)*dim], nc))
+			moved += 1 // force another iteration
+			continue
+		}
+		inv := 1 / float64(run.counts[c])
+		sums := run.sums[c*dim : (c+1)*dim]
+		for j := range nc {
+			nc[j] = sums[j] * inv
+		}
+		d2 := sqDistTo(run.oldPos[c*dim:(c+1)*dim], nc)
+		run.drift[c] = math.Sqrt(d2)
+		moved += d2
+	}
+	return moved
+}
+
+// finalAssign runs one exact pass against the final centroids and
+// returns fresh labels, sizes, and the exact inertia, folded in chunk
+// order.
+func (run *kmeansRun) finalAssign() ([]int, []int, float64) {
+	type finalPart struct {
+		sizes   []int
+		inertia float64
+	}
+	parts := make([]finalPart, len(run.parts))
+	parallelChunks(len(run.parts), run.workers, func(c int) {
+		parts[c].sizes = make([]int, run.k)
+		lo, hi := run.chunkBounds(c)
+		for i := lo; i < hi; i++ {
+			bi, bd, _ := run.closestTwo(run.row(i))
+			run.labels[i] = bi
+			parts[c].sizes[bi]++
+			parts[c].inertia += bd
+		}
+	})
+	sizes := make([]int, run.k)
+	inertia := 0.0
+	for c := range parts {
+		inertia += parts[c].inertia
+		for i, s := range parts[c].sizes {
+			sizes[i] += s
+		}
+	}
+	return run.labels, sizes, inertia
+}
+
+// refreshHalf recomputes s(c), half the distance from each centroid to
+// its nearest other centroid — the cheap O(k²) part of the Hamerly
+// bound.
+func (run *kmeansRun) refreshHalf() {
+	dim := run.dim
+	for c := 0; c < run.k; c++ {
+		best := math.Inf(1)
+		pc := run.pos[c*dim : (c+1)*dim]
+		for o := 0; o < run.k; o++ {
+			if o == c {
+				continue
+			}
+			if d := sqDistTo(pc, run.pos[o*dim:(o+1)*dim]); d < best {
+				best = d
+			}
+		}
+		run.half[c] = 0.5 * math.Sqrt(best)
+	}
+}
+
+func (run *kmeansRun) chunkBounds(c int) (int, int) {
+	lo := c * assignChunkRows
+	hi := lo + assignChunkRows
+	if hi > run.n {
+		hi = run.n
+	}
+	return lo, hi
+}
+
+func (run *kmeansRun) row(i int) []float64 {
+	return run.data[i*run.dim : (i+1)*run.dim]
+}
+
+func (run *kmeansRun) resetChunk(p *kmeansChunk) {
+	for i := range p.deltaSums {
+		p.deltaSums[i] = 0
+	}
+	for i := range p.deltaCnt {
+		p.deltaCnt[i] = 0
+	}
+	p.farIdx, p.farD = 0, -1
+}
+
+// foldDeltas applies every chunk's sum/count deltas in chunk index
+// order — the only place assignment results meet shared state.
+func (run *kmeansRun) foldDeltas() {
+	for c := range run.parts {
+		p := &run.parts[c]
+		for i, v := range p.deltaSums {
+			run.sums[i] += v
+		}
+		for i, v := range p.deltaCnt {
+			run.counts[i] += v
+		}
+	}
+}
+
+// closestTwo returns the nearest centroid index and the squared
+// distances to the nearest and second-nearest centroids.
+func (run *kmeansRun) closestTwo(row []float64) (int, float64, float64) {
+	if run.dim == 6 {
+		return closestTwo6(row, run.pos, run.k)
+	}
+	return closestTwoGeneric(row, run.pos, run.k, run.dim)
+}
+
+// closestTwo6 is the dim=6 scan kernel — the paper's matrices are six
+// organs wide, so the Figure 7 hot loop runs fully unrolled with the
+// same left-to-right summation order as the generic kernel.
+func closestTwo6(row []float64, centroids []float64, k int) (int, float64, float64) {
+	x := [6]float64(row[:6])
+	bi, bd, sd := 0, math.Inf(1), math.Inf(1)
+	for c := 0; c < k; c++ {
+		cl := [6]float64(centroids[c*6 : c*6+6])
+		d0 := x[0] - cl[0]
+		d1 := x[1] - cl[1]
+		d2 := x[2] - cl[2]
+		d3 := x[3] - cl[3]
+		d4 := x[4] - cl[4]
+		d5 := x[5] - cl[5]
+		s := d0*d0 + d1*d1 + d2*d2 + d3*d3 + d4*d4 + d5*d5
+		if s < bd {
+			sd, bd, bi = bd, s, c
+		} else if s < sd {
+			sd = s
+		}
+	}
+	return bi, bd, sd
+}
+
+// closestTwoGeneric is the any-dimension scan kernel.
+func closestTwoGeneric(row, centroids []float64, k, dim int) (int, float64, float64) {
+	bi, bd, sd := 0, math.Inf(1), math.Inf(1)
+	for c := 0; c < k; c++ {
+		cent := centroids[c*dim : (c+1)*dim]
+		s := 0.0
+		for j, v := range row {
+			d := v - cent[j]
+			s += d * d
+		}
+		if s < bd {
+			sd, bd, bi = bd, s, c
+		} else if s < sd {
+			sd = s
+		}
+	}
+	return bi, bd, sd
+}
+
+// sqDistTo is the squared Euclidean distance between two equal-length
+// flat vectors, without the public Distance guard (callers here slice
+// from the same matrices).
+func sqDistTo(a, b []float64) float64 {
+	s := 0.0
+	for j, v := range a {
+		d := v - b[j]
+		s += d * d
+	}
+	return s
+}
+
+func addTo(dst, src []float64) {
+	for j, v := range src {
+		dst[j] += v
+	}
+}
+
+func subFrom(dst, src []float64) {
+	for j, v := range src {
+		dst[j] -= v
+	}
+}
+
 // kmeansPlusPlusInit seeds centroids with the k-means++ scheme: first
 // centroid uniform, each next one sampled proportionally to the squared
-// distance from the nearest already-chosen centroid.
-func kmeansPlusPlusInit(rows [][]float64, k int, r *rand.Rand) [][]float64 {
-	n := len(rows)
-	centroids := make([][]float64, 0, k)
-	first := rows[r.IntN(n)]
-	centroids = append(centroids, append([]float64(nil), first...))
+// distance from the nearest already-chosen centroid. It consumes the
+// same RNG sequence as the historical [][]float64 implementation, so
+// seeds keep selecting the same starting points.
+func kmeansPlusPlusInit(m *mat.Dense, k int, r *rand.Rand) []float64 {
+	n, dim := m.Rows(), m.Cols()
+	data := m.Data()
+	centroids := make([]float64, dim, k*dim)
+	first := r.IntN(n)
+	copy(centroids, data[first*dim:(first+1)*dim])
 
 	d2 := make([]float64, n)
-	for i, row := range rows {
-		d2[i] = SquaredEuclidean(row, centroids[0])
+	last := centroids[:dim]
+	for i := range d2 {
+		d2[i] = sqDistTo(data[i*dim:i*dim+dim], last)
 	}
-	for len(centroids) < k {
+	for chosen := 1; chosen < k; chosen++ {
 		total := 0.0
 		for _, d := range d2 {
 			total += d
@@ -194,142 +499,13 @@ func kmeansPlusPlusInit(rows [][]float64, k int, r *rand.Rand) [][]float64 {
 				}
 			}
 		}
-		c := append([]float64(nil), rows[idx]...)
-		centroids = append(centroids, c)
-		for i, row := range rows {
-			if d := SquaredEuclidean(row, c); d < d2[i] {
+		centroids = append(centroids, data[idx*dim:(idx+1)*dim]...)
+		last = centroids[chosen*dim : (chosen+1)*dim]
+		for i := range d2 {
+			if d := sqDistTo(data[i*dim:i*dim+dim], last); d < d2[i] {
 				d2[i] = d
 			}
 		}
 	}
 	return centroids
-}
-
-// Silhouette computes the mean silhouette coefficient of a labelling
-// under the given distance. For large n, SilhouetteSampled is cheaper.
-func Silhouette(rows [][]float64, labels []int, d Distance) (float64, error) {
-	return silhouette(rows, labels, d, nil)
-}
-
-// SilhouetteSampled estimates the silhouette coefficient from a random
-// sample of at most sampleSize points (deterministic for a given seed).
-// The paper reports a silhouette for 72k users; the exact computation is
-// O(n²) and needs sampling at that scale.
-func SilhouetteSampled(rows [][]float64, labels []int, d Distance, sampleSize int, seed uint64) (float64, error) {
-	if sampleSize <= 0 || sampleSize >= len(rows) {
-		return silhouette(rows, labels, d, nil)
-	}
-	r := rand.New(rand.NewPCG(seed, 0x51))
-	idx := r.Perm(len(rows))[:sampleSize]
-	return silhouette(rows, labels, d, idx)
-}
-
-// silhouette computes the mean silhouette over the given sample indices
-// (nil means all points). Distances a(i)/b(i) are computed against the
-// full dataset, only the averaging is sampled.
-func silhouette(rows [][]float64, labels []int, d Distance, sample []int) (float64, error) {
-	n := len(rows)
-	if n != len(labels) {
-		return 0, fmt.Errorf("cluster: %d rows, %d labels", n, len(labels))
-	}
-	k := 0
-	for _, l := range labels {
-		if l < 0 {
-			return 0, fmt.Errorf("cluster: negative label")
-		}
-		if l+1 > k {
-			k = l + 1
-		}
-	}
-	if k < 2 {
-		return 0, fmt.Errorf("cluster: silhouette needs at least 2 clusters")
-	}
-	counts := make([]int, k)
-	for _, l := range labels {
-		counts[l]++
-	}
-
-	indices := sample
-	if indices == nil {
-		indices = make([]int, n)
-		for i := range indices {
-			indices[i] = i
-		}
-	}
-	sum := 0.0
-	used := 0
-	sums := make([]float64, k)
-	for _, i := range indices {
-		if counts[labels[i]] < 2 {
-			continue // silhouette undefined for singleton's member
-		}
-		for c := range sums {
-			sums[c] = 0
-		}
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			sums[labels[j]] += d(rows[i], rows[j])
-		}
-		a := sums[labels[i]] / float64(counts[labels[i]]-1)
-		b := math.Inf(1)
-		for c := 0; c < k; c++ {
-			if c == labels[i] || counts[c] == 0 {
-				continue
-			}
-			if v := sums[c] / float64(counts[c]); v < b {
-				b = v
-			}
-		}
-		den := math.Max(a, b)
-		if den > 0 {
-			sum += (b - a) / den
-		}
-		used++
-	}
-	if used == 0 {
-		return 0, fmt.Errorf("cluster: no valid silhouette points")
-	}
-	return sum / float64(used), nil
-}
-
-// SweepResult summarizes one k in a model-selection sweep.
-type SweepResult struct {
-	K          int
-	Inertia    float64
-	Silhouette float64
-	AvgSize    float64
-	MinSize    int
-}
-
-// SweepK runs K-Means for each k in ks and reports the selection metrics
-// the paper compares (inertia, silhouette coefficient, average cluster
-// size). silhouetteSample bounds the silhouette computation (0 = exact).
-func SweepK(rows [][]float64, ks []int, seed uint64, silhouetteSample int) ([]SweepResult, error) {
-	out := make([]SweepResult, 0, len(ks))
-	for _, k := range ks {
-		res, err := KMeans(rows, KMeansConfig{K: k, Seed: seed, Restarts: 2})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: sweep k=%d: %w", k, err)
-		}
-		sil, err := SilhouetteSampled(rows, res.Labels, Euclidean, silhouetteSample, seed)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: sweep silhouette k=%d: %w", k, err)
-		}
-		minSize := res.Sizes[0]
-		for _, s := range res.Sizes {
-			if s < minSize {
-				minSize = s
-			}
-		}
-		out = append(out, SweepResult{
-			K:          k,
-			Inertia:    res.Inertia,
-			Silhouette: sil,
-			AvgSize:    float64(len(rows)) / float64(k),
-			MinSize:    minSize,
-		})
-	}
-	return out, nil
 }

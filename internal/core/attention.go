@@ -116,12 +116,15 @@ func (a *Attention) Row(row int) []float64 { return a.u.Row(row) }
 // Matrix returns the underlying Û. Callers must not mutate it.
 func (a *Attention) Matrix() *mat.Matrix { return a.u }
 
-// Rows materializes Û as a slice of rows for the clustering APIs. The
-// rows are copies.
+// Rows exposes Û as a slice of rows for the clustering APIs. The rows
+// are zero-copy views into the matrix; callers must not mutate them
+// (use Row for a private copy). Bulk consumers should prefer Matrix()
+// and the *Dense clustering entry points, which skip the slice header
+// allocation too.
 func (a *Attention) Rows() [][]float64 {
 	out := make([][]float64, a.u.Rows())
 	for i := range out {
-		out[i] = a.u.Row(i)
+		out[i] = a.u.RowView(i)
 	}
 	return out
 }

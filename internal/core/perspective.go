@@ -123,7 +123,8 @@ func (rc *RegionCharacterization) Signature(code string) []float64 {
 }
 
 // NonEmptyRows returns the rows (and their codes) of states that had at
-// least one user, the input for the Figure 6 clustering.
+// least one user, the input for the Figure 6 clustering. The rows are
+// zero-copy views into K; callers must not mutate them.
 func (rc *RegionCharacterization) NonEmptyRows() (rows [][]float64, codes []string) {
 	empty := make(map[int]bool, len(rc.EmptyStates))
 	for _, e := range rc.EmptyStates {
@@ -133,7 +134,7 @@ func (rc *RegionCharacterization) NonEmptyRows() (rows [][]float64, codes []stri
 		if empty[i] {
 			continue
 		}
-		rows = append(rows, rc.K.Row(i))
+		rows = append(rows, rc.K.RowView(i))
 		codes = append(codes, code)
 	}
 	return rows, codes

@@ -22,11 +22,20 @@ var ErrSingular = errors.New("mat: singular matrix")
 // ErrShape is returned when operand dimensions are incompatible.
 var ErrShape = errors.New("mat: incompatible shapes")
 
-// Matrix is a dense row-major matrix of float64.
+// Matrix is a dense row-major matrix of float64: a single flat backing
+// slice with stride Cols(). Row i occupies data[i*cols : (i+1)*cols], so
+// RowView hands out zero-copy views and the whole matrix walks linearly
+// in memory — the layout the clustering engine's hot loops rely on.
 type Matrix struct {
 	rows, cols int
 	data       []float64
 }
+
+// Dense is the name the analytics packages use for the shared flat
+// row-major matrix. It is the same type as Matrix; the alias exists so
+// call sites can say what they mean (a dense numeric block, not the
+// package's algebra entry point).
+type Dense = Matrix
 
 // New returns a zero matrix with the given shape. It panics if either
 // dimension is non-positive, since a zero-sized matrix is always a
@@ -63,11 +72,34 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// FromFlat adopts data as the backing store of a rows×cols matrix
+// without copying. The slice must hold exactly rows*cols elements in
+// row-major order; mutating it afterwards mutates the matrix.
+func FromFlat(rows, cols int, data []float64) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: %dx%d", ErrShape, rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: %d elements for %dx%d", ErrShape, len(data), rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
 func (m *Matrix) Cols() int { return m.cols }
+
+// Stride returns the distance in elements between the starts of
+// consecutive rows of the backing slice (equal to Cols for this package's
+// always-contiguous matrices).
+func (m *Matrix) Stride() int { return m.cols }
+
+// Data returns the row-major backing slice itself, for hot loops that
+// want to walk the matrix without per-row slicing. Mutating it mutates
+// the matrix.
+func (m *Matrix) Data() []float64 { return m.data }
 
 // At returns the element at (i, j).
 func (m *Matrix) At(i, j int) float64 {

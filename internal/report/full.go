@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"donorsense/internal/cluster"
 	"donorsense/internal/core"
@@ -53,6 +54,11 @@ type AnalysisConfig struct {
 	SilhouetteSample int
 	// Seed drives K-Means initialization.
 	Seed uint64
+	// Workers bounds the concurrency of the clustering passes
+	// (0 = GOMAXPROCS). Results are bit-identical for any value.
+	Workers int
+	// Metrics, when non-nil, records per-stage latencies.
+	Metrics *Metrics
 }
 
 // DefaultAnalysisConfig mirrors the paper's choices.
@@ -83,13 +89,16 @@ func Analyze(d *pipeline.Dataset, cfg AnalysisConfig) (*Analysis, error) {
 	}
 	a.Spearman = sp
 
+	start := time.Now()
 	att, err := d.BuildAttention()
 	if err != nil {
 		return nil, fmt.Errorf("report: attention: %w", err)
 	}
+	cfg.Metrics.observe(StageAttention, start)
 	a.Attention = att
 	a.StateOf = d.StateOf()
 
+	start = time.Now()
 	if a.Organs, err = core.CharacterizeOrgans(att); err != nil {
 		return nil, fmt.Errorf("report: figure 3: %w", err)
 	}
@@ -102,30 +111,38 @@ func Analyze(d *pipeline.Dataset, cfg AnalysisConfig) (*Analysis, error) {
 	if a.Baseline, err = core.WinnerTakesAll(att, a.StateOf); err != nil {
 		return nil, fmt.Errorf("report: winner-takes-all: %w", err)
 	}
+	cfg.Metrics.observe(StageCharacterize, start)
 
 	rows, codes := a.Regions.NonEmptyRows()
 	a.StateCodes = codes
 	if len(rows) >= 2 {
-		if a.StateDist, err = cluster.PairwiseMatrix(rows, cluster.Bhattacharyya); err != nil {
+		start = time.Now()
+		if a.StateDist, err = cluster.PairwiseMatrixWorkers(rows, cluster.Bhattacharyya, cfg.Workers); err != nil {
 			return nil, fmt.Errorf("report: figure 6 distances: %w", err)
 		}
 		if a.Dendrogram, err = cluster.Agglomerative(a.StateDist, cluster.AverageLinkage); err != nil {
 			return nil, fmt.Errorf("report: figure 6 clustering: %w", err)
 		}
+		cfg.Metrics.observe(StageStateCluster, start)
 	}
 
-	userRows := att.Rows()
-	if cfg.KUsers > 0 && len(userRows) >= cfg.KUsers {
-		if a.Clusters, err = cluster.KMeans(userRows, cluster.KMeansConfig{
-			K: cfg.KUsers, Seed: cfg.Seed, Restarts: 2,
+	// The user clustering runs zero-copy against Û's flat matrix.
+	u := att.Matrix()
+	if cfg.KUsers > 0 && u.Rows() >= cfg.KUsers {
+		start = time.Now()
+		if a.Clusters, err = cluster.KMeansDense(u, cluster.KMeansConfig{
+			K: cfg.KUsers, Seed: cfg.Seed, Restarts: 2, Workers: cfg.Workers,
 		}); err != nil {
 			return nil, fmt.Errorf("report: figure 7: %w", err)
 		}
+		cfg.Metrics.observe(StageUserCluster, start)
 	}
-	if len(cfg.SweepKs) > 0 && len(userRows) > maxInt(cfg.SweepKs) {
-		if a.Sweep, err = cluster.SweepK(userRows, cfg.SweepKs, cfg.Seed, cfg.SilhouetteSample); err != nil {
+	if len(cfg.SweepKs) > 0 && u.Rows() > maxInt(cfg.SweepKs) {
+		start = time.Now()
+		if a.Sweep, err = cluster.SweepKDense(u, cfg.SweepKs, cfg.Seed, cfg.SilhouetteSample, cfg.Workers); err != nil {
 			return nil, fmt.Errorf("report: k sweep: %w", err)
 		}
+		cfg.Metrics.observe(StageSweep, start)
 	}
 	return a, nil
 }

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"time"
+
+	"donorsense/internal/obs"
+)
+
+// Analysis stage labels for the stage-latency histogram.
+const (
+	StageAttention    = "attention"     // build Û from the dataset
+	StageCharacterize = "characterize"  // Figures 3–5 aggregations
+	StageStateCluster = "state_cluster" // Figure 6: distances + dendrogram
+	StageUserCluster  = "user_cluster"  // Figure 7: K-Means at KUsers
+	StageSweep        = "sweep"         // model-selection sweep over SweepKs
+)
+
+// Metrics instruments Analyze with a per-stage latency histogram,
+// mirroring the pipeline.Metrics idiom for the collection side. Attach
+// it via AnalysisConfig.Metrics; a nil *Metrics disables observation.
+type Metrics struct {
+	stage *obs.HistogramVec
+}
+
+// NewMetrics registers the analysis metric families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		stage: reg.HistogramVec("donorsense_analyze_stage_seconds",
+			"Per-stage analysis latency (attention build, characterizations, clustering, sweep).",
+			nil, "stage"),
+	}
+}
+
+// observe records one stage duration; safe on a nil receiver so Analyze
+// can call it unconditionally.
+func (m *Metrics) observe(stage string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.stage.With(stage).Since(start)
+}
