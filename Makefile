@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchcmp bench-paper fmt
+.PHONY: all build vet test race check bench benchcmp bench-paper fuzz fmt
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
 # Packages of the analytics engine (flat matrices + clustering), archived
 # and gated separately from the ingest path.
 ANALYTICS_PKGS = ./internal/cluster/ ./internal/mat/
+# The wire codec package; only the codec benchmarks are archived so the
+# wire gate stays focused (TrackFilter etc. live in the pipeline suite).
+WIRE_PKGS = ./internal/twitter/
+WIRE_BENCH = ^Benchmark(DecodeTweet|DecodeTweetGeo|DecodeTweetStdlib|AppendTweet|AppendTweetStdlib|DecodeNDJSON)$$
 
 all: check
 
@@ -37,6 +41,8 @@ bench:
 	$(GO) run ./cmd/benchjson -in BENCH_pipeline.txt -out BENCH_pipeline.json
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(ANALYTICS_PKGS) | tee BENCH_analytics.txt
 	$(GO) run ./cmd/benchjson -in BENCH_analytics.txt -out BENCH_analytics.json
+	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -count 3 $(WIRE_PKGS) | tee BENCH_wire.txt
+	$(GO) run ./cmd/benchjson -in BENCH_wire.txt -out BENCH_wire.json
 
 # Run the hot-path benchmarks fresh and diff them against the committed
 # baseline; fails when ns/op or allocs/op regress by more than 10% on any
@@ -49,6 +55,14 @@ benchcmp:
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(ANALYTICS_PKGS) > /tmp/benchcmp_analytics_new.txt
 	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_analytics_new.txt -out /tmp/benchcmp_analytics_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_analytics.json /tmp/benchcmp_analytics_new.json
+	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -count 3 $(WIRE_PKGS) > /tmp/benchcmp_wire_new.txt
+	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_wire_new.txt -out /tmp/benchcmp_wire_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_wire.json /tmp/benchcmp_wire_new.json
+
+# Differential fuzz of the wire codec against the encoding/json oracle
+# (CI runs the same target for 30s on every push).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzWire -fuzztime 30s ./internal/twitter/
 
 # The full per-table/per-figure benchmark suite from the repo root.
 bench-paper:

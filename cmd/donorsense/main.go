@@ -347,6 +347,8 @@ func cmdCollect(args []string) error {
 		analyzeMetrics = report.NewMetrics(reg)
 		streamMetrics = twitter.NewStreamMetrics(reg)
 		streamMetrics.Instrument(reg, client)
+		client.Codec = twitter.NewDecoder()
+		twitter.NewWireMetrics(reg).Observe(client.Codec)
 		srv := obs.NewServer(reg)
 		srv.AddHealthCheck("stream", func() (any, error) {
 			st := client.Snapshot()
@@ -540,17 +542,35 @@ func cmdReplay(args []string) error {
 	in := fs.String("in", "corpus.ndjson", "input NDJSON corpus")
 	addr := fs.String("addr", ":7700", "listen address")
 	rate := fs.Float64("rate", 0, "tweets per second (0 = as fast as clients drain)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/vars on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	var reg *obs.Registry
+	nr := &twitter.NDJSONReader{}
+	if *telemetryAddr != "" {
+		reg = obs.NewRegistry()
+		twitter.NewWireMetrics(reg).ObserveReader(nr)
+	}
+
 	f, err := os.Open(*in)
 	if err != nil {
 		return fmt.Errorf("open corpus: %w", err)
 	}
-	tweets, err := twitter.ReadNDJSON(f)
+	// Stream the archive through the wire codec: one reused line buffer
+	// and Tweet, no per-line garbage; only the corpus slice itself grows.
+	var tweets []twitter.Tweet
+	err = nr.Decode(f, func(t *twitter.Tweet) error {
+		tweets = append(tweets, *t)
+		return nil
+	})
 	f.Close()
 	if err != nil {
 		return err
+	}
+	if nr.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "skipped %d oversized corpus lines\n", nr.Skipped)
 	}
 	fmt.Fprintf(os.Stderr, "replaying %d tweets on %s\n", len(tweets), *addr)
 
@@ -561,6 +581,14 @@ func cmdReplay(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if reg != nil {
+		osrv := obs.NewServer(reg)
+		go func() {
+			if err := osrv.ListenAndServe(ctx, *telemetryAddr); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry server failed: %v\n", err)
+			}
+		}()
+	}
 	go func() {
 		<-ctx.Done()
 		b.Close()

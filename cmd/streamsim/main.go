@@ -116,6 +116,29 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 		func() float64 { return float64(b.NumSubscribers()) })
 	reg.Gauge("donorsense_sim_corpus_tweets", "Tweets in the replayed corpus.").
 		Set(float64(len(corpus.Tweets)))
+	// Wire-codec self-check: round-trip the corpus through the codec once
+	// so a codec regression is caught before serving and the wire metric
+	// families carry real values on /metrics.
+	wm := twitter.NewWireMetrics(reg)
+	dec := twitter.NewDecoder()
+	wm.Observe(dec)
+	var line []byte
+	var decoded twitter.Tweet
+	roundTripBad := 0
+	for i := range corpus.Tweets {
+		var err error
+		line, err = twitter.AppendTweet(line[:0], &corpus.Tweets[i])
+		if err != nil {
+			roundTripBad++
+			continue
+		}
+		if err := dec.Decode(line, &decoded); err != nil {
+			roundTripBad++
+		}
+	}
+	if roundTripBad > 0 {
+		logger.Error("corpus wire round-trip failures", "count", roundTripBad)
+	}
 	serveTelemetry(ctx, telemetryAddr, reg)
 
 	go func() {
@@ -249,6 +272,9 @@ func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, ch
 
 	reg := obs.NewRegistry()
 	chaosMetrics(reg, cs)
+	// Expose the wire-codec families too, so dashboards see one schema
+	// whether they scrape the simulator or the collector.
+	twitter.NewWireMetrics(reg)
 	serveTelemetry(ctx, telemetryAddr, reg)
 
 	logger.Info("serving CHAOS stream API", "addr", addr,

@@ -116,13 +116,13 @@ func Generate(cfg Config) *Corpus {
 		}
 		if geoTagged {
 			if p.US {
-				t.Coordinates = &twitter.Coordinates{
-					Lat: p.City.Lat + (r.Float64()-0.5)*0.1,
-					Lon: p.City.Lon + (r.Float64()-0.5)*0.1,
-				}
+				t.SetCoordinates(
+					p.City.Lat+(r.Float64()-0.5)*0.1,
+					p.City.Lon+(r.Float64()-0.5)*0.1,
+				)
 			} else {
 				pt := foreignGeoPoints[r.IntN(len(foreignGeoPoints))]
-				t.Coordinates = &twitter.Coordinates{Lat: pt[0], Lon: pt[1]}
+				t.SetCoordinates(pt[0], pt[1])
 			}
 		}
 		tweets = append(tweets, t)

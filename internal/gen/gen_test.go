@@ -128,7 +128,7 @@ func TestGeoTagRate(t *testing.T) {
 			continue
 		}
 		total++
-		if tw.Coordinates != nil {
+		if tw.HasCoordinates {
 			tagged++
 		}
 	}
@@ -142,7 +142,7 @@ func TestUSGeoTagsReverseGeocodeToTrueState(t *testing.T) {
 	g := geo.NewGeocoder()
 	checked, wrong := 0, 0
 	for _, tw := range testCorpus.Tweets {
-		if tw.Coordinates == nil {
+		if !tw.HasCoordinates {
 			continue
 		}
 		p := testCorpus.Profiles[tw.User.ID]

@@ -153,7 +153,7 @@ func (d *Dataset) foldChunk(c ingestChunk) (rejected, nonUS, us int) {
 			us++
 		}
 		if m != nil {
-			m.observeFold(o, c.preps[i], t.Coordinates != nil)
+			m.observeFold(o, c.preps[i], t.HasCoordinates)
 		}
 	}
 	if m != nil {

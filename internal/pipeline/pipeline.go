@@ -164,7 +164,7 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 	loc, viaGeoTag := d.locate(t)
 	if m != nil {
 		m.stage.With(StageLocate).Since(t0)
-		m.filter.With(filterCause(t.Coordinates != nil, loc, viaGeoTag)).Inc()
+		m.filter.With(filterCause(t.HasCoordinates, loc, viaGeoTag)).Inc()
 	}
 	if !loc.IsUSState() {
 		return CollectedNonUS
@@ -209,7 +209,7 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 // present (precise but rare); otherwise the self-reported profile
 // location is geocoded (cached by string).
 func (d *Dataset) locate(t twitter.Tweet) (loc geo.Location, viaGeoTag bool) {
-	if t.Coordinates != nil {
+	if t.HasCoordinates {
 		if l, ok := d.geocoder.Reverse(t.Coordinates.Lat, t.Coordinates.Lon); ok {
 			return l, true
 		}

@@ -61,9 +61,9 @@ func TestGeoTagBeatsProfile(t *testing.T) {
 		Text:      "heart transplant waiting list keeps growing — donate",
 		CreatedAt: time.Now(),
 		User:      twitter.User{ID: 1, Location: "London"}, // profile says UK
-		// ... but the geo-tag is in Topeka.
-		Coordinates: &twitter.Coordinates{Lat: 39.0, Lon: -95.7},
 	}
+	// ... but the geo-tag is in Topeka.
+	tw.SetCoordinates(39.0, -95.7)
 	if got := d.Process(tw); got != CollectedUS {
 		t.Fatalf("geo-tagged tweet outcome = %v", got)
 	}
@@ -77,7 +77,7 @@ func TestGeoTagBeatsProfile(t *testing.T) {
 	// And a foreign geo-tag excludes even with a US profile.
 	tw2 := tw
 	tw2.User = twitter.User{ID: 2, Location: "Boston, MA"}
-	tw2.Coordinates = &twitter.Coordinates{Lat: 51.5, Lon: -0.1} // London
+	tw2.SetCoordinates(51.5, -0.1) // London
 	if got := d.Process(tw2); got != CollectedNonUS {
 		t.Errorf("foreign geo-tag outcome = %v", got)
 	}

@@ -1,7 +1,6 @@
 package twitter
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
@@ -35,6 +34,7 @@ type ChaosServer struct {
 	cursor int
 	rng    *rand.Rand
 	stats  ChaosStats
+	line   []byte // reused encode buffer, guarded by mu
 }
 
 // ChaosConfig tunes the fault mix. The zero value injects nothing (a
@@ -285,7 +285,7 @@ func (s *ChaosServer) deliverNext(w http.ResponseWriter, flusher http.Flusher, f
 		}
 	}
 
-	payload, err := json.Marshal(t)
+	payload, err := AppendTweet(s.line[:0], &t)
 	if err != nil {
 		// Undeliverable tweet (cannot happen with generated corpora):
 		// drop it rather than wedging the stream.
@@ -293,6 +293,7 @@ func (s *ChaosServer) deliverNext(w http.ResponseWriter, flusher http.Flusher, f
 		return deliverOK
 	}
 	payload = append(payload, '\n')
+	s.line = payload // reuse the grown buffer next delivery
 	if _, err := w.Write(payload); err != nil {
 		return deliverClose // client went away; tweet stays undelivered
 	}

@@ -76,6 +76,11 @@ type StreamClient struct {
 	// with every connection lifecycle event — connects, disconnects,
 	// backoff waits, rate limits, stalls, skipped lines.
 	OnStateChange func(StreamEvent)
+	// Codec is the wire decoder used to parse tweet lines (see
+	// Decoder). Nil allocates a private one when Filter starts. Set it
+	// to attach decode telemetry hooks; it must not be shared with any
+	// other concurrent user while Filter runs.
+	Codec *Decoder
 
 	stats streamCounters
 	// jitter overrides the full-jitter draw in tests; nil means
@@ -269,6 +274,9 @@ func (c *StreamClient) Filter(ctx context.Context, track string, out chan<- Twee
 	defer close(out)
 	if err := ValidateTrack(track); err != nil {
 		return err
+	}
+	if c.Codec == nil {
+		c.Codec = NewDecoder()
 	}
 	endpoint := strings.TrimSuffix(c.BaseURL, "/") + FilterPath + "?track=" + url.QueryEscape(track)
 
@@ -502,7 +510,7 @@ func (c *StreamClient) consumeLine(ctx context.Context, line []byte, out chan<- 
 		}
 	}
 	var t Tweet
-	if err := t.UnmarshalJSON(line); err != nil {
+	if err := c.Codec.Decode(line, &t); err != nil {
 		// A malformed line is a data problem, not a connection problem;
 		// skip it the way a robust collector must.
 		c.stats.malformedLines.Add(1)

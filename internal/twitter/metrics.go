@@ -3,6 +3,7 @@ package twitter
 import (
 	"context"
 	"errors"
+	"time"
 
 	"donorsense/internal/obs"
 )
@@ -94,3 +95,66 @@ func (m *StreamMetrics) Instrument(reg *obs.Registry, c *StreamClient) {
 
 // Connected reports the current connection-state gauge value.
 func (m *StreamMetrics) Connected() bool { return m.connected.Value() == 1 }
+
+// WireMetrics bridges wire-codec decoders into an obs.Registry: decode
+// latency, decode failures by cause, and oversized NDJSON lines skipped
+// by archive readers. One WireMetrics can observe any number of decoders
+// and readers (collector, replay, streamsim all share the families).
+type WireMetrics struct {
+	seconds   *obs.Histogram
+	errors    *obs.CounterVec
+	oversized *obs.Counter
+}
+
+// NewWireMetrics registers the wire codec metric families. The error
+// causes are pre-registered so the full schema (and its zeroes) shows
+// from the first scrape.
+func NewWireMetrics(reg *obs.Registry) *WireMetrics {
+	m := &WireMetrics{
+		// Sub-microsecond decodes: buckets from 100ns to ~400µs.
+		seconds: reg.Histogram("donorsense_wire_decode_seconds",
+			"Wall time of one wire-codec tweet decode.", obs.ExpBuckets(1e-7, 2, 12)),
+		errors: reg.CounterVec("donorsense_wire_decode_errors_total",
+			"Tweet lines the wire codec rejected, by cause.", "cause"),
+		oversized: reg.Counter("donorsense_wire_oversized_lines_total",
+			"Oversized NDJSON archive lines skipped by readers."),
+	}
+	for _, cause := range []string{causeSyntax, causeType, causeCreatedAt} {
+		m.errors.With(cause)
+	}
+	return m
+}
+
+// Observe chains the metrics onto a decoder's hooks, preserving any
+// handlers already installed.
+func (m *WireMetrics) Observe(d *Decoder) {
+	prevDecode, prevError := d.OnDecode, d.OnError
+	d.OnDecode = func(dur time.Duration) {
+		m.seconds.Observe(dur.Seconds())
+		if prevDecode != nil {
+			prevDecode(dur)
+		}
+	}
+	d.OnError = func(cause string) {
+		m.errors.With(cause).Inc()
+		if prevError != nil {
+			prevError(cause)
+		}
+	}
+}
+
+// ObserveReader chains the metrics onto an archive reader's skip hook
+// and its decoder.
+func (m *WireMetrics) ObserveReader(nr *NDJSONReader) {
+	if nr.Codec == nil {
+		nr.Codec = NewDecoder()
+	}
+	m.Observe(nr.Codec)
+	prev := nr.OnSkipped
+	nr.OnSkipped = func() {
+		m.oversized.Inc()
+		if prev != nil {
+			prev()
+		}
+	}
+}

@@ -2,45 +2,118 @@ package twitter
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 )
 
+// DefaultNDJSONMaxLine bounds a single archive line (4 MiB, the cap the
+// pre-streaming reader enforced). Longer lines are skipped and counted,
+// mirroring StreamClient's oversized-line semantics, instead of aborting
+// the whole file.
+const DefaultNDJSONMaxLine = 4 << 20
+
+// NDJSONReader streams tweets out of newline-delimited JSON through the
+// wire codec, reusing one line buffer and one Tweet for the whole file —
+// the decode side allocates nothing per line on the geo-less path. The
+// zero value is ready to use. Not safe for concurrent use.
+type NDJSONReader struct {
+	// Codec is the wire decoder to parse with; nil allocates a private
+	// one on first use. Share a decoder across files to keep its intern
+	// tables warm.
+	Codec *Decoder
+	// MaxLineBytes caps one line (default DefaultNDJSONMaxLine). Longer
+	// lines are discarded and counted in Skipped, not treated as errors.
+	MaxLineBytes int
+	// OnSkipped, when set, is invoked for every oversized line (the
+	// telemetry hook).
+	OnSkipped func()
+
+	// Skipped counts oversized lines discarded by the last Decode call.
+	Skipped int64
+}
+
+// Decode reads r line by line, invoking fn with each decoded tweet. The
+// *Tweet is reused across calls: fn must copy it (not the pointer) if it
+// retains it. Blank lines are skipped; a malformed line aborts with an
+// error naming its number (archives are trusted data, unlike the live
+// stream); an error from fn aborts and is returned unwrapped.
+func (nr *NDJSONReader) Decode(r io.Reader, fn func(*Tweet) error) error {
+	dec := nr.Codec
+	if dec == nil {
+		dec = NewDecoder()
+		nr.Codec = dec
+	}
+	max := nr.MaxLineBytes
+	if max <= 0 {
+		max = DefaultNDJSONMaxLine
+	}
+	br := bufio.NewReaderSize(r, 64*1024)
+	nr.Skipped = 0
+	lineNo := 0
+	var t Tweet
+	for {
+		line, skipped, rerr := readLine(br, max)
+		lineNo++
+		switch {
+		case skipped:
+			nr.Skipped++
+			if nr.OnSkipped != nil {
+				nr.OnSkipped()
+			}
+		case len(line) > 0:
+			if err := dec.Decode(line, &t); err != nil {
+				return fmt.Errorf("twitter: ndjson line %d: %w", lineNo, err)
+			}
+			if err := fn(&t); err != nil {
+				return err
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("twitter: read ndjson: %w", rerr)
+		}
+	}
+}
+
+// DecodeNDJSON streams newline-delimited JSON tweets from r into fn with
+// default limits. See NDJSONReader.Decode for the callback contract.
+func DecodeNDJSON(r io.Reader, fn func(*Tweet) error) error {
+	var nr NDJSONReader
+	return nr.Decode(r, fn)
+}
+
+// ReadNDJSON reads newline-delimited JSON tweets until EOF. Blank lines
+// and oversized lines are skipped; a malformed line aborts with an error
+// naming its number.
+func ReadNDJSON(r io.Reader) ([]Tweet, error) {
+	var out []Tweet
+	if err := DecodeNDJSON(r, func(t *Tweet) error {
+		out = append(out, *t)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WriteNDJSON writes tweets as newline-delimited JSON, the archival
-// format collectors store raw streams in.
+// format collectors store raw streams in, through the append-style
+// encoder (byte-identical to the encoding/json output it replaced).
 func WriteNDJSON(w io.Writer, tweets []Tweet) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	var buf []byte
 	for i := range tweets {
-		if err := enc.Encode(tweets[i]); err != nil {
+		var err error
+		buf, err = AppendTweet(buf[:0], &tweets[i])
+		if err != nil {
+			return fmt.Errorf("twitter: write ndjson tweet %d: %w", i, err)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("twitter: write ndjson tweet %d: %w", i, err)
 		}
 	}
 	return bw.Flush()
-}
-
-// ReadNDJSON reads newline-delimited JSON tweets until EOF. Blank lines
-// are skipped; a malformed line aborts with an error naming its number.
-func ReadNDJSON(r io.Reader) ([]Tweet, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var out []Tweet
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var t Tweet
-		if err := t.UnmarshalJSON(line); err != nil {
-			return nil, fmt.Errorf("twitter: ndjson line %d: %w", lineNo, err)
-		}
-		out = append(out, t)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("twitter: read ndjson: %w", err)
-	}
-	return out, nil
 }

@@ -10,7 +10,7 @@ import (
 func TestNDJSONRoundTrip(t *testing.T) {
 	in := []Tweet{sampleTweet(), sampleTweet()}
 	in[1].ID = 999
-	in[1].Coordinates = &Coordinates{Lat: 1, Lon: 2}
+	in[1].SetCoordinates(1, 2)
 	var buf bytes.Buffer
 	if err := WriteNDJSON(&buf, in); err != nil {
 		t.Fatal(err)
@@ -22,7 +22,7 @@ func TestNDJSONRoundTrip(t *testing.T) {
 	if len(out) != 2 || out[0].ID != in[0].ID || out[1].ID != 999 {
 		t.Errorf("round trip mismatch: %+v", out)
 	}
-	if out[1].Coordinates == nil || out[1].Coordinates.Lat != 1 {
+	if !out[1].HasCoordinates || out[1].Coordinates.Lat != 1 {
 		t.Error("coordinates lost")
 	}
 }

@@ -1,7 +1,6 @@
 package twitter
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
@@ -85,7 +84,7 @@ func (s *StreamServer) stream(w http.ResponseWriter, r *http.Request, filter *Tr
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	enc := json.NewEncoder(w)
+	var line []byte // reused per-connection encode buffer
 	ctx := r.Context()
 	var keepAlive <-chan time.Time
 	if s.KeepAlive > 0 {
@@ -106,7 +105,13 @@ func (s *StreamServer) stream(w http.ResponseWriter, r *http.Request, filter *Tr
 			if !open {
 				return // broadcaster closed or we were dropped as stalled
 			}
-			if err := enc.Encode(t); err != nil {
+			var err error
+			line, err = AppendTweet(line[:0], &t)
+			if err != nil {
+				continue // undeliverable tweet (non-finite coordinate)
+			}
+			line = append(line, '\n')
+			if _, err := w.Write(line); err != nil {
 				return // client went away mid-write
 			}
 			flusher.Flush()

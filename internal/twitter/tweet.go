@@ -40,11 +40,23 @@ type Tweet struct {
 	Text      string
 	CreatedAt time.Time
 	User      User
-	// Coordinates is nil for the ~98.6% of tweets without a geo-tag.
-	Coordinates *Coordinates
+	// Coordinates is the GPS geo-tag, meaningful only when HasCoordinates
+	// is set — the ~98.6% of tweets without a geo-tag leave both zero.
+	// Value-typed so decoding a geo-tagged tweet needs no per-tweet
+	// pointer allocation and a decoded Tweet is a self-contained value.
+	Coordinates    Coordinates
+	HasCoordinates bool
 }
 
-// wireUser, wireCoords, and wireTweet mirror the v1.1 JSON layout.
+// SetCoordinates attaches a GPS geo-tag to the tweet.
+func (t *Tweet) SetCoordinates(lat, lon float64) {
+	t.Coordinates = Coordinates{Lat: lat, Lon: lon}
+	t.HasCoordinates = true
+}
+
+// wireUser, wireCoords, and wireTweet mirror the v1.1 JSON layout. They
+// back the reflection-based compatibility path; the hot ingest path uses
+// the hand-rolled codec in wire_decode.go / wire_encode.go instead.
 type wireUser struct {
 	ID         int64  `json:"id"`
 	ScreenName string `json:"screen_name"`
@@ -64,28 +76,18 @@ type wireTweet struct {
 	Coordinates *wireCoords `json:"coordinates,omitempty"`
 }
 
-// MarshalJSON encodes the tweet in Twitter v1.1 wire format.
+// MarshalJSON encodes the tweet in Twitter v1.1 wire format. It delegates
+// to AppendTweet, so json.Marshal and the hand-rolled encoder produce
+// identical bytes.
 func (t Tweet) MarshalJSON() ([]byte, error) {
-	w := wireTweet{
-		ID:        t.ID,
-		Text:      t.Text,
-		CreatedAt: t.CreatedAt.Format(createdAtFormat),
-		User: wireUser{
-			ID:         t.User.ID,
-			ScreenName: t.User.ScreenName,
-			Location:   t.User.Location,
-		},
-	}
-	if t.Coordinates != nil {
-		w.Coordinates = &wireCoords{
-			Type:        "Point",
-			Coordinates: [2]float64{t.Coordinates.Lon, t.Coordinates.Lat},
-		}
-	}
-	return json.Marshal(w)
+	return AppendTweet(nil, &t)
 }
 
-// UnmarshalJSON decodes a tweet from Twitter v1.1 wire format.
+// UnmarshalJSON decodes a tweet from Twitter v1.1 wire format through
+// encoding/json. It is the reflection-based compatibility path — safe for
+// concurrent use but allocation-heavy — and doubles as the differential
+// oracle the codec fuzz tests pin Decoder.Decode against. Hot paths
+// should use a Decoder instead.
 func (t *Tweet) UnmarshalJSON(data []byte) error {
 	var w wireTweet
 	if err := json.Unmarshal(data, &w); err != nil {
@@ -106,10 +108,11 @@ func (t *Tweet) UnmarshalJSON(data []byte) error {
 		},
 	}
 	if w.Coordinates != nil {
-		t.Coordinates = &Coordinates{
+		t.Coordinates = Coordinates{
 			Lon: w.Coordinates.Coordinates[0],
 			Lat: w.Coordinates.Coordinates[1],
 		}
+		t.HasCoordinates = true
 	}
 	return nil
 }

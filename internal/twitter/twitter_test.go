@@ -28,7 +28,7 @@ func sampleTweet() Tweet {
 
 func TestTweetJSONRoundTrip(t *testing.T) {
 	in := sampleTweet()
-	in.Coordinates = &Coordinates{Lat: 37.7, Lon: -97.3}
+	in.SetCoordinates(37.7, -97.3)
 	data, err := json.Marshal(in)
 	if err != nil {
 		t.Fatal(err)
@@ -43,14 +43,14 @@ func TestTweetJSONRoundTrip(t *testing.T) {
 	if out.User != in.User {
 		t.Errorf("user mismatch: %+v vs %+v", out.User, in.User)
 	}
-	if out.Coordinates == nil || out.Coordinates.Lat != 37.7 || out.Coordinates.Lon != -97.3 {
+	if !out.HasCoordinates || out.Coordinates.Lat != 37.7 || out.Coordinates.Lon != -97.3 {
 		t.Errorf("coordinates mismatch: %+v", out.Coordinates)
 	}
 }
 
 func TestTweetJSONWireShape(t *testing.T) {
 	in := sampleTweet()
-	in.Coordinates = &Coordinates{Lat: 37.7, Lon: -97.3}
+	in.SetCoordinates(37.7, -97.3)
 	data, _ := json.Marshal(in)
 	var raw map[string]any
 	if err := json.Unmarshal(data, &raw); err != nil {
@@ -374,7 +374,7 @@ func TestTweetJSONPropertyRoundTrip(t *testing.T) {
 			User:      User{ID: id + 1, ScreenName: name, Location: loc},
 		}
 		if hasGeo {
-			in.Coordinates = &Coordinates{Lat: lat, Lon: lon}
+			in.SetCoordinates(lat, lon)
 		}
 		data, err := json.Marshal(in)
 		if err != nil {
@@ -387,7 +387,7 @@ func TestTweetJSONPropertyRoundTrip(t *testing.T) {
 		if out.ID != in.ID || out.Text != in.Text || out.User != in.User {
 			return false
 		}
-		if hasGeo != (out.Coordinates != nil) {
+		if hasGeo != out.HasCoordinates {
 			return false
 		}
 		return true

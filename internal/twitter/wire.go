@@ -1,0 +1,300 @@
+// Hand-rolled v1.1 tweet wire codec: shared decoder state, string
+// interning, the text arena, and the fixed-layout created_at parser. The
+// byte-level tokenizer lives in wire_decode.go and the symmetric
+// append-style encoder in wire_encode.go.
+//
+// The codec exists because the wire boundary was the last allocating
+// stage of the ingest path: reflection-based encoding/json built a
+// throwaway wireTweet, fresh strings for every field, a pointer
+// Coordinates, and ran time.Parse per tweet. Decoder.Decode reads a line
+// into a caller-provided *Tweet with zero allocations per operation on
+// the geo-less ~98.6% path. encoding/json stays in the tree as the
+// differential oracle (Tweet.UnmarshalJSON); fuzz and property tests
+// assert the two agree on every payload. See DESIGN.md §10.
+package twitter
+
+import (
+	"time"
+	"unsafe"
+)
+
+// internBits sizes the per-decoder intern tables: screen names and
+// profile locations repeat heavily (a user tweets many times; popular
+// location strings are shared), so a small direct-mapped cache turns the
+// common case into a pointer copy instead of a fresh string.
+const (
+	internBits  = 11
+	internSlots = 1 << internBits
+)
+
+// internSlot is one direct-mapped cache entry, epoch-stamped so Reset can
+// invalidate the whole table in O(1) — the same trick the extractor's
+// seen array uses.
+type internSlot struct {
+	hash  uint64
+	epoch uint32
+	s     string
+}
+
+// internTable is a direct-mapped string cache. It is scratch state of a
+// Decoder and therefore not safe for concurrent use.
+type internTable struct {
+	epoch uint32
+	slots [internSlots]internSlot
+}
+
+// fnv64 is FNV-1a over b.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// intern returns a string equal to b, reusing a previously allocated copy
+// when the slot still holds it. A miss allocates once and replaces the
+// slot (direct-mapped: no probing, bounded memory).
+func (t *internTable) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	h := fnv64(b)
+	sl := &t.slots[h&(internSlots-1)]
+	if sl.epoch == t.epoch && sl.hash == h && sl.s == string(b) {
+		return sl.s
+	}
+	s := string(b)
+	*sl = internSlot{hash: h, epoch: t.epoch, s: s}
+	return s
+}
+
+// reset invalidates every slot by bumping the epoch.
+func (t *internTable) reset() {
+	t.epoch++
+	if t.epoch == 0 { // uint32 wrap: clear stale stamps, restart epochs
+		t.slots = [internSlots]internSlot{}
+		t.epoch = 1
+	}
+}
+
+// arenaBlock is the size of one text-arena allocation. Tweet texts are
+// unique (no point interning them), so they are carved out of append-only
+// blocks: one allocation amortized over hundreds of tweets instead of one
+// per tweet. Blocks are never rewritten or recycled — when one fills up
+// it is abandoned to the strings still referencing it and a fresh block
+// is started — so the unsafe.String aliases below stay immutable.
+const arenaBlock = 64 * 1024
+
+// Decoder decodes v1.1 tweet wire payloads without per-tweet garbage. It
+// owns reusable scratch (unescape buffer, text arena, intern tables), so
+// like text.Extractor it is NOT safe for concurrent use — construction is
+// cheap, give each goroutine its own.
+type Decoder struct {
+	// OnDecode, when set, receives the wall time of every Decode call —
+	// the hook WireMetrics feeds the decode-latency histogram from.
+	OnDecode func(time.Duration)
+	// OnError, when set, receives a short cause label ("syntax", "type",
+	// "created_at") for every failed Decode.
+	OnError func(cause string)
+
+	// tokenizer cursor and per-tweet field state (valid only during a
+	// Decode call)
+	data      []byte
+	pos       int
+	depth     int
+	wc        [2]float64 // pending coordinates array, GeoJSON [lon, lat]
+	coordsSet bool       // a coordinates object (not null) was decoded
+
+	scratch []byte // unescape buffer, reused across strings
+	caBuf   []byte // decoded created_at bytes, reused across tweets
+	arena   []byte // current text-arena block (append-only)
+
+	names internTable // user.screen_name
+	locs  internTable // user.location
+
+	// zone memoizes the last FixedZone built, since a corpus typically
+	// carries a single UTC offset.
+	zone    *time.Location
+	zoneOff int
+}
+
+// NewDecoder returns a ready-to-use wire decoder.
+func NewDecoder() *Decoder {
+	d := &Decoder{}
+	d.names.epoch = 1
+	d.locs.epoch = 1
+	return d
+}
+
+// Reset drops the interned strings (O(1) epoch bump) and the current
+// arena block reference. Decoded tweets remain valid — their strings own
+// their backing memory — so Reset is only useful to unpin retained
+// strings between unrelated corpora.
+func (d *Decoder) Reset() {
+	d.names.reset()
+	d.locs.reset()
+	d.arena = nil
+	d.zone = nil
+	d.zoneOff = 0
+}
+
+// arenaString copies b into the text arena and returns a string aliasing
+// the copy. The alias is safe: arena blocks are append-only and abandoned
+// when full, never rewritten, so the returned string's bytes are frozen.
+func (d *Decoder) arenaString(b []byte) string {
+	n := len(b)
+	if n == 0 {
+		return ""
+	}
+	if n > arenaBlock/4 {
+		// A huge text would waste most of a fresh block; give it its own
+		// allocation (rare — tweet texts are short).
+		return string(b)
+	}
+	if len(d.arena)+n > cap(d.arena) {
+		d.arena = make([]byte, 0, arenaBlock)
+	}
+	off := len(d.arena)
+	d.arena = append(d.arena, b...)
+	return unsafe.String(&d.arena[off], n)
+}
+
+// unsafeStr views b as a string without copying. Callers must not retain
+// the result past the lifetime of b's bytes; it is used only to feed
+// strconv parsers, which do not hold on to their argument.
+func unsafeStr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// zoneFor returns a fixed zone for the offset, memoizing the last one.
+func (d *Decoder) zoneFor(offsetSec int) *time.Location {
+	if d.zone != nil && d.zoneOff == offsetSec {
+		return d.zone
+	}
+	d.zone = time.FixedZone("", offsetSec)
+	d.zoneOff = offsetSec
+	return d.zone
+}
+
+// shortDayNames / shortMonthNames are the canonical name sets the fast
+// created_at path accepts (exact case, as Format emits). Anything else
+// falls back to time.Parse, which also handles case-insensitive names.
+var shortDayNames = [...]string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+
+var shortMonthNames = [...]string{
+	"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+	"Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+}
+
+// num2 reads a 2-digit decimal at b[0:2]; -1 when not digits.
+func num2(b []byte) int {
+	if b[0] < '0' || b[0] > '9' || b[1] < '0' || b[1] > '9' {
+		return -1
+	}
+	return int(b[0]-'0')*10 + int(b[1]-'0')
+}
+
+// num4 reads a 4-digit decimal at b[0:4]; -1 when not digits.
+func num4(b []byte) int {
+	hi, lo := num2(b), num2(b[2:])
+	if hi < 0 || lo < 0 {
+		return -1
+	}
+	return hi*100 + lo
+}
+
+// daysIn mirrors time.Parse's day-of-month validation.
+func daysIn(m time.Month, year int) int {
+	switch m {
+	case time.April, time.June, time.September, time.November:
+		return 30
+	case time.February:
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	}
+	return 31
+}
+
+// parseCreatedAtFast decodes the canonical "Mon Jan 02 15:04:05 -0700
+// 2006" shape without allocating: exact-case names, zero-padded fields,
+// in-range values. It reports ok=false for anything else — including
+// out-of-range values — so the caller can fall back to time.Parse, which
+// both accepts the lenient variants (case-folded names, offsets up to
+// ±24:60) and produces the exact errors the stdlib oracle produces.
+func (d *Decoder) parseCreatedAtFast(b []byte) (time.Time, bool) {
+	if len(b) != 30 ||
+		b[3] != ' ' || b[7] != ' ' || b[10] != ' ' ||
+		b[13] != ':' || b[16] != ':' || b[19] != ' ' || b[25] != ' ' {
+		return time.Time{}, false
+	}
+	okDay := false
+	for _, n := range shortDayNames {
+		if string(b[0:3]) == n {
+			okDay = true
+			break
+		}
+	}
+	if !okDay {
+		return time.Time{}, false
+	}
+	mo := time.Month(0)
+	for i, n := range shortMonthNames {
+		if string(b[4:7]) == n {
+			mo = time.Month(i + 1)
+			break
+		}
+	}
+	if mo == 0 {
+		return time.Time{}, false
+	}
+	day, hh := num2(b[8:]), num2(b[11:])
+	mi, ss := num2(b[14:]), num2(b[17:])
+	year := num4(b[26:])
+	zh, zm := num2(b[21:]), num2(b[23:])
+	if day < 0 || hh < 0 || mi < 0 || ss < 0 || year < 0 || zh < 0 || zm < 0 {
+		return time.Time{}, false
+	}
+	// time.Parse's range rules: hour < 24, minute/second < 60, day within
+	// the month; zone parts are lenient up to 24h/60m. Out-of-range input
+	// falls back so the error text matches the oracle.
+	if hh > 23 || mi > 59 || ss > 59 || zh > 24 || zm > 60 {
+		return time.Time{}, false
+	}
+	if day < 1 || day > daysIn(mo, year) {
+		return time.Time{}, false
+	}
+	sign := b[20]
+	if sign != '+' && sign != '-' {
+		return time.Time{}, false
+	}
+	off := (zh*60 + zm) * 60
+	if sign == '-' {
+		off = -off
+	}
+	t := time.Date(year, mo, day, hh, mi, ss, 0, time.UTC).
+		Add(-time.Duration(off) * time.Second)
+	// Mirror time.Parse's zone resolution: prefer the local zone when its
+	// offset at that instant matches, else a fixed zone recording the
+	// offset.
+	lt := t.In(time.Local)
+	if _, loff := lt.Zone(); loff == off {
+		return lt, true
+	}
+	return t.In(d.zoneFor(off)), true
+}
+
+// parseCreatedAt parses a v1.1 timestamp, allocation-free on the
+// canonical layout and deferring to time.Parse otherwise.
+func (d *Decoder) parseCreatedAt(b []byte) (time.Time, error) {
+	if t, ok := d.parseCreatedAtFast(b); ok {
+		return t, nil
+	}
+	return time.Parse(createdAtFormat, string(b))
+}

@@ -1,0 +1,849 @@
+// The decode half of the wire codec: a byte-level JSON tokenizer that
+// reads one v1.1 tweet line into a caller-provided *Tweet.
+//
+// The tokenizer is written to agree with encoding/json on every input —
+// not just well-formed tweets. That means mirroring the stdlib's less
+// obvious behaviors: case-folded key matching (bytes.EqualFold,
+// including Unicode simple folds), duplicate keys decoding last-wins
+// with struct merge, null as a field no-op except for the pointer-typed
+// coordinates (which it clears), JSON arrays zeroing the tail of a
+// fixed-size Go array, invalid UTF-8 in strings coerced byte-wise to
+// U+FFFD, unpaired \u surrogates becoming U+FFFD, the strict number
+// grammar followed by strconv for range errors, and the 10000-level
+// nesting cap. The fuzz tests in wire_test.go hold the codec to
+// verdict-and-value equivalence with the Tweet.UnmarshalJSON oracle.
+package twitter
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"time"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// maxWireDepth mirrors encoding/json's maxNestingDepth.
+const maxWireDepth = 10000
+
+// Decode error causes, as reported to OnError and the wire metrics.
+const (
+	causeSyntax    = "syntax"
+	causeType      = "type"
+	causeCreatedAt = "created_at"
+)
+
+// wireError is a decode failure with a coarse cause label for metrics.
+type wireError struct {
+	cause string
+	msg   string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+// wireCause extracts the metrics label from a Decode error.
+func wireCause(err error) string {
+	if we, ok := err.(*wireError); ok {
+		return we.cause
+	}
+	return causeSyntax
+}
+
+// JSON field names of the v1.1 tweet payload. Matching is case-folded to
+// agree with encoding/json, so these are compared with bytes.EqualFold.
+var (
+	wkID          = []byte("id")
+	wkText        = []byte("text")
+	wkCreatedAt   = []byte("created_at")
+	wkUser        = []byte("user")
+	wkCoordinates = []byte("coordinates")
+	wkScreenName  = []byte("screen_name")
+	wkLocation    = []byte("location")
+	wkType        = []byte("type")
+)
+
+// Decode parses one NDJSON line into *t. On success the Tweet is fully
+// self-contained (its strings own their memory); on error *t is left in
+// an unspecified partial state, matching the oracle's contract. The
+// geo-less path performs zero allocations per call once the decoder's
+// scratch is warm.
+func (d *Decoder) Decode(line []byte, t *Tweet) error {
+	var start time.Time
+	if d.OnDecode != nil {
+		start = time.Now()
+	}
+	err := d.decode(line, t)
+	if d.OnDecode != nil {
+		d.OnDecode(time.Since(start))
+	}
+	if err != nil && d.OnError != nil {
+		d.OnError(wireCause(err))
+	}
+	return err
+}
+
+func (d *Decoder) decode(line []byte, t *Tweet) error {
+	*t = Tweet{}
+	d.data, d.pos, d.depth = line, 0, 0
+	d.caBuf = d.caBuf[:0]
+	d.wc = [2]float64{}
+	d.coordsSet = false
+
+	d.skipWS()
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch c {
+	case '{':
+		if err := d.decodeTweetObject(t); err != nil {
+			return err
+		}
+	case 'n':
+		// json.Unmarshal(null, &struct) is a successful no-op; the zero
+		// created_at then fails below exactly as the oracle's does.
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+	default:
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		return d.typeErrf("cannot unmarshal non-object value into Tweet")
+	}
+	d.skipWS()
+	if c, ok := d.peek(); ok {
+		return d.syntaxf("invalid character %s after top-level value", quoteChar(c))
+	}
+	d.data = nil // drop the input reference; the Tweet owns its memory
+
+	// created_at resolves after the whole object so duplicate keys keep
+	// last-wins semantics before the (comparatively costly) parse runs.
+	ts, err := d.parseCreatedAt(d.caBuf)
+	if err != nil {
+		return &wireError{
+			cause: causeCreatedAt,
+			msg:   fmt.Sprintf("twitter: decode created_at %q: %v", d.caBuf, err),
+		}
+	}
+	t.CreatedAt = ts
+	if d.coordsSet {
+		t.Coordinates = Coordinates{Lon: d.wc[0], Lat: d.wc[1]}
+		t.HasCoordinates = true
+	}
+	return nil
+}
+
+// decodeTweetObject walks the top-level object; d.pos is at '{'.
+func (d *Decoder) decodeTweetObject(t *Tweet) error {
+	if err := d.enter(); err != nil {
+		return err
+	}
+	d.pos++
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == '}' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	for {
+		key, err := d.readKey()
+		if err != nil {
+			return err
+		}
+		switch {
+		case bytes.EqualFold(key, wkID):
+			err = d.decodeInt64(&t.ID, "id")
+		case bytes.EqualFold(key, wkText):
+			var s []byte
+			var set bool
+			s, set, err = d.decodeString("text")
+			if err == nil && set {
+				t.Text = d.arenaString(s)
+			}
+		case bytes.EqualFold(key, wkCreatedAt):
+			var s []byte
+			var set bool
+			s, set, err = d.decodeString("created_at")
+			if err == nil && set {
+				// s aliases scratch or input; copy so later strings can't
+				// clobber it before the deferred parse.
+				d.caBuf = append(d.caBuf[:0], s...)
+			}
+		case bytes.EqualFold(key, wkUser):
+			err = d.decodeUser(&t.User)
+		case bytes.EqualFold(key, wkCoordinates):
+			err = d.decodeCoordsField()
+		default:
+			err = d.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.objectMore()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// decodeUser decodes the "user" field value into *u. null is a no-op and
+// duplicate user objects merge, per stdlib struct semantics.
+func (d *Decoder) decodeUser(u *User) error {
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch c {
+	case 'n':
+		return d.literal("null")
+	case '{':
+		if err := d.enter(); err != nil {
+			return err
+		}
+		d.pos++
+		d.skipWS()
+		if c, ok := d.peek(); ok && c == '}' {
+			d.pos++
+			d.depth--
+			return nil
+		}
+		for {
+			key, err := d.readKey()
+			if err != nil {
+				return err
+			}
+			switch {
+			case bytes.EqualFold(key, wkID):
+				err = d.decodeInt64(&u.ID, "user.id")
+			case bytes.EqualFold(key, wkScreenName):
+				var s []byte
+				var set bool
+				s, set, err = d.decodeString("user.screen_name")
+				if err == nil && set {
+					u.ScreenName = d.names.intern(s)
+				}
+			case bytes.EqualFold(key, wkLocation):
+				var s []byte
+				var set bool
+				s, set, err = d.decodeString("user.location")
+				if err == nil && set {
+					u.Location = d.locs.intern(s)
+				}
+			default:
+				err = d.skipValue()
+			}
+			if err != nil {
+				return err
+			}
+			more, err := d.objectMore()
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	default:
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		return d.typeErrf("cannot unmarshal non-object value into field user")
+	}
+}
+
+// decodeCoordsField decodes the "coordinates" field. The oracle's target
+// is a *wireCoords: null clears the pointer (dropping any earlier
+// value), an object allocates-or-merges. coordsSet + wc replicate that.
+func (d *Decoder) decodeCoordsField() error {
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch c {
+	case 'n':
+		if err := d.literal("null"); err != nil {
+			return err
+		}
+		d.coordsSet = false
+		d.wc = [2]float64{}
+		return nil
+	case '{':
+		d.coordsSet = true
+		if err := d.enter(); err != nil {
+			return err
+		}
+		d.pos++
+		d.skipWS()
+		if c, ok := d.peek(); ok && c == '}' {
+			d.pos++
+			d.depth--
+			return nil
+		}
+		for {
+			key, err := d.readKey()
+			if err != nil {
+				return err
+			}
+			switch {
+			case bytes.EqualFold(key, wkType):
+				// Decoded for type checking, value discarded (the Tweet
+				// model doesn't keep the GeoJSON type tag).
+				_, _, err = d.decodeString("coordinates.type")
+			case bytes.EqualFold(key, wkCoordinates):
+				err = d.decodeFloatPair()
+			default:
+				err = d.skipValue()
+			}
+			if err != nil {
+				return err
+			}
+			more, err := d.objectMore()
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	default:
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		return d.typeErrf("cannot unmarshal non-object value into field coordinates")
+	}
+}
+
+// decodeFloatPair decodes a JSON array into d.wc with stdlib [2]float64
+// semantics: elements past the second are syntax-checked and dropped, a
+// shorter array zeroes the tail, null elements leave the slot untouched.
+func (d *Decoder) decodeFloatPair() error {
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch c {
+	case 'n':
+		return d.literal("null")
+	case '[':
+		if err := d.enter(); err != nil {
+			return err
+		}
+		d.pos++
+		d.skipWS()
+		n := 0
+		if c, ok := d.peek(); ok && c == ']' {
+			d.pos++
+			d.depth--
+		} else {
+			for {
+				var err error
+				if n < len(d.wc) {
+					err = d.decodeFloat(&d.wc[n], "coordinates.coordinates")
+				} else {
+					err = d.skipValue()
+				}
+				if err != nil {
+					return err
+				}
+				n++
+				d.skipWS()
+				c, ok := d.peek()
+				if !ok {
+					return d.eofErr()
+				}
+				if c == ',' {
+					d.pos++
+					d.skipWS()
+					continue
+				}
+				if c == ']' {
+					d.pos++
+					d.depth--
+					break
+				}
+				return d.syntaxf("invalid character %s after array element", quoteChar(c))
+			}
+		}
+		for ; n < len(d.wc); n++ {
+			d.wc[n] = 0
+		}
+		return nil
+	default:
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		return d.typeErrf("cannot unmarshal non-array value into field coordinates.coordinates")
+	}
+}
+
+// decodeInt64 decodes a number into *dst, null as a no-op. The token is
+// handed to strconv.ParseInt exactly as the stdlib does, so fractional,
+// exponential, and out-of-range numbers fail identically.
+func (d *Decoder) decodeInt64(dst *int64, field string) error {
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch {
+	case c == 'n':
+		return d.literal("null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		tok, err := d.readNumber()
+		if err != nil {
+			return err
+		}
+		n, perr := strconv.ParseInt(unsafeStr(tok), 10, 64)
+		if perr != nil {
+			return d.typeErrf("cannot unmarshal number %s into field %s of type int64", tok, field)
+		}
+		*dst = n
+		return nil
+	default:
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		return d.typeErrf("cannot unmarshal value into field %s of type int64", field)
+	}
+}
+
+// decodeFloat decodes a number into *dst, null as a no-op.
+func (d *Decoder) decodeFloat(dst *float64, field string) error {
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch {
+	case c == 'n':
+		return d.literal("null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		tok, err := d.readNumber()
+		if err != nil {
+			return err
+		}
+		f, perr := strconv.ParseFloat(unsafeStr(tok), 64)
+		if perr != nil {
+			return d.typeErrf("cannot unmarshal number %s into field %s of type float64", tok, field)
+		}
+		*dst = f
+		return nil
+	default:
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		return d.typeErrf("cannot unmarshal value into field %s of type float64", field)
+	}
+}
+
+// decodeString decodes a string value. set=false means the value was
+// null (field untouched). The returned bytes alias the input line or
+// d.scratch: copy before the next token read if they must survive.
+func (d *Decoder) decodeString(field string) (s []byte, set bool, err error) {
+	c, ok := d.peek()
+	if !ok {
+		return nil, false, d.eofErr()
+	}
+	switch c {
+	case 'n':
+		return nil, false, d.literal("null")
+	case '"':
+		s, err = d.readString()
+		return s, err == nil, err
+	default:
+		if err := d.skipValue(); err != nil {
+			return nil, false, err
+		}
+		return nil, false, d.typeErrf("cannot unmarshal value into field %s of type string", field)
+	}
+}
+
+// readKey reads an object key string plus the ':' separator and leaves
+// d.pos at the start of the value.
+func (d *Decoder) readKey() ([]byte, error) {
+	c, ok := d.peek()
+	if !ok {
+		return nil, d.eofErr()
+	}
+	if c != '"' {
+		return nil, d.syntaxf("invalid character %s looking for beginning of object key string", quoteChar(c))
+	}
+	key, err := d.readString()
+	if err != nil {
+		return nil, err
+	}
+	d.skipWS()
+	c, ok = d.peek()
+	if !ok {
+		return nil, d.eofErr()
+	}
+	if c != ':' {
+		return nil, d.syntaxf("invalid character %s after object key", quoteChar(c))
+	}
+	d.pos++
+	d.skipWS()
+	return key, nil
+}
+
+// objectMore consumes the ',' or '}' after a key:value pair; more=true
+// leaves d.pos at the next key.
+func (d *Decoder) objectMore() (more bool, err error) {
+	d.skipWS()
+	c, ok := d.peek()
+	if !ok {
+		return false, d.eofErr()
+	}
+	switch c {
+	case ',':
+		d.pos++
+		d.skipWS()
+		return true, nil
+	case '}':
+		d.pos++
+		d.depth--
+		return false, nil
+	}
+	return false, d.syntaxf("invalid character %s after object key:value pair", quoteChar(c))
+}
+
+// readString parses a JSON string; d.pos is at the opening '"'. The
+// result aliases the input when no unescaping or UTF-8 repair was
+// needed, else d.scratch. Escape validation matches the stdlib scanner
+// (only \" \\ \/ \b \f \n \r \t \uXXXX), invalid UTF-8 bytes become
+// U+FFFD, and surrogate pairs combine per unquoteBytes.
+func (d *Decoder) readString() ([]byte, error) {
+	data := d.data
+	start := d.pos + 1
+	i := start
+	// Fast path: scan for a clean segment that can alias the input.
+	for i < len(data) {
+		c := data[i]
+		if c == '"' {
+			d.pos = i + 1
+			return data[start:i], nil
+		}
+		if c == '\\' {
+			break
+		}
+		if c < 0x20 {
+			return nil, d.syntaxf("invalid character %s in string literal", quoteChar(c))
+		}
+		if c < utf8.RuneSelf {
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRune(data[i:])
+		if r == utf8.RuneError && size == 1 {
+			break // invalid UTF-8: needs rewriting
+		}
+		i += size
+	}
+	// Slow path: rewrite into scratch.
+	b := append(d.scratch[:0], data[start:i]...)
+	for i < len(data) {
+		c := data[i]
+		switch {
+		case c == '"':
+			d.pos = i + 1
+			d.scratch = b
+			return b, nil
+		case c == '\\':
+			i++
+			if i >= len(data) {
+				return nil, d.eofErr()
+			}
+			switch e := data[i]; e {
+			case '"', '\\', '/':
+				b = append(b, e)
+				i++
+			case 'b':
+				b = append(b, '\b')
+				i++
+			case 'f':
+				b = append(b, '\f')
+				i++
+			case 'n':
+				b = append(b, '\n')
+				i++
+			case 'r':
+				b = append(b, '\r')
+				i++
+			case 't':
+				b = append(b, '\t')
+				i++
+			case 'u':
+				r, err := d.hex4(i + 1)
+				if err != nil {
+					return nil, err
+				}
+				i += 5
+				if utf16.IsSurrogate(r) {
+					if i+1 < len(data) && data[i] == '\\' && data[i+1] == 'u' {
+						r2, err := d.hex4(i + 2)
+						if err != nil {
+							return nil, err
+						}
+						if dec := utf16.DecodeRune(r, r2); dec != unicode.ReplacementChar {
+							i += 6
+							b = utf8.AppendRune(b, dec)
+							continue
+						}
+					}
+					r = unicode.ReplacementChar
+				}
+				b = utf8.AppendRune(b, r)
+			default:
+				return nil, d.syntaxf("invalid character %s in string escape code", quoteChar(e))
+			}
+		case c < 0x20:
+			return nil, d.syntaxf("invalid character %s in string literal", quoteChar(c))
+		case c < utf8.RuneSelf:
+			b = append(b, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(data[i:])
+			if r == utf8.RuneError && size == 1 {
+				b = append(b, 0xEF, 0xBF, 0xBD) // U+FFFD
+				i++
+			} else {
+				b = append(b, data[i:i+size]...)
+				i += size
+			}
+		}
+	}
+	d.scratch = b
+	return nil, d.eofErr()
+}
+
+// hex4 reads 4 hex digits of a \uXXXX escape starting at off.
+func (d *Decoder) hex4(off int) (rune, error) {
+	data := d.data
+	if off+4 > len(data) {
+		return 0, d.eofErr()
+	}
+	var r rune
+	for _, c := range data[off : off+4] {
+		switch {
+		case '0' <= c && c <= '9':
+			c -= '0'
+		case 'a' <= c && c <= 'f':
+			c = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return 0, d.syntaxf("invalid character %s in \\u hexadecimal character escape", quoteChar(c))
+		}
+		r = r*16 + rune(c)
+	}
+	return r, nil
+}
+
+// readNumber validates the strict JSON number grammar and returns the
+// token; d.pos is at '-' or a digit.
+func (d *Decoder) readNumber() ([]byte, error) {
+	data := d.data
+	i := d.pos
+	start := i
+	if data[i] == '-' {
+		i++
+		if i >= len(data) {
+			return nil, d.eofErr()
+		}
+	}
+	switch {
+	case data[i] == '0':
+		i++
+	case '1' <= data[i] && data[i] <= '9':
+		i++
+		for i < len(data) && '0' <= data[i] && data[i] <= '9' {
+			i++
+		}
+	default:
+		return nil, d.syntaxf("invalid character %s in numeric literal", quoteChar(data[i]))
+	}
+	if i < len(data) && data[i] == '.' {
+		i++
+		if i >= len(data) {
+			return nil, d.eofErr()
+		}
+		if data[i] < '0' || data[i] > '9' {
+			return nil, d.syntaxf("invalid character %s after decimal point in numeric literal", quoteChar(data[i]))
+		}
+		for i < len(data) && '0' <= data[i] && data[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(data) && (data[i] == 'e' || data[i] == 'E') {
+		i++
+		if i < len(data) && (data[i] == '+' || data[i] == '-') {
+			i++
+		}
+		if i >= len(data) {
+			return nil, d.eofErr()
+		}
+		if data[i] < '0' || data[i] > '9' {
+			return nil, d.syntaxf("invalid character %s in exponent of numeric literal", quoteChar(data[i]))
+		}
+		for i < len(data) && '0' <= data[i] && data[i] <= '9' {
+			i++
+		}
+	}
+	d.pos = i
+	return data[start:i], nil
+}
+
+// skipValue validates and discards any JSON value.
+func (d *Decoder) skipValue() error {
+	c, ok := d.peek()
+	if !ok {
+		return d.eofErr()
+	}
+	switch {
+	case c == '{':
+		return d.skipObject()
+	case c == '[':
+		return d.skipArray()
+	case c == '"':
+		_, err := d.readString()
+		return err
+	case c == 't':
+		return d.literal("true")
+	case c == 'f':
+		return d.literal("false")
+	case c == 'n':
+		return d.literal("null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		_, err := d.readNumber()
+		return err
+	}
+	return d.syntaxf("invalid character %s looking for beginning of value", quoteChar(c))
+}
+
+func (d *Decoder) skipObject() error {
+	if err := d.enter(); err != nil {
+		return err
+	}
+	d.pos++
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == '}' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	for {
+		if _, err := d.readKey(); err != nil {
+			return err
+		}
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		more, err := d.objectMore()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *Decoder) skipArray() error {
+	if err := d.enter(); err != nil {
+		return err
+	}
+	d.pos++
+	d.skipWS()
+	if c, ok := d.peek(); ok && c == ']' {
+		d.pos++
+		d.depth--
+		return nil
+	}
+	for {
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		d.skipWS()
+		c, ok := d.peek()
+		if !ok {
+			return d.eofErr()
+		}
+		if c == ',' {
+			d.pos++
+			d.skipWS()
+			continue
+		}
+		if c == ']' {
+			d.pos++
+			d.depth--
+			return nil
+		}
+		return d.syntaxf("invalid character %s after array element", quoteChar(c))
+	}
+}
+
+// literal consumes an exact keyword (true/false/null).
+func (d *Decoder) literal(lit string) error {
+	for i := 0; i < len(lit); i++ {
+		if d.pos+i >= len(d.data) {
+			return d.eofErr()
+		}
+		if d.data[d.pos+i] != lit[i] {
+			return d.syntaxf("invalid character %s in literal (expecting %s)", quoteChar(d.data[d.pos+i]), lit)
+		}
+	}
+	d.pos += len(lit)
+	return nil
+}
+
+func (d *Decoder) enter() error {
+	d.depth++
+	if d.depth > maxWireDepth {
+		return d.syntaxf("exceeded max depth")
+	}
+	return nil
+}
+
+func (d *Decoder) skipWS() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\r', '\n':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (d *Decoder) peek() (byte, bool) {
+	if d.pos < len(d.data) {
+		return d.data[d.pos], true
+	}
+	return 0, false
+}
+
+func (d *Decoder) eofErr() error {
+	return &wireError{cause: causeSyntax, msg: "twitter: decode tweet: unexpected end of JSON input"}
+}
+
+func (d *Decoder) syntaxf(format string, args ...any) error {
+	return &wireError{cause: causeSyntax, msg: "twitter: decode tweet: " + fmt.Sprintf(format, args...)}
+}
+
+func (d *Decoder) typeErrf(format string, args ...any) error {
+	return &wireError{cause: causeType, msg: "twitter: decode tweet: " + fmt.Sprintf(format, args...)}
+}
+
+// quoteChar formats c as in encoding/json error messages.
+func quoteChar(c byte) string {
+	if c == '\'' {
+		return `'\''`
+	}
+	if c == '"' {
+		return `'"'`
+	}
+	s := strconv.Quote(string(c))
+	return "'" + s[1:len(s)-1] + "'"
+}

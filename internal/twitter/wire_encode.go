@@ -1,0 +1,182 @@
+// The encode half of the wire codec: an append-style v1.1 tweet encoder
+// producing bytes identical to json.Marshal of the wireTweet mirror, so
+// archived corpora stay bit-compatible no matter which path wrote them.
+// Identical means mirroring encoding/json's string escaping (HTML-safe
+// set, � for invalid UTF-8, U+2028/U+2029 escaped), its float
+// formatting ('f' inside [1e-6, 1e21), else 'e' with the exponent's
+// leading zero stripped), and its rejection of NaN/Inf.
+package twitter
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// AppendTweet appends t in Twitter v1.1 wire format (one JSON object, no
+// trailing newline) and returns the extended buffer. The only error is a
+// non-finite coordinate, matching json.Marshal's UnsupportedValueError.
+func AppendTweet(dst []byte, t *Tweet) ([]byte, error) {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendInt(dst, t.ID, 10)
+	dst = append(dst, `,"text":`...)
+	dst = appendJSONString(dst, t.Text)
+	dst = append(dst, `,"created_at":`...)
+	dst = appendCreatedAt(dst, t.CreatedAt)
+	dst = append(dst, `,"user":{"id":`...)
+	dst = strconv.AppendInt(dst, t.User.ID, 10)
+	dst = append(dst, `,"screen_name":`...)
+	dst = appendJSONString(dst, t.User.ScreenName)
+	dst = append(dst, `,"location":`...)
+	dst = appendJSONString(dst, t.User.Location)
+	dst = append(dst, '}')
+	if t.HasCoordinates {
+		dst = append(dst, `,"coordinates":{"type":"Point","coordinates":[`...)
+		var err error
+		dst, err = appendJSONFloat(dst, t.Coordinates.Lon)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, ',')
+		dst, err = appendJSONFloat(dst, t.Coordinates.Lat)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, `]}`...)
+	}
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// appendCreatedAt appends the quoted v1.1 timestamp. The fast path
+// hand-formats the common case — four-digit year, minute-granular
+// rendering of the offset — byte-identically to time.Format; exotic
+// years fall back to Format itself.
+func appendCreatedAt(dst []byte, t time.Time) []byte {
+	year, mo, day := t.Date()
+	if year < 0 || year > 9999 {
+		return appendJSONString(dst, t.Format(createdAtFormat))
+	}
+	hh, mi, ss := t.Clock()
+	_, off := t.Zone()
+	dst = append(dst, '"')
+	dst = append(dst, shortDayNames[t.Weekday()]...)
+	dst = append(dst, ' ')
+	dst = append(dst, shortMonthNames[mo-1]...)
+	dst = append(dst, ' ')
+	dst = append2(dst, day)
+	dst = append(dst, ' ')
+	dst = append2(dst, hh)
+	dst = append(dst, ':')
+	dst = append2(dst, mi)
+	dst = append(dst, ':')
+	dst = append2(dst, ss)
+	dst = append(dst, ' ')
+	sign := byte('+')
+	if off < 0 {
+		sign = '-'
+		off = -off
+	}
+	// time.Format's -0700 truncates any seconds in the offset.
+	zone := off / 60
+	dst = append(dst, sign)
+	dst = append2(dst, zone/60)
+	dst = append2(dst, zone%60)
+	dst = append(dst, ' ')
+	dst = append2(dst, year/100)
+	dst = append2(dst, year%100)
+	dst = append(dst, '"')
+	return dst
+}
+
+// append2 appends v zero-padded to two digits (v in [0, 99]).
+func append2(dst []byte, v int) []byte {
+	return append(dst, byte('0'+v/10), byte('0'+v%10))
+}
+
+// appendJSONFloat appends f with encoding/json's formatting rules.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("twitter: unsupported coordinate value: %s",
+			strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as the stdlib does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+// appendJSONString appends s as a quoted JSON string with the escaping
+// json.Marshal applies by default (HTML escaping on).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if htmlSafe(c) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Bytes < 0x20 other than the named escapes, plus <, >, &.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, 0xEF, 0xBF, 0xBD) // U+FFFD
+			i += size
+			start = i
+			continue
+		}
+		// U+2028 and U+2029 break JSONP; the stdlib escapes them always.
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// htmlSafe reports whether c may appear verbatim inside a JSON string
+// under json.Marshal's default HTML-escaping (stdlib htmlSafeSet).
+func htmlSafe(c byte) bool {
+	return c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+}

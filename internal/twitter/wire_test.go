@@ -1,0 +1,564 @@
+package twitter
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+	"unsafe"
+
+	"donorsense/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// Differential oracle
+//
+// The hand-rolled codec is held to behavioral equivalence with
+// encoding/json: oracleMarshal is an independent reflection-based encode
+// (the pre-codec MarshalJSON body), and Tweet.UnmarshalJSON is the
+// reflection-based decode. Every payload — valid or not — must produce
+// the same verdict, and on success the same Tweet and the same bytes.
+// ---------------------------------------------------------------------------
+
+type oracleUser struct {
+	ID         int64  `json:"id"`
+	ScreenName string `json:"screen_name"`
+	Location   string `json:"location"`
+}
+
+type oracleCoords struct {
+	Type        string     `json:"type"`
+	Coordinates [2]float64 `json:"coordinates"`
+}
+
+type oracleTweet struct {
+	ID          int64         `json:"id"`
+	Text        string        `json:"text"`
+	CreatedAt   string        `json:"created_at"`
+	User        oracleUser    `json:"user"`
+	Coordinates *oracleCoords `json:"coordinates,omitempty"`
+}
+
+// oracleMarshal encodes t through encoding/json reflection, exactly as
+// MarshalJSON did before the codec existed.
+func oracleMarshal(t *Tweet) ([]byte, error) {
+	w := oracleTweet{
+		ID:        t.ID,
+		Text:      t.Text,
+		CreatedAt: t.CreatedAt.Format(createdAtFormat),
+		User: oracleUser{
+			ID:         t.User.ID,
+			ScreenName: t.User.ScreenName,
+			Location:   t.User.Location,
+		},
+	}
+	if t.HasCoordinates {
+		w.Coordinates = &oracleCoords{
+			Type:        "Point",
+			Coordinates: [2]float64{t.Coordinates.Lon, t.Coordinates.Lat},
+		}
+	}
+	return json.Marshal(w)
+}
+
+// tweetsMatch compares decoded tweets. CreatedAt is compared as instant,
+// rendered text, and zone offset, so a FixedZone from the codec and the
+// equivalent zone from time.Parse count as equal.
+func tweetsMatch(a, b Tweet) bool {
+	_, aoff := a.CreatedAt.Zone()
+	_, boff := b.CreatedAt.Zone()
+	return a.ID == b.ID && a.Text == b.Text && a.User == b.User &&
+		a.HasCoordinates == b.HasCoordinates && a.Coordinates == b.Coordinates &&
+		a.CreatedAt.Equal(b.CreatedAt) && aoff == boff &&
+		a.CreatedAt.Format(createdAtFormat) == b.CreatedAt.Format(createdAtFormat)
+}
+
+// checkWireLine runs the full differential property for one payload:
+// codec decode ≡ oracle decode, and when decoding succeeds, codec encode
+// ≡ oracle encode and the encoded bytes decode back to the same tweet.
+func checkWireLine(t *testing.T, dec *Decoder, line []byte) {
+	t.Helper()
+	var got Tweet
+	gotErr := dec.Decode(line, &got)
+	var want Tweet
+	wantErr := want.UnmarshalJSON(line)
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Fatalf("verdict mismatch on %q:\n  codec:  %v\n  oracle: %v", line, gotErr, wantErr)
+	}
+	if gotErr != nil {
+		return
+	}
+	if !tweetsMatch(got, want) {
+		t.Fatalf("decode mismatch on %q:\n  codec:  %+v\n  oracle: %+v", line, got, want)
+	}
+	enc, encErr := AppendTweet(nil, &got)
+	oenc, oencErr := oracleMarshal(&got)
+	if (encErr != nil) != (oencErr != nil) {
+		t.Fatalf("encode verdict mismatch for %+v: codec %v, oracle %v", got, encErr, oencErr)
+	}
+	if encErr != nil {
+		return
+	}
+	if !bytes.Equal(enc, oenc) {
+		t.Fatalf("encode mismatch for %+v:\n  codec:  %s\n  oracle: %s", got, enc, oenc)
+	}
+	var again Tweet
+	if err := dec.Decode(enc, &again); err != nil {
+		t.Fatalf("re-decode of own encoding %s failed: %v", enc, err)
+	}
+	if !tweetsMatch(again, got) {
+		t.Fatalf("round trip drifted on %s:\n  first:  %+v\n  second: %+v", enc, got, again)
+	}
+}
+
+const caOK = `"Wed Apr 22 13:45:00 +0000 2015"`
+
+// wireSeeds are the crafted payloads both the deterministic differential
+// test and FuzzWire start from: escapes, unicode, invalid UTF-8,
+// surrogates, duplicate and case-folded keys, nulls, short/long/empty
+// coordinate arrays, number edge cases, and malformed JSON.
+var wireSeeds = []string{
+	// Canonical shapes.
+	`{"id":123,"text":"Register as an organ donor","created_at":` + caOK + `,"user":{"id":42,"screen_name":"donor_advocate","location":"Wichita, KS"}}`,
+	`{"id":1,"text":"geo","created_at":` + caOK + `,"user":{"id":2,"screen_name":"s","location":"l"},"coordinates":{"type":"Point","coordinates":[-97.3,37.7]}}`,
+	// Top-level values of every kind.
+	`{}`, `null`, `[]`, `5`, `"x"`, `true`, `false`, ``, `  `, `{} `, ` null `,
+	`nullx`, `{"id":1} trailing`,
+	// Whitespace and duplicate keys (last wins, structs merge).
+	" {\t\"id\" : 1 ,\n\"created_at\":" + caOK + "}\r",
+	`{"id":1,"id":2,"created_at":` + caOK + `}`,
+	`{"user":{"id":1},"user":{"screen_name":"x"},"created_at":` + caOK + `}`,
+	`{"created_at":"bad","created_at":` + caOK + `}`,
+	`{"created_at":` + caOK + `,"created_at":null}`,
+	// Case-folded keys (encoding/json matches field names with EqualFold).
+	`{"ID":7,"TEXT":"x","Created_At":` + caOK + `,"USER":{"SCREEN_NAME":"y","Location":"z"}}`,
+	`{"ıd":1,"created_at":` + caOK + `}`,
+	// Nulls everywhere.
+	`{"id":null,"text":null,"user":null,"coordinates":null,"created_at":` + caOK + `}`,
+	`{"user":{"id":null,"screen_name":null,"location":null},"created_at":` + caOK + `}`,
+	// Coordinates: empty object, empty/short/long arrays, null elements,
+	// null resetting an earlier object, merge without reset.
+	`{"created_at":` + caOK + `,"coordinates":{}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":[]}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":[5]}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":[1,2,3,"extra",{}]}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":[null,5]}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":null}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":[1,2]},"coordinates":null,"coordinates":{}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"coordinates":[1,2]},"coordinates":{"type":"Point"}}`,
+	`{"created_at":` + caOK + `,"coordinates":{"type":5}}`,
+	`{"created_at":` + caOK + `,"coordinates":[1,2]}`,
+	`{"created_at":` + caOK + `,"coordinates":"Point"}`,
+	// String escapes, unicode, surrogates (paired, lone, half-paired),
+	// control characters, invalid UTF-8, U+2028/29.
+	`{"text":"a\"b\\c\/d\b\f\n\r\t\u0041\u00e9","created_at":` + caOK + `}`,
+	`{"text":"\ud83d\ude00 and \ud800 and \ud800\u0041 and \udc00","created_at":` + caOK + `}`,
+	"{\"text\":\"raw \xff byte and ok \xc3\xa9\",\"created_at\":" + caOK + "}",
+	"{\"text\":\"seps \u2028 \u2029\",\"created_at\":" + caOK + "}",
+	`{"text":"<html> & friends","created_at":` + caOK + `}`,
+	`{"te\u0078t":"escaped key","created_at":` + caOK + `}`,
+	`{"text":"bad \q escape"}`,
+	`{"text":"bad \u00zz hex"}`,
+	"{\"text\":\"ctrl \x01 char\"}",
+	`{"text":"unterminated`,
+	// Numbers: type errors, overflow, leading zeros, grammar edges.
+	`{"id":1.5,"created_at":` + caOK + `}`,
+	`{"id":1e2,"created_at":` + caOK + `}`,
+	`{"id":-0,"created_at":` + caOK + `}`,
+	`{"id":9223372036854775807,"created_at":` + caOK + `}`,
+	`{"id":9223372036854775808,"created_at":` + caOK + `}`,
+	`{"id":"123","created_at":` + caOK + `}`,
+	`{"id":01}`, `{"id":1.}`, `{"id":1e}`, `{"id":1e+}`, `{"id":-}`, `{"id":.5}`,
+	`{"coordinates":{"coordinates":[1e999,0]},"created_at":` + caOK + `}`,
+	`{"coordinates":{"coordinates":[1.25e2,-0.5]},"created_at":` + caOK + `}`,
+	`{"coordinates":{"coordinates":[1e-7,1e21]},"created_at":` + caOK + `}`,
+	// Unknown fields with nested values that must be skipped but
+	// validated.
+	`{"retweeted_status":{"user":{"id":[1,{"a":null}]},"n":1},"created_at":` + caOK + `}`,
+	`{"junk":[[[{"deep":true}]]],"created_at":` + caOK + `}`,
+	`{"junk":falsey}`, `{"junk":tru}`, `{"junk":nul}`,
+	// Structural errors.
+	`{`, `{"a"}`, `{"a":1,}`, `{,}`, `{"a":1 "b":2}`, `[1,]`, `[1 2]`,
+	`{"user":{"id":}}`, `{1:2}`,
+	// created_at variants the parser must defer to time.Parse on.
+	`{"created_at":"wed apr 22 13:45:00 +0000 2015"}`,
+	`{"created_at":"Wed Apr 22 9:45:00 +0000 2015"}`,
+	`{"created_at":"Wed Apr 22 13:45:00 -0730 2015"}`,
+	`{"created_at":"Sun Feb 29 00:00:00 +0000 2015"}`,
+	`{"created_at":""}`,
+}
+
+// TestWireDecodeMatchesOracle runs the differential property over the
+// crafted corpus deterministically (the same payloads seed FuzzWire).
+func TestWireDecodeMatchesOracle(t *testing.T) {
+	dec := NewDecoder()
+	for _, s := range wireSeeds {
+		checkWireLine(t, dec, []byte(s))
+	}
+}
+
+// FuzzWire is the codec's differential fuzz oracle: for every input the
+// codec and encoding/json must agree on verdict, value, and bytes.
+func FuzzWire(f *testing.F) {
+	for _, s := range wireSeeds {
+		f.Add(s)
+	}
+	dec := NewDecoder()
+	f.Fuzz(func(t *testing.T, s string) {
+		checkWireLine(t, dec, []byte(s))
+	})
+}
+
+// TestParseCreatedAtMatchesTimeParse pins the fixed-layout timestamp
+// parser to time.Parse across edge cases: non-UTC offsets, leap days,
+// padding, case folding, and out-of-range fields.
+func TestParseCreatedAtMatchesTimeParse(t *testing.T) {
+	cases := []string{
+		"Wed Apr 22 13:45:00 +0000 2015", // canonical UTC
+		"Wed Apr 22 13:45:00 -0700 2015", // negative offset
+		"Wed Apr 22 13:45:00 +0530 2015", // half-hour offset
+		"Wed Apr 22 13:45:00 -0000 2015", // negative zero offset
+		"Mon Feb 29 23:59:59 +0000 2016", // leap day, leap year
+		"Sun Feb 29 00:00:00 +0000 2015", // leap day, common year → error
+		"Mon Feb 29 00:00:00 +0000 2000", // 400-year leap rule
+		"Thu Feb 29 00:00:00 +0000 1900", // 100-year rule → error
+		"Wed Apr 1 13:45:00 +0000 2015",  // unpadded day → error (fixed 02)
+		"Wed Apr 01 13:45:00 +0000 2015", // zero-padded single-digit day
+		"wed apr 22 13:45:00 +0000 2015", // case-folded names (accepted)
+		"Mon Apr 22 13:45:00 +0000 2015", // wrong weekday (unvalidated)
+		"Wed Apr 22 9:45:00 +0000 2015",  // one-digit hour (layout 15 allows)
+		"Wed Apr 22 13:45:00 +2460 2015", // lenient offset maximum
+		"Wed Apr 22 13:45:00 +2461 2015", // offset out of range → error
+		"Wed Apr 22 24:00:00 +0000 2015", // hour out of range → error
+		"Wed Apr 22 13:60:00 +0000 2015", // minute out of range → error
+		"Wed Apr 22 13:45:61 +0000 2015", // second out of range → error
+		"Wed Jun 31 13:45:00 +0000 2015", // day out of range → error
+		"Wed Apr 00 13:45:00 +0000 2015", // day zero → error
+		"Wed Apr 22 13:45:00 Z0000 2015", // malformed zone → error
+		"Wed Apr 22 13:45:00 +0000 15",   // short year → error
+		"Wed Apr 22 13:45:00 +0000 0000", // year zero
+		"Xyz Apr 22 13:45:00 +0000 2015", // unknown weekday → error
+		"Wed Xyz 22 13:45:00 +0000 2015", // unknown month → error
+		"",
+		"garbage",
+	}
+	dec := NewDecoder()
+	for _, s := range cases {
+		got, gotErr := dec.parseCreatedAt([]byte(s))
+		want, wantErr := time.Parse(createdAtFormat, s)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Errorf("%q: verdict mismatch: codec %v, time.Parse %v", s, gotErr, wantErr)
+			continue
+		}
+		if gotErr != nil {
+			continue
+		}
+		_, gotOff := got.Zone()
+		_, wantOff := want.Zone()
+		if !got.Equal(want) || gotOff != wantOff ||
+			got.Format(createdAtFormat) != want.Format(createdAtFormat) {
+			t.Errorf("%q: codec %v (%+d) vs time.Parse %v (%+d)", s, got, gotOff, want, wantOff)
+		}
+	}
+}
+
+// TestDecodeZeroAllocNoGeo pins the acceptance criterion: a warm decoder
+// spends zero allocations per geo-less tweet (arena refills amortize to
+// well under 0.05/op).
+func TestDecodeZeroAllocNoGeo(t *testing.T) {
+	tw := sampleTweet()
+	line, err := AppendTweet(nil, &tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	var out Tweet
+	if err := dec.Decode(line, &out); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := dec.Decode(line, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.05 {
+		t.Errorf("decode allocs/op = %v, want ~0", avg)
+	}
+	if out.Text != tw.Text || out.User != tw.User || !out.CreatedAt.Equal(tw.CreatedAt) {
+		t.Errorf("warm decode corrupted tweet: %+v", out)
+	}
+}
+
+// TestAppendTweetZeroAlloc: encoding into a pre-grown buffer allocates
+// nothing, including the created_at fast path.
+func TestAppendTweetZeroAlloc(t *testing.T) {
+	tw := sampleTweet()
+	tw.SetCoordinates(37.7, -97.3)
+	buf := make([]byte, 0, 1024)
+	avg := testing.AllocsPerRun(2000, func() {
+		var err error
+		buf, err = AppendTweet(buf[:0], &tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("encode allocs/op = %v, want 0", avg)
+	}
+}
+
+// TestDecoderInternsRepeatedStrings: the same screen_name/location bytes
+// decode to the identical string allocation, not a fresh copy per tweet.
+func TestDecoderInternsRepeatedStrings(t *testing.T) {
+	tw := sampleTweet()
+	line, _ := AppendTweet(nil, &tw)
+	dec := NewDecoder()
+	var a, b Tweet
+	if err := dec.Decode(line, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(line, &b); err != nil {
+		t.Fatal(err)
+	}
+	if unsafe.StringData(a.User.ScreenName) != unsafe.StringData(b.User.ScreenName) {
+		t.Error("screen_name not interned across decodes")
+	}
+	if unsafe.StringData(a.User.Location) != unsafe.StringData(b.User.Location) {
+		t.Error("location not interned across decodes")
+	}
+	dec.Reset()
+	var c Tweet
+	if err := dec.Decode(line, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.User != a.User {
+		t.Errorf("post-Reset decode mismatch: %+v vs %+v", c.User, a.User)
+	}
+}
+
+// TestReadNDJSONSkipsOversized is the regression test for the old
+// 4 MiB scanner cap: an oversized line must be skipped and counted, not
+// abort the whole file.
+func TestReadNDJSONSkipsOversized(t *testing.T) {
+	tw := sampleTweet()
+	line, _ := AppendTweet(nil, &tw)
+	var sb strings.Builder
+	sb.Write(line)
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("x", DefaultNDJSONMaxLine+16))
+	sb.WriteByte('\n')
+	sb.Write(line)
+	sb.WriteByte('\n')
+	out, err := ReadNDJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("oversized line aborted the read: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d tweets, want 2", len(out))
+	}
+}
+
+// TestNDJSONReaderCountsSkips verifies the skip counter and telemetry
+// hook with a small custom cap.
+func TestNDJSONReaderCountsSkips(t *testing.T) {
+	tw := sampleTweet()
+	line, _ := AppendTweet(nil, &tw)
+	input := string(line) + "\n" + strings.Repeat("j", 2048) + "\n" + string(line) + "\n"
+	hookCalls := 0
+	nr := &NDJSONReader{MaxLineBytes: 1024, OnSkipped: func() { hookCalls++ }}
+	n := 0
+	if err := nr.Decode(strings.NewReader(input), func(*Tweet) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || nr.Skipped != 1 || hookCalls != 1 {
+		t.Errorf("tweets=%d skipped=%d hook=%d, want 2/1/1", n, nr.Skipped, hookCalls)
+	}
+}
+
+// TestDecodeNDJSONCallbackError: a callback error aborts the stream and
+// comes back unwrapped, so callers can match their own sentinels.
+func TestDecodeNDJSONCallbackError(t *testing.T) {
+	tw := sampleTweet()
+	line, _ := AppendTweet(nil, &tw)
+	input := string(line) + "\n" + string(line) + "\n"
+	sentinel := errors.New("stop here")
+	n := 0
+	err := DecodeNDJSON(strings.NewReader(input), func(*Tweet) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("callback error = %v, want sentinel", err)
+	}
+	if n != 1 {
+		t.Errorf("callback ran %d times after error, want 1", n)
+	}
+}
+
+// TestWireMetrics: decode latency, per-cause errors, and oversized skips
+// all land in the registry with the pre-registered schema.
+func TestWireMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	wm := NewWireMetrics(reg)
+	dec := NewDecoder()
+	wm.Observe(dec)
+
+	tw := sampleTweet()
+	line, _ := AppendTweet(nil, &tw)
+	var out Tweet
+	if err := dec.Decode(line, &out); err != nil {
+		t.Fatal(err)
+	}
+	_ = dec.Decode([]byte(`{`), &out)                    // syntax
+	_ = dec.Decode([]byte(`{"id":"x"}`), &out)           // type
+	_ = dec.Decode([]byte(`{"created_at":"bad"}`), &out) // created_at
+
+	nr := &NDJSONReader{MaxLineBytes: len(line) + 16}
+	wm.ObserveReader(nr)
+	input := strings.Repeat("x", len(line)+32) + "\n" + string(line) + "\n"
+	seen := 0
+	if err := nr.Decode(strings.NewReader(input), func(*Tweet) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("reader delivered %d tweets, want 1", seen)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`donorsense_wire_decode_errors_total{cause="syntax"} 1`,
+		`donorsense_wire_decode_errors_total{cause="type"} 1`,
+		`donorsense_wire_decode_errors_total{cause="created_at"} 1`,
+		`donorsense_wire_oversized_lines_total 1`,
+		`donorsense_wire_decode_seconds_count 5`, // 4 direct + 1 via reader
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q\n%s", want, got)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks — BENCH_wire.{txt,json} archives these; the _before baseline
+// is the stdlib path (BenchmarkDecodeTweetStdlib measures it live).
+// ---------------------------------------------------------------------------
+
+func benchLine(b *testing.B, geo bool) []byte {
+	tw := sampleTweet()
+	if geo {
+		tw.SetCoordinates(37.7, -97.3)
+	}
+	line, err := AppendTweet(nil, &tw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return line
+}
+
+// BenchmarkDecodeTweet is the acceptance benchmark: geo-less decode, the
+// ~98.6% path, must report 0 allocs/op.
+func BenchmarkDecodeTweet(b *testing.B) {
+	line := benchLine(b, false)
+	dec := NewDecoder()
+	var out Tweet
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(line, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeTweetGeo(b *testing.B) {
+	line := benchLine(b, true)
+	dec := NewDecoder()
+	var out Tweet
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(line, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeTweetStdlib measures the encoding/json oracle path the
+// codec replaced (the live counterpart of BENCH_wire_before).
+func BenchmarkDecodeTweetStdlib(b *testing.B) {
+	line := benchLine(b, false)
+	var out Tweet
+	b.SetBytes(int64(len(line)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.UnmarshalJSON(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendTweet(b *testing.B) {
+	tw := sampleTweet()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendTweet(buf[:0], &tw)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkAppendTweetStdlib measures the reflection encode the codec
+// replaced.
+func BenchmarkAppendTweetStdlib(b *testing.B) {
+	tw := sampleTweet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oracleMarshal(&tw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeNDJSON streams a 1000-tweet corpus through the reader,
+// the shape of the replay and analyze loaders.
+func BenchmarkDecodeNDJSON(b *testing.B) {
+	tw := sampleTweet()
+	var buf bytes.Buffer
+	tweets := make([]Tweet, 1000)
+	for i := range tweets {
+		tweets[i] = tw
+		tweets[i].ID = int64(i)
+	}
+	if err := WriteNDJSON(&buf, tweets); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	nr := &NDJSONReader{}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := nr.Decode(bytes.NewReader(data), func(*Tweet) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != len(tweets) {
+			b.Fatalf("decoded %d, want %d", n, len(tweets))
+		}
+	}
+}
