@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench benchcmp bench-paper fuzz fmt
+.PHONY: all build vet test race check chaos-shards bench benchcmp bench-paper fuzz fmt
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
@@ -31,6 +31,13 @@ race:
 	$(GO) test -race -short ./internal/obs/ ./internal/twitter/ ./internal/pipeline/ ./internal/cluster/ ./cmd/...
 
 check: build vet test race
+
+# Multi-shard chaos suite under the race detector: shard crashes, stalls,
+# kill-during-checkpoint-save, cross-session resume, and the merge
+# subcommand — each asserting bit-identical statistics against a
+# single-process reference run.
+chaos-shards:
+	$(GO) test -race -count=1 -run 'Shard|Merge' ./internal/pipeline/ ./internal/twitter/ ./cmd/donorsense/
 
 # Ingest hot-path benchmarks (pipeline, extractor, geocoder), archived as
 # both benchstat-friendly text (BENCH_pipeline.txt) and machine-readable

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"donorsense/internal/gen"
+	"donorsense/internal/pipeline"
 	"donorsense/internal/twitter"
 )
 
@@ -125,13 +126,14 @@ func TestCollectCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	}
 
 	// The periodic saves and the final save must never leave torn or
-	// temporary files next to the snapshot.
+	// temporary files next to the snapshot — only the snapshot itself and
+	// its rotated .bak predecessor.
 	entries, err := os.ReadDir(filepath.Dir(ckpt))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if e.Name() != filepath.Base(ckpt) {
+		if e.Name() != filepath.Base(ckpt) && e.Name() != filepath.Base(pipeline.CheckpointBackupPath(ckpt)) {
 			t.Errorf("stray file %q beside the checkpoint", e.Name())
 		}
 	}

@@ -55,6 +55,8 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "collect":
 		err = cmdCollect(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
 	case "keywords":
 		err = cmdKeywords(os.Args[2:])
 	case "replay":
@@ -78,7 +80,8 @@ func usage() {
 commands:
   generate   synthesize a tweet corpus to NDJSON
   analyze    analyze an NDJSON corpus and print the paper's tables/figures
-  collect    consume a stream server, then analyze
+  collect    consume a stream server, then analyze (-shards N for sharded mode)
+  merge      merge the shard checkpoints of a sharded run and analyze
   keywords   print the Figure 1 keyword product (Stream API track syntax)
   replay     serve an NDJSON corpus over the Stream API protocol
 `)
@@ -290,6 +293,10 @@ func cmdCollect(args []string) error {
 	workers := fs.Int("workers", 1, "extract/geocode workers for live collection (0 = GOMAXPROCS, 1 = sequential)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: load on start (if present), save periodically and on shutdown")
 	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "interval between periodic checkpoint saves")
+	shards := fs.Int("shards", 1, "hash-partitioned shard workers; >1 runs the crash-tolerant shard supervisor (-checkpoint becomes the per-shard base path)")
+	shardBuffer := fs.Int("shard-buffer", 8192, "per-shard replay buffer capacity (sharded mode; full buffer = backpressure, not loss)")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 30*time.Second, "restart a shard silent for this long with pending work (sharded mode)")
+	restartBackoff := fs.Duration("restart-backoff", 250*time.Millisecond, "initial delay before restarting a crashed shard, doubling per failure (sharded mode)")
 	stallTimeout := fs.Duration("stall-timeout", 90*time.Second, "tear down connections silent for this long")
 	backoff := fs.Duration("backoff", 250*time.Millisecond, "initial reconnect delay (doubles per failure, full jitter)")
 	rlBackoff := fs.Duration("ratelimit-backoff", 60*time.Second, "initial delay after a 420/429 rate limit (doubles per repeat)")
@@ -306,6 +313,31 @@ func cmdCollect(args []string) error {
 	}
 	obs.SetLogger(obs.NewLogger(os.Stderr, level, *logJSON))
 	logger := obs.Logger("collect")
+
+	if *shards > 1 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return collectSharded(ctx, stop, shardedCollectOptions{
+			client: &twitter.StreamClient{
+				BaseURL:          *url,
+				StallTimeout:     *stallTimeout,
+				InitialBackoff:   *backoff,
+				RateLimitBackoff: *rlBackoff,
+			},
+			shards:           *shards,
+			checkpoint:       *checkpoint,
+			checkpointEvery:  *checkpointEvery,
+			heartbeatTimeout: *heartbeatTimeout,
+			restartBackoff:   *restartBackoff,
+			bufferCap:        *shardBuffer,
+			maxTweets:        *maxTweets,
+			k:                *k,
+			sweep:            *sweep,
+			sil:              *sil,
+			telemetryAddr:    *telemetryAddr,
+			progressEvery:    *progressEvery,
+		})
+	}
 
 	// lastSaveUnixNano is read by the /healthz checkpoint check from the
 	// telemetry goroutine while the collect loop writes it; 0 = never.

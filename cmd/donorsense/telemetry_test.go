@@ -98,6 +98,24 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 		t.Fatalf("SaveCheckpoint: %v", err)
 	}
 
+	// A minimal sharded run + merge so the supervisor and merge families
+	// are live in the same exposition.
+	sup, err := pipeline.NewSupervisor(pipeline.SupervisorConfig{
+		Shards:  2,
+		Metrics: pipeline.NewShardMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardIn := make(chan twitter.Tweet)
+	close(shardIn)
+	if err := sup.Run(ctx, shardIn); err != nil {
+		t.Fatalf("supervisor Run: %v", err)
+	}
+	if _, err := sup.Merged(); err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+
 	ts := httptest.NewServer(obs.NewServer(reg).Handler())
 	defer ts.Close()
 	series, body := scrapeMetrics(t, ts.URL)
@@ -163,10 +181,21 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 		"donorsense_geo_resolutions_total",
 		"donorsense_pipeline_usa_filter_total",
 		"donorsense_checkpoint_save_seconds",
+		`donorsense_shard_restarts_total{shard="0"}`,
+		`donorsense_shard_buffer_depth{shard="1"}`,
+		"donorsense_shard_heartbeat_age_seconds",
+		"donorsense_shard_buffer_full_total",
+		"donorsense_checkpoint_fallbacks_total",
+		"donorsense_merge_seconds",
 	} {
 		if !strings.Contains(body, must) {
 			t.Errorf("family %s missing from exposition", must)
 		}
+	}
+
+	// The mini sharded run registered one merge.
+	if series["donorsense_merges_total"] != 1 {
+		t.Errorf("merges_total = %g, want 1", series["donorsense_merges_total"])
 	}
 
 	// Histogram quantiles must be derivable: the stage histogram's +Inf

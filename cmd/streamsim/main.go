@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"donorsense/internal/gen"
@@ -49,6 +50,7 @@ func main() {
 	serverErr := flag.Float64("servererr", 0.02, "chaos: per-connection probability of a 503 response")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "chaos: Retry-After advertised on 420/503 responses")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof on this address (empty = off)")
+	shards := flag.Int("shards", 0, "preview the corpus load split a `collect -shards N` run would see (0 = off)")
 	flag.Parse()
 
 	cfg := chaosFlags{
@@ -59,7 +61,7 @@ func main() {
 		serverErrorRate: *serverErr,
 		retryAfter:      *retryAfter,
 	}
-	if err := run(*addr, *scale, *seed, *rate, *loop, cfg, *telemetryAddr); err != nil {
+	if err := run(*addr, *scale, *seed, *rate, *loop, cfg, *telemetryAddr, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "streamsim:", err)
 		os.Exit(1)
 	}
@@ -92,7 +94,28 @@ func serveTelemetry(ctx context.Context, addr string, reg *obs.Registry) {
 	}()
 }
 
-func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos chaosFlags, telemetryAddr string) error {
+// shardDistribution computes the per-shard tweet counts a sharded
+// collector (`collect -shards N`) would see for this corpus, registers
+// them as donorsense_sim_shard_tweets{shard} gauges, and logs the split
+// — a load-balance preview before committing to a shard count.
+func shardDistribution(reg *obs.Registry, tweets []twitter.Tweet, shards int) []int {
+	if shards <= 1 {
+		return nil
+	}
+	counts := make([]int, shards)
+	for i := range tweets {
+		counts[twitter.ShardIndex(tweets[i].User.ID, shards)]++
+	}
+	g := reg.GaugeVec("donorsense_sim_shard_tweets",
+		"Corpus tweets per collector shard (user-id hash split previewing collect -shards N).", "shard")
+	for s, c := range counts {
+		g.With(strconv.Itoa(s)).Set(float64(c))
+	}
+	obs.Logger("streamsim").Info("shard load split", "shards", shards, "tweets_per_shard", fmt.Sprint(counts))
+	return counts
+}
+
+func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos chaosFlags, telemetryAddr string, shards int) error {
 	cfg := gen.DefaultConfig(scale)
 	cfg.Seed = seed
 	logger := obs.Logger("streamsim")
@@ -101,7 +124,7 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 	logger.Info("corpus ready", "tweets", len(corpus.Tweets), "users", len(corpus.Profiles))
 
 	if chaos.enabled {
-		return runChaos(addr, corpus.Tweets, rate, seed, chaos, telemetryAddr)
+		return runChaos(addr, corpus.Tweets, rate, seed, chaos, telemetryAddr, shards)
 	}
 
 	b := twitter.NewBroadcaster()
@@ -111,6 +134,7 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 	defer stop()
 
 	reg := obs.NewRegistry()
+	shardDistribution(reg, corpus.Tweets, shards)
 	reg.GaugeFunc("donorsense_sim_subscribers",
 		"Clients currently subscribed to the broadcast stream.",
 		func() float64 { return float64(b.NumSubscribers()) })
@@ -248,7 +272,7 @@ func chaosMetrics(reg *obs.Registry, cs *twitter.ChaosServer) {
 }
 
 // runChaos serves the corpus through the exactly-once chaos harness.
-func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, chaos chaosFlags, telemetryAddr string) error {
+func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, chaos chaosFlags, telemetryAddr string, shards int) error {
 	logger := obs.Logger("streamsim")
 	cs := twitter.NewChaosServer(tweets, twitter.ChaosConfig{
 		Seed:            seed,
@@ -271,6 +295,7 @@ func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, ch
 	}()
 
 	reg := obs.NewRegistry()
+	shardDistribution(reg, tweets, shards)
 	chaosMetrics(reg, cs)
 	// Expose the wire-codec families too, so dashboards see one schema
 	// whether they scrape the simulator or the collector.

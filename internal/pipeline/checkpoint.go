@@ -40,7 +40,7 @@ import (
 // is the format version.
 var checkpointMagic = [8]byte{'D', 'S', 'C', 'K', 'P', 'T', 0, checkpointVersion}
 
-const checkpointVersion = 1
+const checkpointVersion = 2
 
 // ErrCheckpointCorrupt reports a snapshot that failed validation (bad
 // magic, truncation, or checksum mismatch).
@@ -55,6 +55,8 @@ type checkpointUser struct {
 	Mentions         [organ.Count]int
 	ClinicalMentions int
 	Hashtags         int
+	FirstSeen        int64
+	FirstTweetID     int64
 }
 
 // checkpointContribution mirrors tweetContribution.
@@ -81,6 +83,10 @@ type checkpointState struct {
 	TrackDeletions bool
 	Contributions  map[int64]checkpointContribution
 	LocCache       map[string]geo.Location
+	// Cursor is the feeding layer's stream position at snapshot time (see
+	// Dataset.SetCursor); the shard supervisor's replay skip depends on
+	// it surviving the round-trip.
+	Cursor uint64
 }
 
 // snapshot captures the dataset into its serializable form.
@@ -96,6 +102,7 @@ func (d *Dataset) snapshot() checkpointState {
 		OrgansPerTweet: make(map[int]int, len(d.organsPerTweet)),
 		TrackDeletions: d.contributions != nil,
 		LocCache:       make(map[string]geo.Location, d.locCache.len()),
+		Cursor:         d.cursor,
 	}
 	for id, u := range d.users {
 		st.Users[id] = checkpointUser{
@@ -106,6 +113,8 @@ func (d *Dataset) snapshot() checkpointState {
 			Mentions:         u.Mentions,
 			ClinicalMentions: u.ClinicalMentions,
 			Hashtags:         u.Hashtags,
+			FirstSeen:        u.FirstSeen,
+			FirstTweetID:     u.FirstTweetID,
 		}
 	}
 	for k, n := range d.organsPerTweet {
@@ -137,6 +146,7 @@ func restore(st checkpointState) *Dataset {
 	d.mentionSum = st.MentionSum
 	d.firstTweet = st.FirstTweet
 	d.lastTweet = st.LastTweet
+	d.cursor = st.Cursor
 	for k, n := range st.OrgansPerTweet {
 		d.organsPerTweet[k] = n
 	}
@@ -149,6 +159,8 @@ func restore(st checkpointState) *Dataset {
 			Mentions:         u.Mentions,
 			ClinicalMentions: u.ClinicalMentions,
 			Hashtags:         u.Hashtags,
+			FirstSeen:        u.FirstSeen,
+			FirstTweetID:     u.FirstTweetID,
 		}
 	}
 	if st.TrackDeletions {
@@ -229,11 +241,25 @@ func ReadCheckpoint(r io.Reader) (*Dataset, error) {
 	return restore(st), nil
 }
 
+// CheckpointBackupPath returns the path of the last-good backup snapshot
+// SaveCheckpoint keeps beside path.
+func CheckpointBackupPath(path string) string { return path + ".bak" }
+
+// ShardCheckpointPath returns the checkpoint path of one collection
+// shard: "<base>-shard-<i>". Every shard owns its file; nothing is
+// shared between shards.
+func ShardCheckpointPath(base string, shard int) string {
+	return fmt.Sprintf("%s-shard-%d", base, shard)
+}
+
 // SaveCheckpoint atomically writes the dataset snapshot to path: the
 // bytes land in a temporary file in the same directory, are synced to
-// stable storage, and are renamed over path in one step. When metrics
-// are attached the save duration, snapshot size, and success/failure are
-// recorded.
+// stable storage, and are renamed over path in one step; the parent
+// directory is then fsynced so a power loss cannot lose the rename. The
+// previous snapshot, when one exists, is kept as path.bak — the
+// last-good fallback LoadCheckpoint uses when the primary fails its
+// checksum. When metrics are attached the save duration, snapshot size,
+// and success/failure are recorded.
 func (d *Dataset) SaveCheckpoint(path string) (err error) {
 	var start time.Time
 	var written countingWriter
@@ -268,15 +294,35 @@ func (d *Dataset) SaveCheckpoint(path string) (err error) {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("pipeline: close checkpoint: %w", err)
 	}
+	// Demote the current snapshot to the last-good backup before
+	// publishing the new one. A crash between the two renames leaves only
+	// the backup; LoadCheckpoint falls back to it.
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, CheckpointBackupPath(path)); err != nil {
+			return fmt.Errorf("pipeline: rotate checkpoint backup: %w", err)
+		}
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("pipeline: publish checkpoint: %w", err)
 	}
-	// Best-effort directory sync so the rename itself is durable.
-	if df, err := os.Open(dir); err == nil {
-		_ = df.Sync()
-		df.Close()
+	// Sync the directory so the renames themselves are durable: without
+	// it a power loss can forget the publish even though the data blocks
+	// were fsynced.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("pipeline: sync checkpoint dir: %w", err)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making its entry operations (renames,
+// creates) durable.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return df.Sync()
 }
 
 // countingWriter counts the bytes that pass through to w — the
@@ -292,10 +338,41 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// LoadCheckpoint reads a dataset snapshot from path. A missing file is
-// reported with os.ErrNotExist (start fresh); a torn or corrupted file
-// with ErrCheckpointCorrupt.
+// LoadCheckpoint reads a dataset snapshot from path, falling back to the
+// last-good backup when the primary is corrupt. A missing file (with no
+// backup) is reported with os.ErrNotExist (start fresh); an unreadable
+// pair with ErrCheckpointCorrupt.
 func LoadCheckpoint(path string) (*Dataset, error) {
+	d, _, err := LoadCheckpointFallback(path)
+	return d, err
+}
+
+// LoadCheckpointFallback is LoadCheckpoint with the fallback made
+// visible: usedBackup reports that the primary snapshot was corrupt (or
+// missing after a crash between the backup rotation and the publish
+// rename) and the dataset was restored from path.bak instead. Callers
+// should log it loudly and count it — a fallback trades the tail of the
+// collection (everything after the previous save) for liveness.
+func LoadCheckpointFallback(path string) (d *Dataset, usedBackup bool, err error) {
+	d, primaryErr := loadCheckpointFile(path)
+	if primaryErr == nil {
+		return d, false, nil
+	}
+	// Fall back only for failure modes a crash can produce: a torn or
+	// corrupted primary, or a primary missing while a backup survives. A
+	// version mismatch is a config problem and surfaces as-is.
+	if !errors.Is(primaryErr, ErrCheckpointCorrupt) && !os.IsNotExist(primaryErr) {
+		return nil, false, primaryErr
+	}
+	b, backupErr := loadCheckpointFile(CheckpointBackupPath(path))
+	if backupErr != nil {
+		return nil, false, primaryErr
+	}
+	return b, true, nil
+}
+
+// loadCheckpointFile reads and validates one snapshot file.
+func loadCheckpointFile(path string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -201,3 +201,152 @@ func TestLoadCheckpointMissingFile(t *testing.T) {
 		t.Errorf("err = %v, want not-exist", err)
 	}
 }
+
+// corruptFile flips one payload byte in place so the checksum fails.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, flipByte(data, len(data)-3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveCheckpointKeepsBackup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+
+	d := NewDataset()
+	for _, tw := range sharedCorpus.Tweets[:500] {
+		d.Process(tw)
+	}
+	if err := d.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	firstStats := d.Stats()
+
+	for _, tw := range sharedCorpus.Tweets[500:900] {
+		d.Process(tw)
+	}
+	if err := d.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The backup must be the previous snapshot, verbatim.
+	bak, err := LoadCheckpoint(CheckpointBackupPath(path))
+	if err != nil {
+		t.Fatalf("load backup: %v", err)
+	}
+	if !tableIEqual(bak.Stats(), firstStats) {
+		t.Errorf("backup stats %+v, want first snapshot's %+v", bak.Stats(), firstStats)
+	}
+
+	// With an intact primary the fallback path must not engage.
+	got, usedBackup, err := LoadCheckpointFallback(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedBackup {
+		t.Error("fallback engaged with an intact primary")
+	}
+	if !tableIEqual(got.Stats(), d.Stats()) {
+		t.Errorf("primary stats %+v, want %+v", got.Stats(), d.Stats())
+	}
+}
+
+func TestLoadCheckpointFallsBackToBackup(t *testing.T) {
+	d := NewDataset()
+	for _, tw := range sharedCorpus.Tweets[:500] {
+		d.Process(tw)
+	}
+	firstStats := d.Stats()
+
+	// Corrupt primary → backup wins, and the caller is told.
+	t.Run("corrupt primary", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "state.ckpt")
+		if err := d.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SaveCheckpoint(path); err != nil { // rotates the backup
+			t.Fatal(err)
+		}
+		corruptFile(t, path)
+		got, usedBackup, err := LoadCheckpointFallback(path)
+		if err != nil {
+			t.Fatalf("fallback load: %v", err)
+		}
+		if !usedBackup {
+			t.Error("usedBackup = false after corrupt primary")
+		}
+		if !tableIEqual(got.Stats(), firstStats) {
+			t.Errorf("restored stats %+v, want backup's %+v", got.Stats(), firstStats)
+		}
+	})
+
+	// Primary missing but backup present — the window between the two
+	// renames of a crashed save.
+	t.Run("missing primary", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "state.ckpt")
+		if err := d.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		got, usedBackup, err := LoadCheckpointFallback(path)
+		if err != nil {
+			t.Fatalf("fallback load: %v", err)
+		}
+		if !usedBackup {
+			t.Error("usedBackup = false with a missing primary")
+		}
+		if !tableIEqual(got.Stats(), firstStats) {
+			t.Errorf("restored stats %+v, want backup's %+v", got.Stats(), firstStats)
+		}
+	})
+
+	// Both corrupt: fail loudly with the primary's corruption error.
+	t.Run("both corrupt", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "state.ckpt")
+		if err := d.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SaveCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+		corruptFile(t, path)
+		corruptFile(t, CheckpointBackupPath(path))
+		if _, _, err := LoadCheckpointFallback(path); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("err = %v, want ErrCheckpointCorrupt", err)
+		}
+	})
+}
+
+// TestSyncDir pins the directory-fsync helper the publish rename relies
+// on: it must succeed on a real directory and report a missing one.
+func TestSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := syncDir(dir); err != nil {
+		t.Errorf("syncDir(%s): %v", dir, err)
+	}
+	if err := syncDir(filepath.Join(dir, "nope")); !os.IsNotExist(err) {
+		t.Errorf("syncDir(missing) = %v, want not-exist", err)
+	}
+	// A save into a fresh directory must leave primary (+ no temp files)
+	// durably published.
+	d := NewDataset()
+	for _, tw := range sharedCorpus.Tweets[:200] {
+		d.Process(tw)
+	}
+	path := filepath.Join(dir, "state.ckpt")
+	if err := d.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

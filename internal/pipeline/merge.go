@@ -1,0 +1,105 @@
+package pipeline
+
+import "donorsense/internal/geo"
+
+// Merge folds the state of another dataset into this one. It is the
+// combine step of sharded collection: N shard collectors each build a
+// Dataset over their hash-partition of the stream, and merging the shard
+// outputs (in any order, any grouping) yields statistics bit-identical
+// to one process consuming the whole stream.
+//
+// The fold is associative and commutative:
+//
+//   - Counters (totalCollected, usTweets, geoTagged, mentionSum) and the
+//     Figure 2(b) histogram are key-wise sums.
+//   - The collection window is min(firstTweet) / max(lastTweet).
+//   - Per-user records for distinct user ids are unioned. When the same
+//     user id appears on both sides (impossible under user-id hash
+//     partitioning, but Merge does not assume it), the counts sum and
+//     the identity fields (StateCode, GeoTagged) follow the record with
+//     the earlier first retained tweet — ties broken by smaller first
+//     tweet id, then lexicographic StateCode, then GeoTagged false
+//     before true. The tie-break is a total order on the identity key,
+//     which is what makes conflicting merges order-insensitive.
+//   - Deletion-tracking contribution records are unioned when every
+//     input tracks them; if either side does not, tracking is disabled
+//     on the result (a delete notice could not be honored exactly).
+//     Status ids are globally unique in a real stream, so cross-shard
+//     contribution collisions are undefined input; Merge keeps the
+//     receiver's record.
+//   - The geocode memo is unioned best-effort (it is a cache; it cannot
+//     change results). The stream cursor is reset to zero: a merged
+//     dataset has no single upstream position.
+//
+// Merge takes ownership of other's user records and must be the last use
+// of other. Merging a dataset into itself is not allowed.
+func (d *Dataset) Merge(other *Dataset) {
+	if other == nil || other == d {
+		return
+	}
+	d.totalCollected += other.totalCollected
+	d.usTweets += other.usTweets
+	d.geoTagged += other.geoTagged
+	d.mentionSum += other.mentionSum
+	if d.firstTweet.IsZero() || (!other.firstTweet.IsZero() && other.firstTweet.Before(d.firstTweet)) {
+		d.firstTweet = other.firstTweet
+	}
+	if other.lastTweet.After(d.lastTweet) {
+		d.lastTweet = other.lastTweet
+	}
+	for k, n := range other.organsPerTweet {
+		d.organsPerTweet[k] += n
+	}
+
+	for id, ou := range other.users {
+		u := d.users[id]
+		if u == nil {
+			d.users[id] = ou
+			continue
+		}
+		if userBefore(ou, u) {
+			u.StateCode, u.GeoTagged = ou.StateCode, ou.GeoTagged
+			u.FirstSeen, u.FirstTweetID = ou.FirstSeen, ou.FirstTweetID
+		}
+		u.Tweets += ou.Tweets
+		u.ClinicalMentions += ou.ClinicalMentions
+		u.Hashtags += ou.Hashtags
+		for i := range u.Mentions {
+			u.Mentions[i] += ou.Mentions[i]
+		}
+	}
+
+	if d.contributions == nil || other.contributions == nil {
+		d.contributions = nil
+	} else {
+		for id, c := range other.contributions {
+			if _, ok := d.contributions[id]; !ok {
+				d.contributions[id] = c
+			}
+		}
+	}
+
+	other.locCache.each(func(k string, v geo.Location) { d.locCache.put(k, v) })
+	d.cursor = 0
+	if d.metrics != nil {
+		d.metrics.updateSizes(d)
+	}
+}
+
+// userBefore reports whether a's first retained tweet precedes b's under
+// the documented merge tie-break order: first-seen time, then tweet id,
+// then state code, then geo-tag flag. It is a strict weak order; records
+// equal under all four keys compare false both ways (either wins, and
+// their identity fields are identical anyway).
+func userBefore(a, b *UserRecord) bool {
+	if a.FirstSeen != b.FirstSeen {
+		return a.FirstSeen < b.FirstSeen
+	}
+	if a.FirstTweetID != b.FirstTweetID {
+		return a.FirstTweetID < b.FirstTweetID
+	}
+	if a.StateCode != b.StateCode {
+		return a.StateCode < b.StateCode
+	}
+	return !a.GeoTagged && b.GeoTagged
+}

@@ -115,7 +115,8 @@ func (d *Dataset) fold(t twitter.Tweet, p prepared) Outcome {
 	}
 	u := d.users[t.User.ID]
 	if u == nil {
-		u = &UserRecord{ID: t.User.ID, StateCode: p.loc.StateCode, GeoTagged: p.viaGeoTag}
+		u = &UserRecord{ID: t.User.ID, StateCode: p.loc.StateCode, GeoTagged: p.viaGeoTag,
+			FirstSeen: t.CreatedAt.UnixNano(), FirstTweetID: t.ID}
 		d.users[t.User.ID] = u
 	}
 	u.Tweets++

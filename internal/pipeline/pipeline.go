@@ -65,6 +65,16 @@ type UserRecord struct {
 	// behavioural signals the user-role analysis consumes.
 	ClinicalMentions int
 	Hashtags         int
+	// FirstSeen (UnixNano of the creating tweet's timestamp) and
+	// FirstTweetID identify the retained tweet that created this record.
+	// They are the Merge tie-break key: when the same user id surfaces in
+	// two datasets with conflicting identity fields (StateCode,
+	// GeoTagged), the record whose first tweet is earlier — ties broken
+	// by smaller tweet id — wins, independent of merge order. Stored as
+	// an int64 rather than time.Time so UserRecord stays comparable with
+	// == across a gob checkpoint round-trip.
+	FirstSeen    int64
+	FirstTweetID int64
 }
 
 // DistinctOrgans returns how many different organs the user mentioned.
@@ -99,6 +109,13 @@ type Dataset struct {
 	geoTagged      int // US tweets located via GPS
 
 	firstTweet, lastTweet time.Time
+
+	// cursor is an opaque stream position owned by the feeding layer: the
+	// shard supervisor stores the sequence number of the last folded
+	// tweet here so a checkpointed shard knows exactly how far into its
+	// routed stream the snapshot reaches. The dataset itself never
+	// interprets it.
+	cursor uint64
 
 	// organsPerTweet[k] = number of US tweets mentioning exactly k
 	// distinct organs (k >= 1), for Figure 2(b).
@@ -183,7 +200,8 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 
 	u := d.users[t.User.ID]
 	if u == nil {
-		u = &UserRecord{ID: t.User.ID, StateCode: loc.StateCode, GeoTagged: viaGeoTag}
+		u = &UserRecord{ID: t.User.ID, StateCode: loc.StateCode, GeoTagged: viaGeoTag,
+			FirstSeen: t.CreatedAt.UnixNano(), FirstTweetID: t.ID}
 		d.users[t.User.ID] = u
 	}
 	u.Tweets++
@@ -250,6 +268,15 @@ func (d *Dataset) Collect(ctx context.Context, tweets <-chan twitter.Tweet) int 
 		}
 	}
 }
+
+// Cursor returns the stream position last recorded with SetCursor (0 if
+// never set). It is persisted in checkpoints.
+func (d *Dataset) Cursor() uint64 { return d.cursor }
+
+// SetCursor records an opaque stream position to be persisted with the
+// next checkpoint. The shard supervisor calls it after every fold so
+// crash recovery can replay exactly the tweets the snapshot misses.
+func (d *Dataset) SetCursor(c uint64) { d.cursor = c }
 
 // Users returns the number of retained US users.
 func (d *Dataset) Users() int { return len(d.users) }

@@ -1,0 +1,55 @@
+package pipeline
+
+import "donorsense/internal/obs"
+
+// ShardMetrics instruments the sharded collection subsystem: per-shard
+// restart/stall counts, replay-buffer depth and backpressure, heartbeat
+// age, checkpoint-backup fallbacks, and merge duration. One instance is
+// shared by the Supervisor and the merge step.
+type ShardMetrics struct {
+	restarts     *obs.CounterVec // shard
+	stalls       *obs.CounterVec // shard
+	routed       *obs.CounterVec // shard
+	bufferDepth  *obs.GaugeVec   // shard
+	bufferFull   *obs.CounterVec // shard
+	heartbeatAge *obs.GaugeVec   // shard
+	fallbacks    *obs.Counter
+	mergeSeconds *obs.Histogram
+	merges       *obs.Counter
+}
+
+// NewShardMetrics registers the sharded-collection metric families on
+// reg.
+func NewShardMetrics(reg *obs.Registry) *ShardMetrics {
+	return &ShardMetrics{
+		restarts: reg.CounterVec("donorsense_shard_restarts_total",
+			"Shard incarnations restarted after a crash or stall.", "shard"),
+		stalls: reg.CounterVec("donorsense_shard_stalls_total",
+			"Shard incarnations abandoned by the heartbeat monitor.", "shard"),
+		routed: reg.CounterVec("donorsense_shard_routed_tweets_total",
+			"Tweets routed to each shard by user-id hash.", "shard"),
+		bufferDepth: reg.GaugeVec("donorsense_shard_buffer_depth",
+			"Tweets held in each shard's replay buffer (routed but not yet durably checkpointed).", "shard"),
+		bufferFull: reg.CounterVec("donorsense_shard_buffer_full_total",
+			"Router blocks on a full shard buffer (bounded backpressure events).", "shard"),
+		heartbeatAge: reg.GaugeVec("donorsense_shard_heartbeat_age_seconds",
+			"Seconds since each shard's incarnation last made progress.", "shard"),
+		fallbacks: reg.Counter("donorsense_checkpoint_fallbacks_total",
+			"Checkpoint loads that fell back to the last-good .bak snapshot."),
+		mergeSeconds: reg.Histogram("donorsense_merge_seconds",
+			"Wall time of one N-shard dataset merge.", nil),
+		merges: reg.Counter("donorsense_merges_total",
+			"Shard-dataset merges performed."),
+	}
+}
+
+// touch materializes the per-shard series of every vec family so the
+// first scrape shows the complete schema with zero values.
+func (m *ShardMetrics) touch(label string) {
+	m.restarts.With(label).Add(0)
+	m.stalls.With(label).Add(0)
+	m.routed.With(label).Add(0)
+	m.bufferDepth.With(label).Set(0)
+	m.bufferFull.With(label).Add(0)
+	m.heartbeatAge.With(label).Set(0)
+}

@@ -1,0 +1,327 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"donorsense/internal/obs"
+	"donorsense/internal/twitter"
+)
+
+// supervisorCorpus is the slice of the shared corpus the supervisor
+// tests run over; small enough that chaotic runs with frequent
+// checkpoints stay fast.
+func supervisorCorpus() []twitter.Tweet { return sharedCorpus.Tweets[:8000] }
+
+// supervisorReference folds the same tweets in one process — the dataset
+// every sharded run must reproduce exactly.
+func supervisorReference(tweets []twitter.Tweet) *Dataset {
+	d := NewDataset()
+	for _, tw := range tweets {
+		d.Process(tw)
+	}
+	return d
+}
+
+// runSupervisor runs one collection session to completion and returns
+// the merged dataset.
+func runSupervisor(t *testing.T, cfg SupervisorConfig, tweets []twitter.Tweet) *Dataset {
+	t.Helper()
+	s, err := NewSupervisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), feed(tweets)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	d, err := s.Merged()
+	if err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+	return d
+}
+
+func TestSupervisorCleanShardedRunMatchesSequential(t *testing.T) {
+	tweets := supervisorCorpus()
+	want := supervisorReference(tweets)
+	for _, shards := range []int{1, 3, 4} {
+		got := runSupervisor(t, SupervisorConfig{
+			Shards:           shards,
+			CheckpointBase:   filepath.Join(t.TempDir(), "state.ckpt"),
+			CheckpointEveryN: 500,
+		}, tweets)
+		assertDatasetsEqual(t, got, want)
+		assertUsersEqual(t, got, want)
+	}
+}
+
+func TestSupervisorNoDurabilityCleanRun(t *testing.T) {
+	tweets := supervisorCorpus()
+	want := supervisorReference(tweets)
+	got := runSupervisor(t, SupervisorConfig{Shards: 4}, tweets)
+	assertDatasetsEqual(t, got, want)
+	assertUsersEqual(t, got, want)
+}
+
+// chaosSaveHook injects deterministic checkpoint-save faults, counted
+// per shard: every 5th-ish save dies before the write (nothing
+// published, replay from the old snapshot) and every 7th-ish dies after
+// the atomic rename but before the acknowledgement — the
+// kill-during-checkpoint-save window, where the snapshot is durable but
+// the supervisor does not know it.
+func chaosSaveHook() func(shard int, save func() error) error {
+	var mu sync.Mutex
+	counts := map[int]int{}
+	return func(shard int, save func() error) error {
+		mu.Lock()
+		counts[shard]++
+		n := counts[shard]
+		mu.Unlock()
+		switch {
+		case n%5 == 3:
+			return errors.New("injected: crash before checkpoint write")
+		case n%7 == 5:
+			if err := save(); err != nil {
+				return err
+			}
+			return errors.New("injected: crash after rename, before ack")
+		default:
+			return save()
+		}
+	}
+}
+
+// TestSupervisorChaosMatchesSequential is the multi-shard chaos test:
+// shards crash mid-fold (injected panics), crash before and after the
+// checkpoint rename, and are killed externally mid-run — and the merged
+// result must still be exactly the single-process dataset. Exactly-once
+// under every crash schedule.
+func TestSupervisorChaosMatchesSequential(t *testing.T) {
+	tweets := supervisorCorpus()
+	want := supervisorReference(tweets)
+	const shards = 4
+
+	var panicsFired sync.Map // shard<<32|seq → fired once
+	cfg := SupervisorConfig{
+		Shards:            shards,
+		CheckpointBase:    filepath.Join(t.TempDir(), "state.ckpt"),
+		CheckpointEveryN:  97,
+		RestartBackoff:    time.Millisecond,
+		MaxRestartBackoff: 20 * time.Millisecond,
+		SaveHook:          chaosSaveHook(),
+		ProcessHook: func(shard int, seq uint64, _ *twitter.Tweet) {
+			// Crash each shard mid-fold at a few fixed stream positions,
+			// once per position (replay re-reaches them).
+			for _, at := range []uint64{41, 500, 1203} {
+				if seq == at {
+					if _, fired := panicsFired.LoadOrStore(uint64(shard)<<32|at, true); !fired {
+						panic("injected: crash while folding")
+					}
+				}
+			}
+		},
+	}
+	s, err := NewSupervisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// External kills layered on top, while the stream is in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 12; i++ {
+			time.Sleep(5 * time.Millisecond)
+			s.Kill(i % shards)
+		}
+	}()
+	if err := s.Run(context.Background(), feed(tweets)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	<-done
+
+	got, err := s.Merged()
+	if err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+	assertDatasetsEqual(t, got, want)
+	assertUsersEqual(t, got, want)
+
+	restarts := 0
+	for _, st := range s.Status() {
+		if !st.Done {
+			t.Errorf("shard %d not done after Run", st.Shard)
+		}
+		restarts += st.Restarts
+	}
+	if restarts == 0 {
+		t.Error("chaos run recorded zero restarts — the faults did not fire")
+	}
+}
+
+// TestSupervisorStallDetection wedges one shard inside a fold; the
+// heartbeat monitor must abandon it, restart the shard, and the run must
+// still complete with the exact sequential result.
+func TestSupervisorStallDetection(t *testing.T) {
+	tweets := supervisorCorpus()[:3000]
+	want := supervisorReference(tweets)
+
+	block := make(chan struct{})
+	defer close(block) // release the wedged goroutine at test end
+	var fired atomic.Bool
+	s, err := NewSupervisor(SupervisorConfig{
+		Shards:           3,
+		CheckpointBase:   filepath.Join(t.TempDir(), "state.ckpt"),
+		CheckpointEveryN: 200,
+		HeartbeatTimeout: 50 * time.Millisecond,
+		RestartBackoff:   time.Millisecond,
+		ProcessHook: func(shard int, seq uint64, _ *twitter.Tweet) {
+			if shard == 0 && seq == 25 && fired.CompareAndSwap(false, true) {
+				<-block
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), feed(tweets)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := s.Merged()
+	if err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+	assertDatasetsEqual(t, got, want)
+	assertUsersEqual(t, got, want)
+	if st := s.Status()[0]; st.Stalls == 0 {
+		t.Error("stalled shard was never flagged by the monitor")
+	}
+}
+
+// TestSupervisorBackpressureTinyBuffer: with a replay buffer of 2 the
+// router must block rather than drop, and the run still completes
+// exactly.
+func TestSupervisorBackpressureTinyBuffer(t *testing.T) {
+	tweets := supervisorCorpus()[:2000]
+	want := supervisorReference(tweets)
+	got := runSupervisor(t, SupervisorConfig{
+		Shards:           3,
+		CheckpointBase:   filepath.Join(t.TempDir(), "state.ckpt"),
+		CheckpointEveryN: 1,
+		BufferCap:        2,
+		RestartBackoff:   time.Millisecond,
+	}, tweets)
+	assertDatasetsEqual(t, got, want)
+	assertUsersEqual(t, got, want)
+}
+
+// TestSupervisorResumeAcrossSessions: a second supervisor over the same
+// checkpoint base must resume the shard cursors, skip the half the first
+// session durably folded, and finish the stream — under chaos — with the
+// exact full-stream result.
+func TestSupervisorResumeAcrossSessions(t *testing.T) {
+	tweets := supervisorCorpus()
+	want := supervisorReference(tweets)
+	base := filepath.Join(t.TempDir(), "state.ckpt")
+	half := len(tweets) / 2
+
+	_ = runSupervisor(t, SupervisorConfig{
+		Shards:           4,
+		CheckpointBase:   base,
+		CheckpointEveryN: 300,
+	}, tweets[:half])
+
+	s, err := NewSupervisor(SupervisorConfig{
+		Shards:           4,
+		CheckpointBase:   base,
+		CheckpointEveryN: 150,
+		RestartBackoff:   time.Millisecond,
+		SaveHook:         chaosSaveHook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), feed(tweets[half:])); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := s.Merged()
+	if err != nil {
+		t.Fatalf("Merged: %v", err)
+	}
+	assertDatasetsEqual(t, got, want)
+	assertUsersEqual(t, got, want)
+}
+
+func TestSupervisorAPIBounds(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{Shards: 0}); err == nil {
+		t.Error("NewSupervisor with 0 shards must error")
+	}
+	s, err := NewSupervisor(SupervisorConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merged(); err == nil {
+		t.Error("Merged before Run must error")
+	}
+	if s.Kill(-1) || s.Kill(2) {
+		t.Error("Kill out of range must report false")
+	}
+	if s.Kill(0) {
+		t.Error("Kill with no live incarnation must report false")
+	}
+	if err := s.Run(context.Background(), feed(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), feed(nil)); err == nil {
+		t.Error("second Run must error")
+	}
+}
+
+// TestSupervisorMetrics: a chaotic run must surface restarts, routed
+// tweets, and merge counts through the obs registry.
+func TestSupervisorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewShardMetrics(reg)
+	tweets := supervisorCorpus()[:3000]
+	s, err := NewSupervisor(SupervisorConfig{
+		Shards:           2,
+		CheckpointBase:   filepath.Join(t.TempDir(), "state.ckpt"),
+		CheckpointEveryN: 100,
+		RestartBackoff:   time.Millisecond,
+		Metrics:          m,
+		SaveHook:         chaosSaveHook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background(), feed(tweets)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Merged(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`donorsense_shard_restarts_total{shard="0"}`,
+		`donorsense_shard_routed_tweets_total{shard="1"}`,
+		"donorsense_shard_buffer_depth",
+		"donorsense_shard_heartbeat_age_seconds",
+		"donorsense_merges_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package twitter
+
+import (
+	"context"
+	"fmt"
+)
+
+// Sharded routing of a tweet stream. A single collector tops out at one
+// fold goroutine and one checkpoint file; to scale past one process the
+// stream is partitioned by user id so that every tweet (and delete
+// notice) of a given user lands on the same shard. User-id hashing keeps
+// the partition stable across runs and restarts — the property the
+// mergeable per-shard datasets rely on: each user's full history lives
+// in exactly one shard, so shard outputs union without cross-shard
+// user conflicts.
+
+// ShardIndex maps a user id onto one of n shards with an FNV-1a hash of
+// the id's little-endian bytes. The mapping is deterministic across
+// processes and Go versions (no map iteration, no runtime hash seed), so
+// a restarted collector re-routes every user to the same shard.
+func ShardIndex(userID int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	u := uint64(userID)
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		h *= prime64
+		u >>= 8
+	}
+	return int(h % uint64(n))
+}
+
+// ShardRouter splits one tweet stream across N shards by user-id hash.
+// The zero value is unusable; Shards must be >= 1.
+type ShardRouter struct {
+	// Shards is the partition count.
+	Shards int
+}
+
+// Shard returns the shard that owns the tweet's user.
+func (r ShardRouter) Shard(t *Tweet) int {
+	return ShardIndex(t.User.ID, r.Shards)
+}
+
+// Split fans the input channel out into one channel per shard,
+// preserving per-shard arrival order (the router is a single goroutine,
+// so each shard sees its users' tweets in stream order). Sends block
+// when a shard's consumer falls behind — head-of-line backpressure, not
+// loss. All output channels close after in closes and drains, or when
+// ctx is cancelled. Consumers needing bounded buffering with restart
+// semantics should use pipeline.Supervisor instead, which routes with
+// ShardIndex but owns its own replay buffers.
+func (r ShardRouter) Split(ctx context.Context, in <-chan Tweet) ([]<-chan Tweet, error) {
+	if r.Shards < 1 {
+		return nil, fmt.Errorf("twitter: ShardRouter needs >= 1 shard, have %d", r.Shards)
+	}
+	outs := make([]chan Tweet, r.Shards)
+	ros := make([]<-chan Tweet, r.Shards)
+	for i := range outs {
+		outs[i] = make(chan Tweet, 64)
+		ros[i] = outs[i]
+	}
+	go func() {
+		defer func() {
+			for _, ch := range outs {
+				close(ch)
+			}
+		}()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case outs[r.Shard(&t)] <- t:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return ros, nil
+}

@@ -1,0 +1,117 @@
+package twitter
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestShardIndexStableAndBounded(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for id := int64(-100); id < 100; id++ {
+			got := ShardIndex(id, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardIndex(%d, %d) = %d, out of range", id, n, got)
+			}
+			if again := ShardIndex(id, n); again != got {
+				t.Fatalf("ShardIndex(%d, %d) not deterministic: %d then %d", id, n, got, again)
+			}
+		}
+	}
+	if ShardIndex(12345, 0) != 0 || ShardIndex(12345, 1) != 0 {
+		t.Error("n <= 1 must map everything to shard 0")
+	}
+}
+
+// TestShardIndexGoldenValues pins exact mappings: they must never
+// change across releases, or a restarted collector would route users to
+// different shards than the checkpoints it resumes were built with.
+func TestShardIndexGoldenValues(t *testing.T) {
+	golden := map[int64]int{0: 5, 1: 4, 2: 7, 42: 7, 1 << 40: 2, -1: 5}
+	for id, want := range golden {
+		if got := ShardIndex(id, 8); got != want {
+			t.Errorf("ShardIndex(%d, 8) = %d, want pinned %d", id, got, want)
+		}
+	}
+	// Distribution sanity over sequential ids: no shard may be empty or
+	// hold the majority of 10k users for n = 8.
+	counts := make([]int, 8)
+	for id := int64(0); id < 10000; id++ {
+		counts[ShardIndex(id, 8)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d got no users out of 10000 sequential ids", s)
+		}
+		if c > 5000 {
+			t.Errorf("shard %d got %d of 10000 users — degenerate hash", s, c)
+		}
+	}
+}
+
+func TestShardRouterSplitPartitionsAndPreservesOrder(t *testing.T) {
+	const shards = 4
+	in := make(chan Tweet)
+	r := ShardRouter{Shards: shards}
+	outs, err := r.Split(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	received := make([][]Tweet, shards)
+	for i, ch := range outs {
+		wg.Add(1)
+		go func(i int, ch <-chan Tweet) {
+			defer wg.Done()
+			for tw := range ch {
+				received[i] = append(received[i], tw)
+			}
+		}(i, ch)
+	}
+
+	const total = 2000
+	for i := 0; i < total; i++ {
+		in <- Tweet{ID: int64(i), User: User{ID: int64(i % 37)}}
+	}
+	close(in)
+	wg.Wait()
+
+	n := 0
+	for shard, tws := range received {
+		n += len(tws)
+		lastPerUser := map[int64]int64{}
+		for _, tw := range tws {
+			if want := ShardIndex(tw.User.ID, shards); want != shard {
+				t.Fatalf("tweet of user %d on shard %d, want %d", tw.User.ID, shard, want)
+			}
+			if last, ok := lastPerUser[tw.User.ID]; ok && tw.ID <= last {
+				t.Fatalf("user %d order violated on shard %d: %d after %d", tw.User.ID, shard, tw.ID, last)
+			}
+			lastPerUser[tw.User.ID] = tw.ID
+		}
+	}
+	if n != total {
+		t.Errorf("received %d tweets across shards, want %d (no loss, no duplication)", n, total)
+	}
+}
+
+func TestShardRouterSplitCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan Tweet)
+	outs, err := ShardRouter{Shards: 2}.Split(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for _, ch := range outs {
+		for range ch { // must drain and close, not hang
+		}
+	}
+}
+
+func TestShardRouterSplitRejectsZeroShards(t *testing.T) {
+	if _, err := (ShardRouter{}).Split(context.Background(), nil); err == nil {
+		t.Error("Split with 0 shards must error")
+	}
+}
