@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-shards bench benchcmp bench-paper fuzz fmt
+.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-paper fuzz fmt
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
@@ -28,7 +28,7 @@ test:
 # -short skips the scale-1.0 end of the suite; the concurrency paths are
 # fully exercised.
 race:
-	$(GO) test -race -short ./internal/obs/ ./internal/twitter/ ./internal/pipeline/ ./internal/cluster/ ./cmd/...
+	$(GO) test -race -short ./internal/obs/... ./internal/twitter/ ./internal/pipeline/ ./internal/cluster/ ./cmd/...
 
 check: build vet test race
 
@@ -38,6 +38,24 @@ check: build vet test race
 # single-process reference run.
 chaos-shards:
 	$(GO) test -race -count=1 -run 'Shard|Merge' ./internal/pipeline/ ./internal/twitter/ ./cmd/donorsense/
+
+# End-to-end tracing smoke: a short sharded collect at 100% sampling must
+# yield complete per-tweet waterfalls (stream read → decode → extract →
+# geocode → fold → checkpoint) on /debug/traces, with shard+incarnation
+# attribution — including across an injected shard kill — and a /statusz
+# page reporting every shard.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TraceSmokeWaterfall|SupervisorTraceIncarnation|RingRaceStress' ./cmd/donorsense/ ./internal/pipeline/ ./internal/obs/trace/
+
+# Known-vulnerability scan of the module graph (stdlib-only, so findings
+# would come from the toolchain itself). Skips with a notice when the
+# govulncheck binary is not installed; CI installs it.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Ingest hot-path benchmarks (pipeline, extractor, geocoder), archived as
 # both benchstat-friendly text (BENCH_pipeline.txt) and machine-readable

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +35,7 @@ import (
 	"donorsense/internal/export"
 	"donorsense/internal/gen"
 	"donorsense/internal/obs"
+	"donorsense/internal/obs/trace"
 	"donorsense/internal/organ"
 	"donorsense/internal/pipeline"
 	"donorsense/internal/report"
@@ -61,6 +63,8 @@ func main() {
 		err = cmdKeywords(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "-version", "--version", "version":
+		fmt.Println(obs.ReadBuild().String())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -84,6 +88,7 @@ commands:
   merge      merge the shard checkpoints of a sharded run and analyze
   keywords   print the Figure 1 keyword product (Stream API track syntax)
   replay     serve an NDJSON corpus over the Stream API protocol
+  version    print build identity (module version, go version, VCS revision)
 `)
 }
 
@@ -300,10 +305,13 @@ func cmdCollect(args []string) error {
 	stallTimeout := fs.Duration("stall-timeout", 90*time.Second, "tear down connections silent for this long")
 	backoff := fs.Duration("backoff", 250*time.Millisecond, "initial reconnect delay (doubles per failure, full jitter)")
 	rlBackoff := fs.Duration("ratelimit-backoff", 60*time.Second, "initial delay after a 420/429 rate limit (doubles per repeat)")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/vars on this address (empty = off)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz, /debug/traces, /debug/pprof, /debug/vars on this address (empty = off)")
 	progressEvery := fs.Duration("progress-every", 10*time.Second, "interval between progress log lines (0 = silent)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	logJSON := fs.Bool("log-json", false, "emit logs as single-line JSON instead of text")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of tweets to span-trace end to end (0 = off, 1 = every tweet)")
+	traceRing := fs.Int("trace-ring", 4096, "spans retained in the /debug/traces ring")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "log a wide event for any sampled span at least this slow")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -311,8 +319,21 @@ func cmdCollect(args []string) error {
 	if err != nil {
 		return err
 	}
-	obs.SetLogger(obs.NewLogger(os.Stderr, level, *logJSON))
+	// Tee warn-or-worse records into the /statusz error ring on the way to
+	// stderr, so the page can show recent trouble without log scraping.
+	errRing := obs.NewErrorRing(64)
+	obs.SetLogger(slog.New(obs.CaptureErrors(obs.NewLogger(os.Stderr, level, *logJSON).Handler(), errRing)))
 	logger := obs.Logger("collect")
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleRate: *traceSample,
+			RingSize:   *traceRing,
+			SlowSpan:   *traceSlow,
+			Logger:     obs.Logger("trace"),
+		})
+	}
 
 	if *shards > 1 {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -336,6 +357,8 @@ func cmdCollect(args []string) error {
 			sil:              *sil,
 			telemetryAddr:    *telemetryAddr,
 			progressEvery:    *progressEvery,
+			tracer:           tracer,
+			errRing:          errRing,
 		})
 	}
 
@@ -368,6 +391,10 @@ func cmdCollect(args []string) error {
 		StallTimeout:     *stallTimeout,
 		InitialBackoff:   *backoff,
 		RateLimitBackoff: *rlBackoff,
+	}
+	if tracer != nil {
+		client.Tracer = tracer
+		d.SetTracer(tracer)
 	}
 
 	// Telemetry: registry + instrumented client/pipeline + HTTP endpoint.
@@ -416,6 +443,25 @@ func cmdCollect(args []string) error {
 			}
 			return detail, nil
 		})
+		if tracer != nil {
+			srv.SetTraceRing(tracer.Ring())
+		}
+		srv.AddStatus("stream", func() obs.StatusSection {
+			st := client.Snapshot()
+			var sec obs.StatusSection
+			sec.Field("connected", streamMetrics.Connected())
+			sec.Field("tweets", st.Tweets)
+			sec.Field("tweets_per_sec", fmt.Sprintf("%.1f", float64(st.Tweets)/time.Since(started).Seconds()))
+			sec.Field("connects", st.Connects)
+			sec.Field("retries", st.Retries)
+			sec.Field("stalls", st.Stalls)
+			sec.Field("rate_limits", st.RateLimits)
+			sec.Field("malformed_lines", st.MalformedLines)
+			return sec
+		})
+		srv.AddStatus("checkpoint", checkpointStatus(*checkpoint, &lastSaveUnixNano))
+		srv.AddStatus("tracing", tracingStatus(tracer))
+		srv.AddStatus("errors", errRing.StatusSection)
 		go func() {
 			logger.Info("telemetry listening", "addr", *telemetryAddr)
 			if err := srv.ListenAndServe(ctx, *telemetryAddr); err != nil {
@@ -615,6 +661,14 @@ func cmdReplay(args []string) error {
 	defer stop()
 	if reg != nil {
 		osrv := obs.NewServer(reg)
+		osrv.AddStatus("replay", func() obs.StatusSection {
+			var sec obs.StatusSection
+			sec.Field("corpus_tweets", len(tweets))
+			sec.Field("subscribers", b.NumSubscribers())
+			sec.Field("skipped_lines", nr.Skipped)
+			sec.Field("rate", *rate)
+			return sec
+		})
 		go func() {
 			if err := osrv.ListenAndServe(ctx, *telemetryAddr); err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry server failed: %v\n", err)

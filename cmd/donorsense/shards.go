@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"donorsense/internal/obs"
+	"donorsense/internal/obs/trace"
 	"donorsense/internal/organ"
 	"donorsense/internal/pipeline"
 	"donorsense/internal/report"
@@ -41,12 +42,19 @@ type shardedCollectOptions struct {
 	sil              int
 	telemetryAddr    string
 	progressEvery    time.Duration
+	tracer           *trace.Tracer
+	errRing          *obs.ErrorRing
 }
 
 // collectSharded consumes the stream through a shard supervisor and
 // analyzes the merged result.
 func collectSharded(ctx context.Context, stop context.CancelFunc, opt shardedCollectOptions) error {
 	logger := obs.Logger("collect")
+	if opt.tracer != nil {
+		// Sampling decisions happen once, at the stream read; the shard
+		// datasets continue the sampled traces via SupervisorConfig.Tracer.
+		opt.client.Tracer = opt.tracer
+	}
 
 	var shardMetrics *pipeline.ShardMetrics
 	var analyzeMetrics *report.Metrics
@@ -60,6 +68,28 @@ func collectSharded(ctx context.Context, stop context.CancelFunc, opt shardedCol
 		opt.client.Codec = twitter.NewDecoder()
 		twitter.NewWireMetrics(reg).Observe(opt.client.Codec)
 		srv := obs.NewServer(reg)
+		if opt.tracer != nil {
+			srv.SetTraceRing(opt.tracer.Ring())
+		}
+		started := time.Now()
+		srv.AddStatus("stream", func() obs.StatusSection {
+			st := opt.client.Snapshot()
+			var sec obs.StatusSection
+			sec.Field("connected", streamMetrics.Connected())
+			sec.Field("tweets", st.Tweets)
+			sec.Field("tweets_per_sec", fmt.Sprintf("%.1f", float64(st.Tweets)/time.Since(started).Seconds()))
+			sec.Field("connects", st.Connects)
+			sec.Field("retries", st.Retries)
+			sec.Field("stalls", st.Stalls)
+			sec.Field("rate_limits", st.RateLimits)
+			sec.Field("malformed_lines", st.MalformedLines)
+			return sec
+		})
+		srv.AddStatus("shards", shardStatusSection(func() *pipeline.Supervisor { return sup }))
+		srv.AddStatus("tracing", tracingStatus(opt.tracer))
+		if opt.errRing != nil {
+			srv.AddStatus("errors", opt.errRing.StatusSection)
+		}
 		srv.AddHealthCheck("shards", func() (any, error) {
 			if sup == nil {
 				return map[string]any{"started": false}, nil
@@ -98,6 +128,7 @@ func collectSharded(ctx context.Context, stop context.CancelFunc, opt shardedCol
 		BufferCap:        opt.bufferCap,
 		Metrics:          shardMetrics,
 		Logger:           logger,
+		Tracer:           opt.tracer,
 	})
 	if err != nil {
 		return err

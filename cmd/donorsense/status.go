@@ -1,0 +1,96 @@
+// /statusz section builders shared by the sequential and sharded collect
+// paths. Sections run on every page request from the telemetry goroutine,
+// so they may only read concurrency-safe state: atomics, snapshots, and
+// the filesystem.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"donorsense/internal/obs"
+	"donorsense/internal/obs/trace"
+	"donorsense/internal/pipeline"
+)
+
+// checkpointStatus reports checkpoint freshness and on-disk size.
+// lastSave holds the UnixNano of the last successful save (0 = never).
+func checkpointStatus(path string, lastSave *atomic.Int64) func() obs.StatusSection {
+	return func() obs.StatusSection {
+		var sec obs.StatusSection
+		if path == "" {
+			sec.Field("enabled", false)
+			return sec
+		}
+		sec.Field("enabled", true)
+		sec.Field("path", path)
+		if last := lastSave.Load(); last > 0 {
+			sec.Field("age", time.Since(time.Unix(0, last)).Round(time.Second).String())
+		} else {
+			sec.Field("age", "never saved this run")
+		}
+		if fi, err := os.Stat(path); err == nil {
+			sec.Field("size_bytes", fi.Size())
+		}
+		return sec
+	}
+}
+
+// tracingStatus reports the sampler configuration and ring fill.
+func tracingStatus(tracer *trace.Tracer) func() obs.StatusSection {
+	return func() obs.StatusSection {
+		var sec obs.StatusSection
+		if tracer == nil {
+			sec.Field("enabled", false)
+			return sec
+		}
+		ring := tracer.Ring()
+		sec.Field("enabled", true)
+		sec.Field("sample_rate", fmt.Sprintf("%g", tracer.SampleRate()))
+		sec.Field("ring_capacity", ring.Cap())
+		sec.Field("spans_recorded", ring.Total())
+		return sec
+	}
+}
+
+// shardStatusSection renders the supervisor's per-shard health table.
+// The supervisor pointer is read through getter because the telemetry
+// server starts before the supervisor exists.
+func shardStatusSection(getter func() *pipeline.Supervisor) func() obs.StatusSection {
+	return func() obs.StatusSection {
+		var sec obs.StatusSection
+		sup := getter()
+		if sup == nil {
+			sec.Field("started", false)
+			return sec
+		}
+		status := sup.Status()
+		live, restarts := 0, 0
+		tbl := &obs.StatusTable{Columns: []string{
+			"shard", "state", "incarnation", "restarts", "stalls", "buffer", "heartbeat_age",
+		}}
+		for _, st := range status {
+			state := "down"
+			switch {
+			case st.Done:
+				state = "done"
+			case st.Live:
+				state = "live"
+				live++
+			}
+			restarts += st.Restarts
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprint(st.Shard), state,
+				fmt.Sprint(st.Incarnation), fmt.Sprint(st.Restarts), fmt.Sprint(st.Stalls),
+				fmt.Sprint(st.BufferDepth), st.HeartbeatAge.Round(time.Millisecond).String(),
+			})
+		}
+		sec.Field("shards", len(status))
+		sec.Field("live", live)
+		sec.Field("restarts", restarts)
+		sec.Table = tbl
+		return sec
+	}
+}

@@ -78,14 +78,18 @@ type chaosFlags struct {
 }
 
 // serveTelemetry starts the obs endpoint (when addr is non-empty) with
-// gauge funcs over the simulator's state.
-func serveTelemetry(ctx context.Context, addr string, reg *obs.Registry) {
+// gauge funcs over the simulator's state; configure, when non-nil, adds
+// mode-specific /statusz sections before the listener starts.
+func serveTelemetry(ctx context.Context, addr string, reg *obs.Registry, configure func(*obs.Server)) {
 	if addr == "" {
 		return
 	}
 	logger := obs.Logger("streamsim")
 	srv := obs.NewServer(reg)
 	srv.AddHealthCheck("simulator", func() (any, error) { return "serving", nil })
+	if configure != nil {
+		configure(srv)
+	}
 	go func() {
 		logger.Info("telemetry listening", "addr", addr)
 		if err := srv.ListenAndServe(ctx, addr); err != nil {
@@ -163,7 +167,17 @@ func run(addr string, scale float64, seed uint64, rate float64, loop bool, chaos
 	if roundTripBad > 0 {
 		logger.Error("corpus wire round-trip failures", "count", roundTripBad)
 	}
-	serveTelemetry(ctx, telemetryAddr, reg)
+	serveTelemetry(ctx, telemetryAddr, reg, func(srv *obs.Server) {
+		srv.AddStatus("simulator", func() obs.StatusSection {
+			var sec obs.StatusSection
+			sec.Field("mode", "broadcast")
+			sec.Field("corpus_tweets", len(corpus.Tweets))
+			sec.Field("subscribers", b.NumSubscribers())
+			sec.Field("rate", rate)
+			sec.Field("loop", loop)
+			return sec
+		})
+	})
 
 	go func() {
 		<-ctx.Done()
@@ -300,7 +314,20 @@ func runChaos(addr string, tweets []twitter.Tweet, rate float64, seed uint64, ch
 	// Expose the wire-codec families too, so dashboards see one schema
 	// whether they scrape the simulator or the collector.
 	twitter.NewWireMetrics(reg)
-	serveTelemetry(ctx, telemetryAddr, reg)
+	serveTelemetry(ctx, telemetryAddr, reg, func(srv *obs.Server) {
+		srv.AddStatus("simulator", func() obs.StatusSection {
+			st := cs.Stats()
+			var sec obs.StatusSection
+			sec.Field("mode", "chaos")
+			sec.Field("corpus_tweets", len(tweets))
+			sec.Field("delivered", st.Delivered)
+			sec.Field("remaining", cs.Remaining())
+			sec.Field("connections", st.Connections)
+			sec.Field("injected_disconnects", st.Disconnects)
+			sec.Field("injected_stalls", st.Stalls)
+			return sec
+		})
+	})
 
 	logger.Info("serving CHAOS stream API", "addr", addr,
 		"fault_rate", chaos.faultRate, "stall", chaos.stall.String(),

@@ -45,6 +45,20 @@ func (l Location) IsUSState() bool {
 	return l.Country == "US" && l.StateCode != "" && l.Accuracy >= AccuracyState
 }
 
+// String renders the location compactly for spans, logs, and status
+// pages: "US/CA(city)" for a city-accurate California hit, "GB(country)"
+// for a foreign country, "?(none)" when unresolved.
+func (l Location) String() string {
+	head := l.Country
+	if head == "" {
+		head = "?"
+	}
+	if l.StateCode != "" {
+		head += "/" + l.StateCode
+	}
+	return head + "(" + l.Accuracy.String() + ")"
+}
+
 // Geocoder resolves free-text, self-reported Twitter profile locations and
 // GPS points to US states. It replaces the paper's OpenStreetMap/Nominatim
 // calls with an offline gazetteer; see DESIGN.md §2.

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build identity stamped into every telemetry surface
+// (/healthz, /statusz, `donorsense -version`): a multi-day run's output
+// is only reviewable when the exact binary that produced it is known.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`    // main module path
+	Version   string `json:"version,omitempty"` // main module version ("(devel)" for local builds)
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"` // dirty working tree at build time
+}
+
+var (
+	buildOnce   sync.Once
+	cachedBuild BuildInfo
+)
+
+// ReadBuild returns the running binary's build identity from
+// runtime/debug.ReadBuildInfo, cached after the first call. Binaries
+// built without module support yield a BuildInfo with only GoVersion
+// set.
+func ReadBuild() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		cachedBuild.GoVersion = bi.GoVersion
+		cachedBuild.Path = bi.Main.Path
+		cachedBuild.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cachedBuild.Revision = s.Value
+			case "vcs.time":
+				cachedBuild.VCSTime = s.Value
+			case "vcs.modified":
+				cachedBuild.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cachedBuild
+}
+
+// String renders the build identity on one line, the format of the
+// -version flag: "donorsense (devel) go1.22.1 rev 95f8451 (modified)".
+func (b BuildInfo) String() string {
+	out := "donorsense"
+	if b.Version != "" {
+		out += " " + b.Version
+	}
+	if b.GoVersion != "" {
+		out += " " + b.GoVersion
+	}
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " rev " + rev
+	}
+	if b.Modified {
+		out += " (modified)"
+	}
+	return out
+}

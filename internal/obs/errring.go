@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrorRing keeps the last N warn-or-worse log records in memory so
+// /statusz can answer "what has gone wrong lately?" without an operator
+// having to scroll a multi-day stderr. It is fed by the slog tee
+// installed with CaptureErrors and is safe for concurrent use.
+type ErrorRing struct {
+	mu    sync.Mutex
+	recs  []ErrorRecord
+	next  int    // slot the next record lands in
+	total uint64 // lifetime records, including overwritten ones
+}
+
+// ErrorRecord is one captured log record, pre-rendered to strings so the
+// ring never retains live objects from the logging call site.
+type ErrorRecord struct {
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	Attrs string    `json:"attrs,omitempty"` // "k=v k=v" rendering of the record's attrs
+}
+
+// NewErrorRing returns a ring retaining the last n records (minimum 1).
+func NewErrorRing(n int) *ErrorRing {
+	if n < 1 {
+		n = 1
+	}
+	return &ErrorRing{recs: make([]ErrorRecord, 0, n)}
+}
+
+// Add appends a record, overwriting the oldest once the ring is full.
+func (r *ErrorRing) Add(rec ErrorRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recs) < cap(r.recs) {
+		r.recs = append(r.recs, rec)
+	} else {
+		r.recs[r.next] = rec
+		r.next = (r.next + 1) % cap(r.recs)
+	}
+	r.total++
+}
+
+// Total returns how many records the ring has ever seen.
+func (r *ErrorRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *ErrorRing) Snapshot() []ErrorRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ErrorRecord, 0, len(r.recs))
+	if len(r.recs) < cap(r.recs) {
+		return append(out, r.recs...)
+	}
+	out = append(out, r.recs[r.next:]...)
+	return append(out, r.recs[:r.next]...)
+}
+
+// StatusSection renders the ring as a /statusz section: a lifetime total
+// plus one table row per retained record.
+func (r *ErrorRing) StatusSection() StatusSection {
+	recs := r.Snapshot()
+	sec := StatusSection{
+		Fields: []StatusField{{Key: "total_warnings", Value: fmt.Sprintf("%d", r.Total())}},
+	}
+	if len(recs) == 0 {
+		return sec
+	}
+	tbl := &StatusTable{Columns: []string{"time", "level", "message", "attrs"}}
+	for _, rec := range recs {
+		tbl.Rows = append(tbl.Rows, []string{
+			rec.Time.UTC().Format(time.RFC3339), rec.Level, rec.Msg, rec.Attrs,
+		})
+	}
+	sec.Table = tbl
+	return sec
+}
+
+// CaptureErrors wraps a slog handler so every record at Warn or above is
+// also appended to the ring. The wrapped handler keeps its own level
+// filtering for output; capture happens regardless, so /statusz shows
+// warnings even when stderr is set to error-only.
+func CaptureErrors(h slog.Handler, ring *ErrorRing) slog.Handler {
+	return &teeHandler{next: h, ring: ring}
+}
+
+// teeHandler forwards everything to next and copies Warn+ records into
+// the ring, carrying WithAttrs/WithGroup context along.
+type teeHandler struct {
+	next   slog.Handler
+	ring   *ErrorRing
+	prefix string // rendered attrs accumulated via WithAttrs, group-qualified
+	groups string // dotted group path for subsequent attrs
+}
+
+func (t *teeHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	// Warn+ must reach Handle for capture even when next would drop it.
+	return level >= slog.LevelWarn || t.next.Enabled(ctx, level)
+}
+
+func (t *teeHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if rec.Level >= slog.LevelWarn {
+		var sb strings.Builder
+		sb.WriteString(t.prefix)
+		rec.Attrs(func(a slog.Attr) bool {
+			appendAttr(&sb, t.groups, a)
+			return true
+		})
+		t.ring.Add(ErrorRecord{
+			Time:  rec.Time,
+			Level: rec.Level.String(),
+			Msg:   rec.Message,
+			Attrs: strings.TrimSpace(sb.String()),
+		})
+	}
+	if !t.next.Enabled(ctx, rec.Level) {
+		return nil
+	}
+	return t.next.Handle(ctx, rec)
+}
+
+func (t *teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var sb strings.Builder
+	sb.WriteString(t.prefix)
+	for _, a := range attrs {
+		appendAttr(&sb, t.groups, a)
+	}
+	return &teeHandler{next: t.next.WithAttrs(attrs), ring: t.ring, prefix: sb.String(), groups: t.groups}
+}
+
+func (t *teeHandler) WithGroup(name string) slog.Handler {
+	g := t.groups
+	if name != "" {
+		if g != "" {
+			g += "."
+		}
+		g += name
+	}
+	return &teeHandler{next: t.next.WithGroup(name), ring: t.ring, prefix: t.prefix, groups: g}
+}
+
+// appendAttr renders one attr as "key=value " with the dotted group
+// prefix, flattening nested groups.
+func appendAttr(sb *strings.Builder, groups string, a slog.Attr) {
+	a.Value = a.Value.Resolve()
+	if a.Value.Kind() == slog.KindGroup {
+		g := groups
+		if a.Key != "" {
+			if g != "" {
+				g += "."
+			}
+			g += a.Key
+		}
+		for _, ga := range a.Value.Group() {
+			appendAttr(sb, g, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	key := a.Key
+	if groups != "" {
+		key = groups + "." + key
+	}
+	fmt.Fprintf(sb, "%s=%v ", key, a.Value.Any())
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestErrorRingCapturesWarnAndAbove(t *testing.T) {
+	ring := NewErrorRing(8)
+	var out bytes.Buffer
+	logger := slog.New(CaptureErrors(slog.NewTextHandler(&out, nil), ring))
+
+	logger.Info("all quiet", "n", 1)
+	logger.Warn("stream disconnected", "attempt", 3)
+	logger.With("component", "collect").Error("checkpoint failed", "err", "disk full")
+
+	recs := ring.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("captured %d records, want 2 (info must not be captured): %+v", len(recs), recs)
+	}
+	if recs[0].Level != "WARN" || recs[0].Msg != "stream disconnected" || !strings.Contains(recs[0].Attrs, "attempt=3") {
+		t.Errorf("warn record wrong: %+v", recs[0])
+	}
+	if recs[1].Level != "ERROR" || !strings.Contains(recs[1].Attrs, "component=collect") ||
+		!strings.Contains(recs[1].Attrs, "err=disk full") {
+		t.Errorf("error record must carry With attrs: %+v", recs[1])
+	}
+	if ring.Total() != 2 {
+		t.Errorf("Total = %d, want 2", ring.Total())
+	}
+	// The tee must still forward everything to the real handler.
+	if !strings.Contains(out.String(), "all quiet") || !strings.Contains(out.String(), "disk full") {
+		t.Errorf("tee swallowed output:\n%s", out.String())
+	}
+}
+
+func TestErrorRingCapturesBelowHandlerLevel(t *testing.T) {
+	// stderr at error-only must not hide warnings from /statusz.
+	ring := NewErrorRing(8)
+	var out bytes.Buffer
+	h := slog.NewTextHandler(&out, &slog.HandlerOptions{Level: slog.LevelError})
+	logger := slog.New(CaptureErrors(h, ring))
+
+	logger.Warn("quietly wrong")
+	if got := len(ring.Snapshot()); got != 1 {
+		t.Fatalf("captured %d, want 1", got)
+	}
+	if strings.Contains(out.String(), "quietly wrong") {
+		t.Errorf("warn leaked past an error-level handler:\n%s", out.String())
+	}
+}
+
+func TestErrorRingOverwritesOldest(t *testing.T) {
+	ring := NewErrorRing(3)
+	logger := slog.New(CaptureErrors(slog.NewTextHandler(&bytes.Buffer{}, nil), ring))
+	for _, msg := range []string{"a", "b", "c", "d", "e"} {
+		logger.Warn(msg)
+	}
+	recs := ring.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("retained %d, want 3", len(recs))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if recs[i].Msg != want {
+			t.Errorf("recs[%d].Msg = %q, want %q (oldest-first order)", i, recs[i].Msg, want)
+		}
+	}
+	if ring.Total() != 5 {
+		t.Errorf("Total = %d, want 5", ring.Total())
+	}
+}
+
+func TestErrorRingGroupAttrs(t *testing.T) {
+	ring := NewErrorRing(4)
+	logger := slog.New(CaptureErrors(slog.NewTextHandler(&bytes.Buffer{}, nil), ring))
+	logger.WithGroup("shard").With("id", 2).Warn("stalled", slog.Group("beat", "age", "31s"))
+	recs := ring.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("captured %d, want 1", len(recs))
+	}
+	if !strings.Contains(recs[0].Attrs, "shard.id=2") || !strings.Contains(recs[0].Attrs, "shard.beat.age=31s") {
+		t.Errorf("group-qualified attrs wrong: %q", recs[0].Attrs)
+	}
+}
+
+func TestErrorRingStatusSection(t *testing.T) {
+	ring := NewErrorRing(4)
+	sec := ring.StatusSection()
+	if sec.Table != nil {
+		t.Error("empty ring must render without a table")
+	}
+	logger := slog.New(CaptureErrors(slog.NewTextHandler(&bytes.Buffer{}, nil), ring))
+	logger.Warn("w1", "k", "v")
+	sec = ring.StatusSection()
+	if sec.Table == nil || len(sec.Table.Rows) != 1 {
+		t.Fatalf("section table wrong: %+v", sec.Table)
+	}
+	if sec.Table.Rows[0][2] != "w1" || sec.Table.Rows[0][3] != "k=v" {
+		t.Errorf("row wrong: %v", sec.Table.Rows[0])
+	}
+}
+
+// TestServerTracesRouteGated checks /debug/traces answers 404 until a
+// ring is attached.
+func TestServerTracesRouteGated(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	h := srv.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("without ring: %d, want 404", rec.Code)
+	}
+}
+
+// TestHealthzIncludesBuild checks the build block landed in /healthz.
+func TestHealthzIncludesBuild(t *testing.T) {
+	srv := NewServer(NewRegistry())
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz: %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"go_version"`) {
+		t.Errorf("healthz missing build info:\n%s", rec.Body.String())
+	}
+}
+
+// TestRequestCounterByPath checks the middleware counts requests under
+// normalized path labels.
+func TestRequestCounterByPath(t *testing.T) {
+	reg := NewRegistry()
+	srv := NewServer(reg)
+	h := srv.Handler()
+	for _, p := range []string{"/metrics", "/metrics", "/statusz", "/nope"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", p, nil))
+	}
+	vec := reg.CounterVec("donorsense_telemetry_requests_total",
+		"Telemetry HTTP requests handled, by normalized path.", "path")
+	if got := vec.With("/metrics").Value(); got != 2 {
+		t.Errorf("/metrics count = %v, want 2", got)
+	}
+	if got := vec.With("other").Value(); got != 1 {
+		t.Errorf("other count = %v, want 1", got)
+	}
+}

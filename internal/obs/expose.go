@@ -113,6 +113,23 @@ func (f *family) writeHistogram(w *bufio.Writer, s *series) {
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatUint(s.count.Load(), 10))
 	w.WriteByte('\n')
+
+	// The exemplar rides as a comment line — parsers of the 0.0.4 text
+	// format ignore unknown # lines, so the output stays spec-legal while
+	// humans (and the trace-aware tooling here) can jump from a slow
+	// series straight to a trace ID on /debug/traces.
+	if e := s.exemplar.Load(); e != nil {
+		w.WriteString("# EXEMPLAR ")
+		w.WriteString(f.name)
+		writeLabels(w, f.labels, s.labelValues, "", "")
+		w.WriteByte(' ')
+		w.WriteString(formatValue(e.Value))
+		w.WriteString(" trace_id=")
+		w.WriteString(e.TraceID)
+		w.WriteString(" ts=")
+		w.WriteString(strconv.FormatInt(e.Time.Unix(), 10))
+		w.WriteByte('\n')
+	}
 }
 
 // writeLabels renders {k="v",...}, appending the extra pair (used for the

@@ -82,6 +82,18 @@ type series struct {
 	counts []atomic.Uint64
 	sum    atomicFloat
 	count  atomic.Uint64
+
+	// exemplar pins the most recent traced observation to the series —
+	// the pivot from "this histogram looks slow" to "show me one slow
+	// trace". Last-write-wins via one atomic pointer store.
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // atomicFloat is a float64 with atomic add/store/load.
@@ -288,6 +300,21 @@ func (h *Histogram) Observe(v float64) {
 // Since records the seconds elapsed from t to now — the idiom for stage
 // latency instrumentation.
 func (h *Histogram) Since(t time.Time) { h.Observe(time.Since(t).Seconds()) }
+
+// ObserveExemplar records one sample like Observe and, when traceID is
+// non-empty, additionally pins it as the series' exemplar. Call sites on
+// a sampled-tracing path pass the trace ID of the current trace (or ""
+// for unsampled work, which degrades to a plain Observe).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.s.exemplar.Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// Exemplar returns the series' most recent traced observation, or nil
+// when none has been recorded.
+func (h *Histogram) Exemplar() *Exemplar { return h.s.exemplar.Load() }
 
 // Count returns how many samples have been observed.
 func (h *Histogram) Count() uint64 { return h.s.count.Load() }

@@ -4,18 +4,24 @@ import (
 	"context"
 	"encoding/json"
 	"expvar"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"donorsense/internal/obs/trace"
 )
 
 // Server is the collector's telemetry endpoint:
 //
 //	/metrics       Prometheus text exposition of the registry
-//	/healthz       JSON health summary (registered checks + uptime)
+//	/healthz       JSON health summary (registered checks + uptime + build)
+//	/statusz       one-page live status (text; ?format=json)
+//	/debug/traces  sampled span waterfalls (when a trace ring is attached)
 //	/debug/pprof/  the standard profiling handlers
 //	/debug/vars    expvar, including a flattened view of the registry
 //
@@ -27,6 +33,16 @@ type Server struct {
 
 	mu     sync.RWMutex
 	checks map[string]HealthCheck
+	status []statusEntry
+
+	traceRing atomic.Pointer[trace.Ring]
+
+	// requests counts handled requests by normalized path; scrapes and
+	// served feed the final "telemetry server stopped" log line so a
+	// run's exit record says how observed the run actually was.
+	requests *CounterVec
+	scrapes  atomic.Int64
+	served   atomic.Int64
 }
 
 // HealthCheck reports one component's health: a JSON-serializable detail
@@ -36,6 +52,8 @@ type HealthCheck func() (detail any, err error)
 // NewServer returns a telemetry server over the registry.
 func NewServer(reg *Registry) *Server {
 	s := &Server{reg: reg, start: time.Now(), checks: make(map[string]HealthCheck)}
+	s.requests = reg.CounterVec("donorsense_telemetry_requests_total",
+		"Telemetry HTTP requests handled, by normalized path.", "path")
 	bridgeExpvar(reg)
 	return s
 }
@@ -48,24 +66,97 @@ func (s *Server) AddHealthCheck(name string, fn HealthCheck) {
 	s.checks[name] = fn
 }
 
-// Handler returns the telemetry mux.
+// SetTraceRing attaches the span ring served under /debug/traces. Until
+// set (or when nil), the route answers 404.
+func (s *Server) SetTraceRing(r *trace.Ring) { s.traceRing.Store(r) }
+
+// Handler returns the telemetry mux wrapped in the access-log and
+// request-counting middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/statusz", s.statusz)
+	mux.HandleFunc("/debug/traces", s.traces)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.instrument(mux)
+}
+
+// traces serves the attached span ring, or 404 when tracing is off.
+func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
+	ring := s.traceRing.Load()
+	if ring == nil {
+		http.Error(w, "tracing disabled (run with -trace-sample > 0)", http.StatusNotFound)
+		return
+	}
+	ring.Handler().ServeHTTP(w, r)
+}
+
+// telemetryPaths are the exact routes the requests-by-path counter keeps
+// as distinct series; anything else collapses to "other" so an URL scan
+// cannot explode label cardinality.
+var telemetryPaths = map[string]bool{
+	"/metrics": true, "/healthz": true, "/statusz": true,
+	"/debug/traces": true, "/debug/vars": true,
+}
+
+// normalizePath maps a request path to its counter label.
+func normalizePath(p string) string {
+	if telemetryPaths[p] {
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request counting and, when the process
+// logger admits debug records (-log-level=debug), an access log line per
+// request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	logger := Logger("telemetry")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := normalizePath(r.URL.Path)
+		s.requests.With(path).Inc()
+		s.served.Add(1)
+		if path == "/metrics" {
+			s.scrapes.Add(1)
+		}
+		if !logger.Enabled(r.Context(), slog.LevelDebug) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.Debug("http request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start).String())
+	})
 }
 
 // healthState is the /healthz response body.
 type healthState struct {
 	Status        string            `json:"status"` // "ok" or "degraded"
 	UptimeSeconds float64           `json:"uptime_seconds"`
+	Build         BuildInfo         `json:"build"`
 	Checks        map[string]any    `json:"checks,omitempty"`
 	Errors        map[string]string `json:"errors,omitempty"`
 }
@@ -81,6 +172,7 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	st := healthState{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         ReadBuild(),
 		Checks:        make(map[string]any, len(checks)),
 	}
 	for name, fn := range checks {
@@ -104,7 +196,8 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // ListenAndServe serves the telemetry endpoint on addr until ctx is done,
-// then shuts down gracefully and returns any terminal serve error.
+// then shuts down gracefully (bounded by a 2s deadline) and logs the
+// final request tallies before returning any terminal serve error.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -121,6 +214,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}()
 	err = srv.Serve(ln)
 	<-done
+	Logger("telemetry").Info("telemetry server stopped",
+		"uptime", time.Since(s.start).Round(time.Second).String(),
+		"scrapes", s.scrapes.Load(), "requests", s.served.Load())
 	if err == http.ErrServerClosed {
 		return nil
 	}

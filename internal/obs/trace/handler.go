@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the ring's contents as /debug/traces:
+//
+//	?format=json   flat span list, grouped by trace, oldest trace first
+//	               (the default)
+//	?format=text   human-readable per-trace waterfall
+//	?min=10ms      only spans at least this slow
+//	?stage=extract only spans whose name contains the substring
+//	?trace=<hex>   only the given trace ID
+//	?limit=50      at most this many traces (most recent kept)
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var min time.Duration
+		if v := q.Get("min"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			min = d
+		}
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		traces := collectTraces(r.Snapshot(), min, q.Get("stage"), q.Get("trace"), limit)
+		if q.Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeWaterfalls(w, traces, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, traces, r)
+	})
+}
+
+// traceGroup is one trace's spans, ordered by start.
+type traceGroup struct {
+	id    uint64
+	spans []*Span
+}
+
+// collectTraces groups, filters, and orders the snapshot. Traces are
+// ordered by the start of their earliest span; spans within a trace by
+// start. When limit > 0, only the most recent traces are kept.
+func collectTraces(spans []*Span, min time.Duration, stage, traceHex string, limit int) []traceGroup {
+	var wantTrace uint64
+	if traceHex != "" {
+		if id, err := strconv.ParseUint(traceHex, 16, 64); err == nil {
+			wantTrace = id
+		} else {
+			return nil
+		}
+	}
+	byTrace := make(map[uint64][]*Span)
+	for _, s := range spans {
+		if s.Duration < min {
+			continue
+		}
+		if stage != "" && !strings.Contains(s.Name, stage) {
+			continue
+		}
+		if wantTrace != 0 && s.Ctx.TraceID != wantTrace {
+			continue
+		}
+		byTrace[s.Ctx.TraceID] = append(byTrace[s.Ctx.TraceID], s)
+	}
+	out := make([]traceGroup, 0, len(byTrace))
+	for id, ss := range byTrace {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
+		out = append(out, traceGroup{id: id, spans: ss})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].spans[0].Start.Before(out[j].spans[0].Start)
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// spanJSON is the wire form of one span on /debug/traces.
+type spanJSON struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	ParentID string            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration float64           `json:"duration_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, traces []traceGroup, r *Ring) {
+	type body struct {
+		Capacity int        `json:"capacity"`
+		Total    uint64     `json:"total_spans"`
+		Traces   int        `json:"traces"`
+		Spans    []spanJSON `json:"spans"`
+	}
+	b := body{Capacity: r.Cap(), Total: r.Total(), Traces: len(traces)}
+	for _, tg := range traces {
+		for _, s := range tg.spans {
+			sj := spanJSON{
+				TraceID:  s.Ctx.TraceString(),
+				SpanID:   formatID(s.Ctx.SpanID),
+				Name:     s.Name,
+				Start:    s.Start,
+				Duration: float64(s.Duration) / float64(time.Microsecond),
+			}
+			if s.Parent != 0 {
+				sj.ParentID = formatID(s.Parent)
+			}
+			if len(s.Attrs()) > 0 {
+				sj.Attrs = make(map[string]string, len(s.Attrs()))
+				for _, a := range s.Attrs() {
+					sj.Attrs[a.Key] = a.Value
+				}
+			}
+			b.Spans = append(b.Spans, sj)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(b)
+}
+
+// writeWaterfalls renders the text view: one indented waterfall per
+// trace, spans offset relative to the trace start, with a proportional
+// duration bar.
+func writeWaterfalls(w http.ResponseWriter, traces []traceGroup, r *Ring) {
+	fmt.Fprintf(w, "traces: %d   ring: %d spans held (cap %d, %d total)\n",
+		len(traces), ringHeld(traces), r.Cap(), r.Total())
+	for _, tg := range traces {
+		writeWaterfall(w, tg)
+	}
+}
+
+func ringHeld(traces []traceGroup) int {
+	n := 0
+	for _, tg := range traces {
+		n += len(tg.spans)
+	}
+	return n
+}
+
+const barWidth = 32
+
+func writeWaterfall(w http.ResponseWriter, tg traceGroup) {
+	start := tg.spans[0].Start
+	end := start
+	for _, s := range tg.spans {
+		if e := s.Start.Add(s.Duration); e.After(end) {
+			end = e
+		}
+	}
+	total := end.Sub(start)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	fmt.Fprintf(w, "\n=== trace %s — %d spans, %s ===\n",
+		formatID(tg.id), len(tg.spans), total.Round(time.Microsecond))
+
+	depths := spanDepths(tg.spans)
+	for i, s := range tg.spans {
+		indent := strings.Repeat("  ", depths[i])
+		off := s.Start.Sub(start)
+		// Proportional bar: position and width scaled to the trace window.
+		lo := int(float64(off) / float64(total) * barWidth)
+		hi := int(float64(off+s.Duration) / float64(total) * barWidth)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > barWidth {
+			hi = barWidth
+		}
+		bar := strings.Repeat(".", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(".", barWidth-hi)
+		label := fmt.Sprintf("%s%s", indent, s.Name)
+		attrs := ""
+		for _, a := range s.Attrs() {
+			attrs += " " + a.Key + "=" + a.Value
+		}
+		fmt.Fprintf(w, "%-28s %10s %10s [%s]%s\n",
+			label, "+"+off.Round(time.Microsecond).String(),
+			s.Duration.Round(time.Microsecond).String(), bar, attrs)
+	}
+}
+
+// spanDepths computes each span's indentation depth from its parent
+// chain. Spans whose parent is missing from the trace (overwritten in the
+// ring) render at depth 0.
+func spanDepths(spans []*Span) []int {
+	byID := make(map[uint64]int, len(spans)) // span id → index
+	for i, s := range spans {
+		byID[s.Ctx.SpanID] = i
+	}
+	depths := make([]int, len(spans))
+	var depthOf func(i int, hops int) int
+	depthOf = func(i, hops int) int {
+		s := spans[i]
+		if s.Parent == 0 || s.Parent == s.Ctx.SpanID || hops > len(spans) {
+			return 0
+		}
+		pi, ok := byID[s.Parent]
+		if !ok {
+			return 0
+		}
+		return depthOf(pi, hops+1) + 1
+	}
+	for i := range spans {
+		depths[i] = depthOf(i, 0)
+	}
+	return depths
+}

@@ -1,0 +1,69 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is the fixed-size, lock-free buffer of completed spans. Writers
+// claim a slot with one atomic add and publish the immutable span with
+// one atomic pointer store; when the ring is full the oldest span is
+// overwritten. Readers snapshot concurrently without blocking writers.
+//
+// The atomic pointer store is the publication point: a span is fully
+// written (End set Duration last) before it is stored, so any reader that
+// loads the pointer observes a complete span. Spans are never mutated
+// after publication.
+type Ring struct {
+	slots []atomic.Pointer[Span]
+	pos   atomic.Uint64 // next slot index to claim; also the lifetime count
+}
+
+// NewRing returns a ring holding up to size completed spans (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Span], size)}
+}
+
+// put publishes one completed span, overwriting the oldest when full.
+func (r *Ring) put(s *Span) {
+	idx := r.pos.Add(1) - 1
+	r.slots[idx%uint64(len(r.slots))].Store(s)
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many spans have ever been published (including ones
+// already overwritten).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.pos.Load()
+}
+
+// Snapshot returns the spans currently held, approximately oldest first.
+// It is a best-effort point-in-time view: spans published while the
+// snapshot runs may or may not appear, but every returned span is
+// complete and immutable. Nil-safe.
+func (r *Ring) Snapshot() []*Span {
+	if r == nil {
+		return nil
+	}
+	n := uint64(len(r.slots))
+	pos := r.pos.Load()
+	out := make([]*Span, 0, n)
+	// pos is the next slot to claim, so pos%n is the oldest slot; walk one
+	// full revolution from there.
+	for i := uint64(0); i < n; i++ {
+		if s := r.slots[(pos+i)%n].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

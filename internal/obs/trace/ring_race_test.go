@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestRingRaceStress hammers one small ring with concurrent span writers
+// while readers continuously snapshot and serve /debug/traces. Run under
+// -race this proves the publish protocol: every span a reader observes is
+// complete (non-zero IDs, non-negative duration, name set) even while the
+// ring wraps thousands of times.
+func TestRingRaceStress(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 3, RingSize: 32})
+	const (
+		writers     = 8
+		spansPer    = 2000
+		readers     = 4
+		httpReaders = 2
+	)
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerErrs := make(chan string, readers+httpReaders)
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < spansPer; i++ {
+				root := tr.StartRoot("stream.read")
+				root.SetInt("writer", int64(w))
+				child := tr.StartChild("wire.decode", root.Context())
+				child.End()
+				root.End()
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range tr.Ring().Snapshot() {
+					if s.Ctx.TraceID == 0 || s.Ctx.SpanID == 0 {
+						readerErrs <- "snapshot saw zero span/trace ID"
+						return
+					}
+					if s.Name == "" {
+						readerErrs <- "snapshot saw unnamed span"
+						return
+					}
+					if s.Duration < 0 {
+						readerErrs <- "snapshot saw negative duration"
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	h := tr.Ring().Handler()
+	for r := 0; r < httpReaders; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?format=text", nil))
+				if rr.Code != 200 {
+					readerErrs <- "handler returned non-200 under load"
+					return
+				}
+			}
+		}()
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(readerErrs)
+	for msg := range readerErrs {
+		t.Error(msg)
+	}
+
+	if got, want := tr.Ring().Total(), uint64(writers*spansPer*2); got != want {
+		t.Fatalf("total spans %d, want %d", got, want)
+	}
+	if got := len(tr.Ring().Snapshot()); got != 32 {
+		t.Fatalf("full ring snapshot holds %d, want 32", got)
+	}
+}

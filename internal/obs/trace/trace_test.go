@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndNilSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.StartRoot("x"); sp != nil {
+		t.Fatalf("nil tracer StartRoot = %v, want nil", sp)
+	}
+	if sp := tr.StartChild("x", SpanContext{TraceID: 1, SpanID: 1}); sp != nil {
+		t.Fatalf("nil tracer StartChild = %v, want nil", sp)
+	}
+	if tr.Ring() != nil {
+		t.Fatal("nil tracer Ring() != nil")
+	}
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.SetInt("k", 1)
+	sp.End()
+	if ctx := sp.Context(); ctx.Sampled() {
+		t.Fatalf("nil span context sampled: %+v", ctx)
+	}
+}
+
+func TestZeroSampleRateNeverSamples(t *testing.T) {
+	tr := New(Config{SampleRate: 0, Seed: 7})
+	for i := 0; i < 10000; i++ {
+		if tr.StartRoot("x") != nil {
+			t.Fatal("sampled at rate 0")
+		}
+	}
+}
+
+func TestFullSampleRateAlwaysSamples(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 7, RingSize: 16})
+	for i := 0; i < 100; i++ {
+		if tr.StartRoot("x") == nil {
+			t.Fatal("unsampled at rate 1")
+		}
+	}
+}
+
+func TestSampleRateIsApproximatelyHonored(t *testing.T) {
+	tr := New(Config{SampleRate: 0.1, Seed: 42})
+	n := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if sp := tr.StartRoot("x"); sp != nil {
+			n++
+		}
+	}
+	got := float64(n) / draws
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("sample rate 0.1 produced %.4f", got)
+	}
+}
+
+func TestSeededIDsAreDeterministic(t *testing.T) {
+	a := New(Config{SampleRate: 1, Seed: 99})
+	b := New(Config{SampleRate: 1, Seed: 99})
+	for i := 0; i < 10; i++ {
+		sa, sb := a.StartRoot("x"), b.StartRoot("x")
+		if sa.Ctx != sb.Ctx {
+			t.Fatalf("draw %d: %+v != %+v under same seed", i, sa.Ctx, sb.Ctx)
+		}
+	}
+}
+
+func TestChildParentLinks(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 1, RingSize: 8})
+	root := tr.StartRoot("root")
+	child := tr.StartChild("child", root.Context())
+	if child.Ctx.TraceID != root.Ctx.TraceID {
+		t.Fatalf("child trace %x != root trace %x", child.Ctx.TraceID, root.Ctx.TraceID)
+	}
+	if child.Parent != root.Ctx.SpanID {
+		t.Fatalf("child parent %x != root span %x", child.Parent, root.Ctx.SpanID)
+	}
+	if child.Ctx.SpanID == root.Ctx.SpanID {
+		t.Fatal("child reused root span id")
+	}
+	if sp := tr.StartChild("orphan", SpanContext{}); sp != nil {
+		t.Fatal("child of unsampled context must be nil")
+	}
+	child.End()
+	root.End()
+	if got := len(tr.Ring().Snapshot()); got != 2 {
+		t.Fatalf("ring holds %d spans, want 2", got)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 1, RingSize: 4})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartRoot("x")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	snap := tr.Ring().Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(snap))
+	}
+	if tr.Ring().Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Ring().Total())
+	}
+	// The survivors must be the last four published, oldest first.
+	for j, want := range []string{"6", "7", "8", "9"} {
+		if got := snap[j].Attrs()[0].Value; got != want {
+			t.Fatalf("slot %d holds i=%s, want %s", j, got, want)
+		}
+	}
+}
+
+func TestAttrCapDropsExcess(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 1})
+	sp := tr.StartRoot("x")
+	for i := 0; i < maxAttrs+5; i++ {
+		sp.SetInt("k", int64(i))
+	}
+	if got := len(sp.Attrs()); got != maxAttrs {
+		t.Fatalf("attrs = %d, want capped at %d", got, maxAttrs)
+	}
+}
+
+func TestSlowSpanEmitsWideEvent(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := New(Config{SampleRate: 1, Seed: 1, SlowSpan: time.Nanosecond, Logger: logger})
+	sp := tr.StartRoot("slow.stage")
+	sp.SetAttr("shard", "3")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("wide event not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "slow span" {
+		t.Fatalf("msg = %v", rec["msg"])
+	}
+	if rec["name"] != "slow.stage" || rec["shard"] != "3" {
+		t.Fatalf("wide event missing span context: %v", rec)
+	}
+	if rec["trace"] != sp.Ctx.TraceString() {
+		t.Fatalf("trace = %v, want %s", rec["trace"], sp.Ctx.TraceString())
+	}
+
+	// Fast spans stay silent.
+	buf.Reset()
+	tr2 := New(Config{SampleRate: 1, Seed: 1, SlowSpan: time.Hour, Logger: logger})
+	tr2.StartRoot("fast").End()
+	if buf.Len() != 0 {
+		t.Fatalf("fast span logged: %s", buf.String())
+	}
+}
+
+// buildTestTrace publishes one three-span trace plus one unrelated slow
+// span and returns the tracer.
+func buildTestTrace(t *testing.T) *Tracer {
+	t.Helper()
+	tr := New(Config{SampleRate: 1, Seed: 5, RingSize: 64})
+	root := tr.StartRoot("stream.read")
+	dec := tr.StartChild("wire.decode", root.Context())
+	dec.End()
+	fold := tr.StartChild("ingest.fold", root.Context())
+	fold.SetAttr("shard", "0")
+	time.Sleep(2 * time.Millisecond)
+	fold.End()
+	root.End()
+
+	other := tr.StartRoot("checkpoint.save")
+	time.Sleep(2 * time.Millisecond)
+	other.End()
+	return tr
+}
+
+func TestHandlerJSON(t *testing.T) {
+	tr := buildTestTrace(t)
+	rr := httptest.NewRecorder()
+	tr.Ring().Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body struct {
+		Capacity int `json:"capacity"`
+		Traces   int `json:"traces"`
+		Spans    []struct {
+			TraceID  string            `json:"trace_id"`
+			ParentID string            `json:"parent_id"`
+			Name     string            `json:"name"`
+			Attrs    map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if body.Capacity != 64 || body.Traces != 2 || len(body.Spans) != 4 {
+		t.Fatalf("capacity=%d traces=%d spans=%d, want 64/2/4\n%s",
+			body.Capacity, body.Traces, len(body.Spans), rr.Body.String())
+	}
+	// The first trace's spans come grouped and start-ordered, root first.
+	if body.Spans[0].Name != "stream.read" || body.Spans[0].ParentID != "" {
+		t.Fatalf("first span %+v, want stream.read root", body.Spans[0])
+	}
+	found := false
+	for _, s := range body.Spans {
+		if s.Name == "ingest.fold" {
+			found = true
+			if s.Attrs["shard"] != "0" {
+				t.Fatalf("fold attrs = %v", s.Attrs)
+			}
+			if s.TraceID != body.Spans[0].TraceID {
+				t.Fatal("fold span not grouped with its trace")
+			}
+			if s.ParentID == "" {
+				t.Fatal("fold span lost its parent link")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ingest.fold span missing")
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	tr := buildTestTrace(t)
+	get := func(query string) string {
+		rr := httptest.NewRecorder()
+		tr.Ring().Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		b, _ := io.ReadAll(rr.Body)
+		return string(b)
+	}
+
+	// min filters out the fast decode span but keeps the slow ones.
+	body := get("?min=1ms")
+	if strings.Contains(body, "wire.decode") {
+		t.Fatalf("min filter kept fast span:\n%s", body)
+	}
+	if !strings.Contains(body, "ingest.fold") || !strings.Contains(body, "checkpoint.save") {
+		t.Fatalf("min filter dropped slow spans:\n%s", body)
+	}
+
+	// stage filters by name substring.
+	body = get("?stage=decode")
+	if !strings.Contains(body, "wire.decode") || strings.Contains(body, "checkpoint.save") {
+		t.Fatalf("stage filter wrong:\n%s", body)
+	}
+
+	// limit keeps the most recent traces.
+	body = get("?limit=1")
+	if strings.Contains(body, "stream.read") || !strings.Contains(body, "checkpoint.save") {
+		t.Fatalf("limit filter wrong:\n%s", body)
+	}
+
+	// bad parameters are 400s.
+	rr := httptest.NewRecorder()
+	tr.Ring().Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?min=bogus", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad min: status %d", rr.Code)
+	}
+}
+
+func TestHandlerTextWaterfall(t *testing.T) {
+	tr := buildTestTrace(t)
+	rr := httptest.NewRecorder()
+	tr.Ring().Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?format=text", nil))
+	body := rr.Body.String()
+	if !strings.Contains(body, "=== trace ") {
+		t.Fatalf("no trace header:\n%s", body)
+	}
+	// Children indent under the root and carry a duration bar.
+	if !strings.Contains(body, "  wire.decode") || !strings.Contains(body, "  ingest.fold") {
+		t.Fatalf("children not indented:\n%s", body)
+	}
+	if !strings.Contains(body, "#") {
+		t.Fatalf("no duration bars:\n%s", body)
+	}
+	if !strings.Contains(body, "shard=0") {
+		t.Fatalf("attrs missing from text view:\n%s", body)
+	}
+}

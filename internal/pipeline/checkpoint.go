@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"donorsense/internal/geo"
+	"donorsense/internal/obs/trace"
 	"donorsense/internal/organ"
 )
 
@@ -263,6 +264,20 @@ func ShardCheckpointPath(base string, shard int) string {
 func (d *Dataset) SaveCheckpoint(path string) (err error) {
 	var start time.Time
 	var written countingWriter
+	// The save span parents onto the last sampled tweet folded since the
+	// previous save, completing that tweet's waterfall through to
+	// durability. The pending context is consumed either way so the next
+	// save doesn't re-parent onto an already-covered trace.
+	if sp := d.startSpan("checkpoint.save", d.pendingTrace); sp != nil {
+		defer func() {
+			sp.SetInt("bytes", written.n)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
+	d.pendingTrace = trace.SpanContext{}
 	if m := d.metrics; m != nil {
 		start = time.Now()
 		defer func() {

@@ -5,6 +5,7 @@ import (
 
 	"donorsense/internal/geo"
 	"donorsense/internal/obs"
+	"donorsense/internal/obs/trace"
 )
 
 // Pipeline stage labels for the stage-latency histogram.
@@ -117,10 +118,11 @@ func (d *Dataset) SetMetrics(m *Metrics) {
 }
 
 // observeOutcome folds one processed tweet into the throughput counters
-// and size gauges.
-func (m *Metrics) observeOutcome(d *Dataset, o Outcome, elapsed time.Duration) {
+// and size gauges. A sampled tweet additionally pins its trace ID as the
+// ingest histogram's exemplar.
+func (m *Metrics) observeOutcome(d *Dataset, o Outcome, elapsed time.Duration, tc trace.SpanContext) {
 	m.tweets.With(outcomeLabel(o)).Inc()
-	m.stage.With(StageIngest).Observe(elapsed.Seconds())
+	m.stage.With(StageIngest).ObserveExemplar(elapsed.Seconds(), exemplarID(tc))
 	m.updateSizes(d)
 }
 
@@ -130,12 +132,13 @@ func (m *Metrics) observeOutcome(d *Dataset, o Outcome, elapsed time.Duration) {
 // negligible next to either). The filter counter only fires for
 // in-context tweets, exactly as in Process. Size gauges are refreshed
 // once per chunk via updateSizes, not here.
-func (m *Metrics) observeFold(o Outcome, p prepared, hadGPS bool) {
+func (m *Metrics) observeFold(o Outcome, p prepared, hadGPS bool, tc trace.SpanContext) {
+	ex := exemplarID(tc)
 	m.tweets.With(outcomeLabel(o)).Inc()
-	m.stage.With(StageExtract).Observe(p.dExtract.Seconds())
-	m.stage.With(StageIngest).Observe((p.dExtract + p.dLocate).Seconds())
+	m.stage.With(StageExtract).ObserveExemplar(p.dExtract.Seconds(), ex)
+	m.stage.With(StageIngest).ObserveExemplar((p.dExtract + p.dLocate).Seconds(), ex)
 	if o != Rejected {
-		m.stage.With(StageLocate).Observe(p.dLocate.Seconds())
+		m.stage.With(StageLocate).ObserveExemplar(p.dLocate.Seconds(), ex)
 		m.filter.With(filterCause(hadGPS, p.loc, p.viaGeoTag)).Inc()
 	}
 }

@@ -75,18 +75,32 @@ func (d *Dataset) prepareChunk(ex *text.Extractor, c *ingestChunk) {
 	for _, t := range c.tweets {
 		var p prepared
 		if m == nil {
+			sp := d.startSpan("ingest.extract", t.TraceCtx)
 			p.ex = ex.Extract(t.Text)
+			sp.End()
 			if p.ex.InContext() {
+				sp = d.startSpan("ingest.locate", t.TraceCtx)
 				p.loc, p.viaGeoTag = d.locate(t)
+				if sp != nil {
+					sp.SetAttr("resolved", p.loc.String())
+					sp.End()
+				}
 			}
 		} else {
+			sp := d.startSpan("ingest.extract", t.TraceCtx)
 			t0 := time.Now()
 			p.ex = ex.Extract(t.Text)
 			p.dExtract = time.Since(t0)
+			sp.End()
 			if p.ex.InContext() {
+				sp = d.startSpan("ingest.locate", t.TraceCtx)
 				t0 = time.Now()
 				p.loc, p.viaGeoTag = d.locate(t)
 				p.dLocate = time.Since(t0)
+				if sp != nil {
+					sp.SetAttr("resolved", p.loc.String())
+					sp.End()
+				}
 			}
 		}
 		c.preps = append(c.preps, p)
@@ -99,8 +113,10 @@ func (d *Dataset) fold(t twitter.Tweet, p prepared) Outcome {
 	if !p.ex.InContext() {
 		return Rejected
 	}
+	fsp := d.startSpan("ingest.fold", t.TraceCtx)
 	d.totalCollected++
 	if !p.loc.IsUSState() {
+		d.endFold(fsp, t.TraceCtx, CollectedNonUS)
 		return CollectedNonUS
 	}
 	d.usTweets++
@@ -135,6 +151,7 @@ func (d *Dataset) fold(t twitter.Tweet, p prepared) Outcome {
 	if d.OnUSTweet != nil {
 		d.OnUSTweet(t, p.ex)
 	}
+	d.endFold(fsp, t.TraceCtx, CollectedUS)
 	return CollectedUS
 }
 
@@ -154,7 +171,7 @@ func (d *Dataset) foldChunk(c ingestChunk) (rejected, nonUS, us int) {
 			us++
 		}
 		if m != nil {
-			m.observeFold(o, c.preps[i], t.HasCoordinates)
+			m.observeFold(o, c.preps[i], t.HasCoordinates, t.TraceCtx)
 		}
 	}
 	if m != nil {

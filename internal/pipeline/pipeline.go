@@ -16,6 +16,7 @@ import (
 
 	"donorsense/internal/core"
 	"donorsense/internal/geo"
+	"donorsense/internal/obs/trace"
 	"donorsense/internal/organ"
 	"donorsense/internal/text"
 	"donorsense/internal/twitter"
@@ -134,6 +135,16 @@ type Dataset struct {
 	// metrics, when non-nil (SetMetrics), instruments every stage of
 	// Process. Nil keeps the hot path branch-cheap and allocation-free.
 	metrics *Metrics
+
+	// tracer, when non-nil (SetTracer), continues sampled tweets' traces
+	// through the processing stages; traceShard/traceIncarnation
+	// (SetTraceScope) tag those spans with supervisor attribution.
+	// pendingTrace is the last sampled tweet folded since the previous
+	// checkpoint — the parent for the next checkpoint.save span.
+	tracer           *trace.Tracer
+	traceShard       string
+	traceIncarnation int64
+	pendingTrace     trace.SpanContext
 }
 
 // NewDataset returns an empty dataset.
@@ -156,7 +167,7 @@ func (d *Dataset) Process(t twitter.Tweet) Outcome {
 	}
 	start := time.Now()
 	o := d.process(t)
-	m.observeOutcome(d, o, time.Since(start))
+	m.observeOutcome(d, o, time.Since(start), t.TraceCtx)
 	return o
 }
 
@@ -166,9 +177,11 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 	if m != nil {
 		t0 = time.Now()
 	}
+	sp := d.startSpan("ingest.extract", t.TraceCtx)
 	ex := d.extractor.Extract(t.Text)
+	sp.End()
 	if m != nil {
-		m.stage.With(StageExtract).Since(t0)
+		m.stage.With(StageExtract).ObserveExemplar(time.Since(t0).Seconds(), exemplarID(t.TraceCtx))
 	}
 	if !ex.InContext() {
 		return Rejected
@@ -178,12 +191,19 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 	if m != nil {
 		t0 = time.Now()
 	}
+	sp = d.startSpan("ingest.locate", t.TraceCtx)
 	loc, viaGeoTag := d.locate(t)
+	if sp != nil {
+		sp.SetAttr("resolved", loc.String())
+		sp.End()
+	}
 	if m != nil {
-		m.stage.With(StageLocate).Since(t0)
+		m.stage.With(StageLocate).ObserveExemplar(time.Since(t0).Seconds(), exemplarID(t.TraceCtx))
 		m.filter.With(filterCause(t.HasCoordinates, loc, viaGeoTag)).Inc()
 	}
+	fsp := d.startSpan("ingest.fold", t.TraceCtx)
 	if !loc.IsUSState() {
+		d.endFold(fsp, t.TraceCtx, CollectedNonUS)
 		return CollectedNonUS
 	}
 
@@ -220,6 +240,7 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 	if d.OnUSTweet != nil {
 		d.OnUSTweet(t, ex)
 	}
+	d.endFold(fsp, t.TraceCtx, CollectedUS)
 	return CollectedUS
 }
 

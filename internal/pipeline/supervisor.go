@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"donorsense/internal/obs/trace"
 	"donorsense/internal/twitter"
 )
 
@@ -65,6 +66,13 @@ type SupervisorConfig struct {
 
 	Metrics *ShardMetrics
 	Logger  *slog.Logger
+
+	// Tracer, when set, continues sampled tweets' traces through each
+	// shard's fold and checkpoint stages, tagging every span with the
+	// shard and its restart incarnation (1-based, incremented per
+	// restart) so a waterfall attributes work to the incarnation that
+	// actually ran it.
+	Tracer *trace.Tracer
 
 	// SaveHook, when set, wraps every checkpoint save: the shard calls
 	// SaveHook(shard, save) instead of save(). Chaos tests use it to
@@ -154,6 +162,9 @@ type shard struct {
 	final    *Dataset
 	restarts int
 	stalls   int
+	// incarnations counts run attempts (1 = the original); the current
+	// incarnation's number tags its spans and ShardStatus.
+	incarnations int
 
 	// preload carries the checkpoint Run loaded for sequence alignment to
 	// the first incarnation, saving a duplicate disk read.
@@ -333,9 +344,12 @@ func (s *Supervisor) Merged() (*Dataset, error) {
 
 // ShardStatus is a point-in-time health snapshot of one shard.
 type ShardStatus struct {
-	Shard        int
-	Live         bool // an incarnation is currently running
-	Done         bool
+	Shard int
+	Live  bool // an incarnation is currently running
+	Done  bool
+	// Incarnation is the current (or last) run attempt, 1-based; it
+	// increments on every restart.
+	Incarnation  int
 	Restarts     int
 	Stalls       int
 	BufferDepth  int
@@ -352,6 +366,7 @@ func (s *Supervisor) Status() []ShardStatus {
 			Shard:       sh.id,
 			Live:        sh.cur != nil,
 			Done:        sh.done,
+			Incarnation: sh.incarnations,
 			Restarts:    sh.restarts,
 			Stalls:      sh.stalls,
 			BufferDepth: len(sh.buf),
@@ -377,12 +392,14 @@ func (s *Supervisor) manage(ctx context.Context, sh *shard) {
 			return
 		}
 		sh.cur = inc
+		sh.incarnations++
+		incNum := sh.incarnations
 		sh.inflight = false
 		sh.lastBeat = time.Now()
 		sh.mu.Unlock()
 
 		exit := make(chan error, 1)
-		go func() { exit <- sh.run(ctx, inc) }()
+		go func() { exit <- sh.run(ctx, inc, incNum) }()
 		var err error
 		select {
 		case err = <-exit:
@@ -547,7 +564,7 @@ const (
 // tweets past the restored cursor, checkpoint periodically, exit on
 // drain, kill, or cancellation. Panics (from chaos hooks or bugs)
 // surface as errors so the manager restarts the shard.
-func (sh *shard) run(ctx context.Context, inc *incarnation) (err error) {
+func (sh *shard) run(ctx context.Context, inc *incarnation, incNum int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("shard %d panicked: %v", sh.id, r)
@@ -557,6 +574,13 @@ func (sh *shard) run(ctx context.Context, inc *incarnation) (err error) {
 	d, err := sh.restore()
 	if err != nil {
 		return err
+	}
+	if cfg.Tracer != nil {
+		// Scope this incarnation's spans before any fold: a waterfall then
+		// shows which incarnation folded each sampled tweet, and a trace
+		// that straddles a restart carries both incarnation numbers.
+		d.SetTracer(cfg.Tracer)
+		d.SetTraceScope(sh.label, incNum)
 	}
 
 	cursor := d.Cursor()

@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"donorsense/internal/obs/trace"
+	"donorsense/internal/twitter"
+)
+
+// TestSupervisorTraceIncarnationAttribution kills a shard mid-run at
+// 100% sampling and asserts the span ring ends up holding fold spans
+// from both the original incarnation and its replacement, each tagged
+// with the incarnation that actually ran it — the attribution a
+// waterfall needs to explain work that straddles a restart.
+func TestSupervisorTraceIncarnationAttribution(t *testing.T) {
+	src := supervisorCorpus()[:3000]
+	// Copy before stamping trace contexts: the corpus slice is shared
+	// across supervisor tests.
+	tweets := append([]twitter.Tweet(nil), src...)
+	tracer := trace.New(trace.Config{SampleRate: 1, RingSize: 1 << 15})
+	for i := range tweets {
+		// Stand in for the stream client: one sampled root per tweet.
+		root := tracer.StartRoot("stream.read")
+		tweets[i].TraceCtx = root.Context()
+		root.End()
+	}
+
+	var killed atomic.Bool
+	got := runSupervisor(t, SupervisorConfig{
+		Shards:           2,
+		CheckpointBase:   filepath.Join(t.TempDir(), "state.ckpt"),
+		CheckpointEveryN: 100,
+		RestartBackoff:   time.Millisecond,
+		Tracer:           tracer,
+		ProcessHook: func(shard int, seq uint64, _ *twitter.Tweet) {
+			if shard == 0 && seq == 500 && killed.CompareAndSwap(false, true) {
+				panic("injected: kill shard 0")
+			}
+		},
+	}, tweets)
+	if !killed.Load() {
+		t.Fatal("kill hook never fired")
+	}
+	// Tracing must not perturb the data: the merged result still matches
+	// the untraced single-process reference exactly.
+	assertDatasetsEqual(t, got, supervisorReference(src))
+
+	incarnations := map[string]map[string]bool{} // shard -> incarnation set
+	for _, sp := range tracer.Ring().Snapshot() {
+		if sp.Name != "ingest.fold" {
+			continue
+		}
+		var shard, inc string
+		for _, a := range sp.Attrs() {
+			switch a.Key {
+			case "shard":
+				shard = a.Value
+			case "incarnation":
+				inc = a.Value
+			}
+		}
+		if shard == "" || inc == "" {
+			t.Fatalf("fold span missing shard/incarnation attrs: %v", sp.Attrs())
+		}
+		if incarnations[shard] == nil {
+			incarnations[shard] = map[string]bool{}
+		}
+		incarnations[shard][inc] = true
+	}
+	for _, want := range []string{"1", "2"} {
+		if !incarnations["0"][want] {
+			t.Errorf("shard 0 has no fold spans from incarnation %s (got %v)", want, incarnations["0"])
+		}
+	}
+	if !incarnations["1"]["1"] {
+		t.Errorf("shard 1 missing incarnation-1 fold spans (got %v)", incarnations["1"])
+	}
+}

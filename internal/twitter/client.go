@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"donorsense/internal/obs/trace"
 )
 
 // StreamClient consumes a streaming filter endpoint, decoding
@@ -81,6 +83,12 @@ type StreamClient struct {
 	// to attach decode telemetry hooks; it must not be shared with any
 	// other concurrent user while Filter runs.
 	Codec *Decoder
+	// Tracer, when set, samples stream lines for end-to-end tracing: a
+	// sampled line gets a "stream.read" root span, a "wire.decode" child
+	// around the codec, and the resulting context stamped onto the tweet
+	// (Tweet.TraceCtx) so downstream pipeline stages extend the same
+	// trace. Nil disables sampling at zero cost.
+	Tracer *trace.Tracer
 
 	stats streamCounters
 	// jitter overrides the full-jitter draw in tests; nil means
@@ -509,18 +517,36 @@ func (c *StreamClient) consumeLine(ctx context.Context, line []byte, out chan<- 
 			return 0, true
 		}
 	}
+	// Sampling decision for the whole trace happens here, once per tweet
+	// line: one PRNG draw. Unsampled lines hold a nil root span and every
+	// tracing statement below degrades to a nil check.
+	root := c.Tracer.StartRoot("stream.read")
+	root.SetInt("line_bytes", int64(len(line)))
+
+	dec := c.Tracer.StartChild("wire.decode", root.Context())
 	var t Tweet
-	if err := c.Codec.Decode(line, &t); err != nil {
+	err := c.Codec.Decode(line, &t)
+	dec.End()
+	if err != nil {
 		// A malformed line is a data problem, not a connection problem;
 		// skip it the way a robust collector must.
 		c.stats.malformedLines.Add(1)
+		root.SetAttr("outcome", "malformed")
+		root.End()
 		return 0, true
+	}
+	if root != nil {
+		t.TraceCtx = root.Context()
+		root.SetInt("tweet_id", t.ID)
 	}
 	select {
 	case out <- t:
 		c.stats.tweets.Add(1)
+		root.End()
 		return 1, true
 	case <-ctx.Done():
+		root.SetAttr("outcome", "cancelled")
+		root.End()
 		return 0, false
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"donorsense/internal/obs/trace"
 )
 
 // createdAtFormat is Twitter's v1.1 timestamp layout.
@@ -46,6 +48,13 @@ type Tweet struct {
 	// pointer allocation and a decoded Tweet is a self-contained value.
 	Coordinates    Coordinates
 	HasCoordinates bool
+	// TraceCtx carries the sampled-trace context assigned when the stream
+	// client read this tweet. Tweets travel through channels and chunk
+	// buffers rather than call stacks, so trace propagation rides the value
+	// itself; the zero value (the overwhelmingly common case) means
+	// unsampled and costs downstream stages one compare. Not part of the
+	// wire format.
+	TraceCtx trace.SpanContext
 }
 
 // SetCoordinates attaches a GPS geo-tag to the tweet.
