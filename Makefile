@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-paper fuzz fmt
+.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-userstore bench-userstore-baseline bench-paper fuzz fmt
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
@@ -28,7 +28,7 @@ test:
 # -short skips the scale-1.0 end of the suite; the concurrency paths are
 # fully exercised.
 race:
-	$(GO) test -race -short ./internal/obs/... ./internal/twitter/ ./internal/pipeline/ ./internal/cluster/ ./cmd/...
+	$(GO) test -race -short ./internal/obs/... ./internal/twitter/ ./internal/pipeline/ ./internal/userstore/ ./internal/cluster/ ./cmd/...
 
 check: build vet test race
 
@@ -83,6 +83,37 @@ benchcmp:
 	$(GO) test -run '^$$' -bench '$(WIRE_BENCH)' -benchmem -count 3 $(WIRE_PKGS) > /tmp/benchcmp_wire_new.txt
 	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_wire_new.txt -out /tmp/benchcmp_wire_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_wire.json /tmp/benchcmp_wire_new.json
+	$(MAKE) bench-userstore
+
+# Columnar user-store benchmarks: the userstore package measuring memory
+# footprint (bytes/user at 1M and 10M rows), update latency, and
+# state-scan throughput.
+USERSTORE_PKG = ./internal/userstore/
+# The 1M-row subset rerun by the CI gate; the 10M benchmarks are
+# baseline-only (minutes of wall clock and >1 GB of headroom).
+USERSTORE_BENCH_1M = ^BenchmarkUserstore(Footprint1M|Update1M|StateScan1M)$$
+
+# Full userstore suite (including 10M rows), archived as the committed
+# baseline; the *_before files hold the replaced map-of-pointer-structs
+# store measured identically, so the two sets diff directly. The 1M
+# subset runs with the gate's exact invocation (same subset, one
+# process, -count 3) so the committed numbers carry the same
+# within-process interference the gate's rerun will.
+bench-userstore-baseline:
+	$(GO) test -run '^$$' -bench '$(USERSTORE_BENCH_1M)' -benchmem -count 3 $(USERSTORE_PKG) | tee BENCH_userstore.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkUserstore(Footprint10M|Update10M)$$' -benchmem -timeout 60m $(USERSTORE_PKG) | tee -a BENCH_userstore.txt
+	$(GO) run ./cmd/benchjson -in BENCH_userstore.txt -out BENCH_userstore.json
+	$(GO) test -run '^$$' -bench '^BenchmarkMapstore' -benchmem -timeout 60m $(USERSTORE_PKG) | tee BENCH_userstore_before.txt
+	$(GO) run ./cmd/benchjson -in BENCH_userstore_before.txt -out BENCH_userstore_before.json
+
+# CI gate: rerun the 1M-row userstore benchmarks fresh and fail when
+# ns/op or allocs/op regress by more than 10% against the committed
+# baseline. Benchmarks only in the baseline (the 10M set) are skipped by
+# the comparer, so the gate stays fast.
+bench-userstore:
+	$(GO) test -run '^$$' -bench '$(USERSTORE_BENCH_1M)' -benchmem -count 3 $(USERSTORE_PKG) > /tmp/benchcmp_userstore_new.txt
+	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_userstore_new.txt -out /tmp/benchcmp_userstore_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_userstore.json /tmp/benchcmp_userstore_new.json
 
 # Differential fuzz of the wire codec against the encoding/json oracle
 # (CI runs the same target for 30s on every push).

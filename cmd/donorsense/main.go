@@ -460,6 +460,11 @@ func cmdCollect(args []string) error {
 			return sec
 		})
 		srv.AddStatus("checkpoint", checkpointStatus(*checkpoint, &lastSaveUnixNano))
+		srv.AddStatus("memory", obs.MemStatsStatusSection(func(sec *obs.StatusSection) {
+			rows, bytes := d.StoreFootprint()
+			sec.Field("userstore_rows", rows)
+			sec.Field("userstore_bytes", obs.FormatBytes(uint64(bytes)))
+		}))
 		srv.AddStatus("tracing", tracingStatus(tracer))
 		srv.AddStatus("errors", errRing.StatusSection)
 		go func() {
@@ -669,6 +674,7 @@ func cmdReplay(args []string) error {
 			sec.Field("rate", *rate)
 			return sec
 		})
+		osrv.AddStatus("memory", obs.MemStatsStatusSection(nil))
 		go func() {
 			if err := osrv.ListenAndServe(ctx, *telemetryAddr); err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry server failed: %v\n", err)

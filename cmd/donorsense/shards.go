@@ -86,6 +86,9 @@ func collectSharded(ctx context.Context, stop context.CancelFunc, opt shardedCol
 			return sec
 		})
 		srv.AddStatus("shards", shardStatusSection(func() *pipeline.Supervisor { return sup }))
+		// Runtime memory only: shard datasets are owned by live workers, so
+		// their store footprints are read off /metrics gauges, not here.
+		srv.AddStatus("memory", obs.MemStatsStatusSection(nil))
 		srv.AddStatus("tracing", tracingStatus(opt.tracer))
 		if opt.errRing != nil {
 			srv.AddStatus("errors", opt.errRing.StatusSection)

@@ -87,6 +87,52 @@ func (b *AttentionBuilder) Build() (*Attention, error) {
 	return &Attention{ids: ids, index: index, u: m}, nil
 }
 
+// AttentionFromCounts builds the Attention matrix straight from columnar
+// mention counts: ids is the user-id column and counts the row-major
+// len(ids)×organ.Count mention matrix (the userstore layout), both in
+// arbitrary row order. Users whose mention row sums to zero are skipped,
+// exactly as AttentionBuilder.Observe skips them, and rows are ordered by
+// ascending user id, exactly as Build orders them — so the result is
+// bit-identical to the builder path while doing one pass and zero
+// per-user map work.
+func AttentionFromCounts(ids []int64, counts []int32) (*Attention, error) {
+	if len(counts) != len(ids)*organ.Count {
+		return nil, fmt.Errorf("core: counts length %d does not match %d users", len(counts), len(ids))
+	}
+	perm := make([]int32, 0, len(ids))
+	for r := range ids {
+		sum := int32(0)
+		for _, v := range counts[r*organ.Count : (r+1)*organ.Count] {
+			sum += v
+		}
+		if sum != 0 {
+			perm = append(perm, int32(r))
+		}
+	}
+	if len(perm) == 0 {
+		return nil, fmt.Errorf("core: no users observed")
+	}
+	sort.Slice(perm, func(i, j int) bool { return ids[perm[i]] < ids[perm[j]] })
+
+	m := mat.New(len(perm), organ.Count)
+	outIDs := make([]int64, len(perm))
+	index := make(map[int64]int, len(perm))
+	for r, src := range perm {
+		id := ids[src]
+		outIDs[r] = id
+		index[id] = r
+		row := counts[int(src)*organ.Count : (int(src)+1)*organ.Count]
+		for c, v := range row {
+			m.Set(r, c, float64(v))
+		}
+	}
+	if zero := m.NormalizeRows(); len(zero) != 0 {
+		// Zero-sum rows were filtered above, so this is a bug.
+		return nil, fmt.Errorf("core: %d zero attention rows", len(zero))
+	}
+	return &Attention{ids: outIDs, index: index, u: m}, nil
+}
+
 // Attention is the normalized user-attention matrix Û. Each row is a
 // discrete probability distribution over the six organs.
 type Attention struct {

@@ -72,6 +72,13 @@ func (h *HighlightResult) StatesHighlighting(o organ.Organ) []string {
 // mention organ i, b the users in r who do not, c and d the same outside
 // r.
 func HighlightOrgans(a *Attention, stateOf map[int64]string) (*HighlightResult, error) {
+	return HighlightOrgansFunc(a, lookupMap(stateOf))
+}
+
+// HighlightOrgansFunc is HighlightOrgans with a StateLookup callback
+// instead of a materialized map. The cell counts are integers, so the
+// result is identical for any lookup backing.
+func HighlightOrgansFunc(a *Attention, stateOf StateLookup) (*HighlightResult, error) {
 	codes := geo.StateCodes()
 	nStates := len(codes)
 
@@ -83,7 +90,7 @@ func HighlightOrgans(a *Attention, stateOf map[int64]string) (*HighlightResult, 
 	totalUsers := 0
 
 	for row, id := range a.UserIDs() {
-		code, ok := stateOf[id]
+		code, ok := stateOf(id)
 		if !ok {
 			continue
 		}
@@ -133,11 +140,16 @@ func HighlightOrgans(a *Attention, stateOf map[int64]string) (*HighlightResult, 
 // harness contrasts it with the RR highlighting. States with no users map
 // to -1.
 func WinnerTakesAll(a *Attention, stateOf map[int64]string) (map[string]organ.Organ, error) {
+	return WinnerTakesAllFunc(a, lookupMap(stateOf))
+}
+
+// WinnerTakesAllFunc is WinnerTakesAll with a StateLookup callback.
+func WinnerTakesAllFunc(a *Attention, stateOf StateLookup) (map[string]organ.Organ, error) {
 	codes := geo.StateCodes()
 	counts := make([][organ.Count]int, len(codes))
 	seen := make([]bool, len(codes))
 	for row, id := range a.UserIDs() {
-		code, ok := stateOf[id]
+		code, ok := stateOf(id)
 		if !ok {
 			continue
 		}

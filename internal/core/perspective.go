@@ -72,16 +72,38 @@ type RegionCharacterization struct {
 	EmptyStates []int
 }
 
+// StateLookup resolves a user id to its USPS state code. It is the
+// callback form of the old map[int64]string argument: the columnar store
+// answers it with an O(1) hash probe and an interned string, so callers
+// no longer materialize an O(users) map to run the region analyses.
+type StateLookup func(id int64) (string, bool)
+
+// lookupMap adapts a materialized state map to a StateLookup.
+func lookupMap(stateOf map[int64]string) StateLookup {
+	return func(id int64) (string, bool) {
+		code, ok := stateOf[id]
+		return code, ok
+	}
+}
+
 // CharacterizeRegions builds the region perspective: users are grouped by
 // home state (Equation 2) and aggregated with Equation 3. stateOf maps a
 // user ID to its USPS state code; users missing from the map or with
 // unknown codes are left out of the aggregation (the paper drops users it
 // cannot locate).
 func CharacterizeRegions(a *Attention, stateOf map[int64]string) (*RegionCharacterization, error) {
+	return CharacterizeRegionsFunc(a, lookupMap(stateOf))
+}
+
+// CharacterizeRegionsFunc is CharacterizeRegions with a StateLookup
+// callback instead of a materialized map. Aggregation visits users in
+// attention row order (ascending user id), so the floating-point sums —
+// and therefore K — are bit-identical no matter how the lookup is backed.
+func CharacterizeRegionsFunc(a *Attention, stateOf StateLookup) (*RegionCharacterization, error) {
 	codes := geo.StateCodes()
 	l := mat.NewMembership(a.Users(), len(codes))
 	for row, id := range a.UserIDs() {
-		code, ok := stateOf[id]
+		code, ok := stateOf(id)
 		if !ok {
 			continue
 		}

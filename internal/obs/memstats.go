@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// MemStatsStatusSection returns a /statusz section factory reporting the
+// Go runtime's live memory picture — the block an operator reads next to
+// the stream and checkpoint sections to judge whether a long collection
+// is drifting toward OOM. extra, when non-nil, is called after the
+// runtime fields so callers can append process-specific footprint lines
+// (the collectors add the columnar user store's rows and bytes).
+func MemStatsStatusSection(extra func(sec *StatusSection)) func() StatusSection {
+	return func() StatusSection {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		var sec StatusSection
+		sec.Field("heap_alloc", FormatBytes(ms.HeapAlloc))
+		sec.Field("heap_sys", FormatBytes(ms.HeapSys))
+		sec.Field("heap_objects", ms.HeapObjects)
+		sec.Field("stack_sys", FormatBytes(ms.StackSys))
+		sec.Field("total_alloc", FormatBytes(ms.TotalAlloc))
+		sec.Field("gc_cycles", ms.NumGC)
+		sec.Field("gc_cpu_percent", fmt.Sprintf("%.2f", ms.GCCPUFraction*100))
+		sec.Field("next_gc", FormatBytes(ms.NextGC))
+		sec.Field("goroutines", runtime.NumGoroutine())
+		if extra != nil {
+			extra(&sec)
+		}
+		return sec
+	}
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit, one
+// decimal place (e.g. "823.6 MiB"). Values under 1 KiB print as plain
+// bytes.
+func FormatBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	units := []string{"KiB", "MiB", "GiB", "TiB"}
+	v := float64(n)
+	for _, u := range units {
+		v /= unit
+		if v < unit || u == units[len(units)-1] {
+			return fmt.Sprintf("%.1f %s", v, u)
+		}
+	}
+	return fmt.Sprintf("%d B", n) // unreachable
+}

@@ -35,19 +35,27 @@ import (
 	"donorsense/internal/geo"
 	"donorsense/internal/obs/trace"
 	"donorsense/internal/organ"
+	"donorsense/internal/userstore"
 )
 
 // checkpointMagic identifies a donorsense checkpoint; the trailing byte
 // is the format version.
 var checkpointMagic = [8]byte{'D', 'S', 'C', 'K', 'P', 'T', 0, checkpointVersion}
 
-const checkpointVersion = 2
+// checkpointVersion is the format written by WriteCheckpoint. Version 3
+// serializes the user store as flat columns (the userstore layout);
+// version 2, the legacy map-of-records payload, is still readable so
+// pre-columnar snapshots migrate on load.
+const (
+	checkpointVersion       = 3
+	checkpointVersionLegacy = 2
+)
 
 // ErrCheckpointCorrupt reports a snapshot that failed validation (bad
 // magic, truncation, or checksum mismatch).
 var ErrCheckpointCorrupt = errors.New("pipeline: checkpoint corrupt")
 
-// checkpointUser mirrors UserRecord with exported fields for gob.
+// checkpointUser mirrors the legacy (v2) per-user record for gob.
 type checkpointUser struct {
 	ID               int64
 	StateCode        string
@@ -70,8 +78,8 @@ type checkpointContribution struct {
 	GeoTagged bool
 }
 
-// checkpointState is the gob payload: the complete serializable state of
-// a Dataset.
+// checkpointState is the legacy v2 gob payload: the complete
+// serializable state of a Dataset with users as a map of records.
 type checkpointState struct {
 	Users          map[int64]checkpointUser
 	TotalCollected int
@@ -90,10 +98,55 @@ type checkpointState struct {
 	Cursor uint64
 }
 
-// snapshot captures the dataset into its serializable form.
-func (d *Dataset) snapshot() checkpointState {
-	st := checkpointState{
-		Users:          make(map[int64]checkpointUser, len(d.users)),
+// checkpointStateV3 is the v3 gob payload: the user store as flat
+// columns (one slice per field, row-major mention matrix, append-ordered
+// state intern table) plus the dataset counters. Encoding the columns
+// directly — no per-user structs — keeps the snapshot one contiguous
+// write per column and lets the loader adopt the decoded slices without
+// copying.
+type checkpointStateV3 struct {
+	UserIDs        []int64
+	FirstSeen      []int64
+	FirstTweetID   []int64
+	Tweets         []int32
+	Clinical       []int32
+	Hashtags       []int32
+	StateIdx       []uint8
+	UserFlags      []uint8
+	Mentions       []int32
+	StateCodes     []string
+	TotalCollected int
+	USTweets       int
+	GeoTagged      int
+	MentionSum     int
+	FirstTweet     time.Time
+	LastTweet      time.Time
+	OrgansPerTweet map[int]int
+	TrackDeletions bool
+	Contributions  map[int64]checkpointContribution
+	LocCache       map[string]geo.Location
+	// Cursor is the feeding layer's stream position at snapshot time (see
+	// Dataset.SetCursor); the shard supervisor's replay skip depends on
+	// it surviving the round-trip.
+	Cursor uint64
+}
+
+// snapshot captures the dataset into its serializable (v3) form. The
+// column slices are borrowed views into the store; the snapshot must be
+// encoded before the dataset is mutated again.
+func (d *Dataset) snapshot() checkpointStateV3 {
+	cols := d.store.Columns()
+	st := checkpointStateV3{
+		UserIDs:        cols.IDs,
+		FirstSeen:      cols.FirstSeen,
+		FirstTweetID:   cols.FirstTweetID,
+		Tweets:         cols.Tweets,
+		Clinical:       cols.Clinical,
+		Hashtags:       cols.Hashtags,
+		StateIdx:       cols.StateIdx,
+		UserFlags:      cols.Flags,
+		Mentions:       cols.Mentions,
+		StateCodes:     cols.StateCodes,
 		TotalCollected: d.totalCollected,
 		USTweets:       d.usTweets,
 		GeoTagged:      d.geoTagged,
@@ -105,68 +158,53 @@ func (d *Dataset) snapshot() checkpointState {
 		LocCache:       make(map[string]geo.Location, d.locCache.len()),
 		Cursor:         d.cursor,
 	}
-	for id, u := range d.users {
-		st.Users[id] = checkpointUser{
-			ID:               u.ID,
-			StateCode:        u.StateCode,
-			GeoTagged:        u.GeoTagged,
-			Tweets:           u.Tweets,
-			Mentions:         u.Mentions,
-			ClinicalMentions: u.ClinicalMentions,
-			Hashtags:         u.Hashtags,
-			FirstSeen:        u.FirstSeen,
-			FirstTweetID:     u.FirstTweetID,
-		}
-	}
 	for k, n := range d.organsPerTweet {
 		st.OrgansPerTweet[k] = n
 	}
-	if d.contributions != nil {
-		st.Contributions = make(map[int64]checkpointContribution, len(d.contributions))
-		for id, c := range d.contributions {
-			st.Contributions[id] = checkpointContribution{
-				UserID:    c.userID,
-				Mentions:  c.mentions,
-				Clinical:  c.clinical,
-				Hashtags:  c.hashtags,
-				Distinct:  c.distinct,
-				GeoTagged: c.geoTagged,
-			}
-		}
-	}
+	st.Contributions = snapshotContributions(d.contributions)
 	d.locCache.each(func(k string, v geo.Location) { st.LocCache[k] = v })
 	return st
 }
 
-// restore rebuilds a fresh dataset from a decoded snapshot.
-func restore(st checkpointState) *Dataset {
-	d := NewDataset()
-	d.totalCollected = st.TotalCollected
-	d.usTweets = st.USTweets
-	d.geoTagged = st.GeoTagged
-	d.mentionSum = st.MentionSum
-	d.firstTweet = st.FirstTweet
-	d.lastTweet = st.LastTweet
-	d.cursor = st.Cursor
-	for k, n := range st.OrgansPerTweet {
-		d.organsPerTweet[k] = n
+// snapshotContributions converts the delete-tracking records (nil stays
+// nil: tracking disabled).
+func snapshotContributions(contribs map[int64]tweetContribution) map[int64]checkpointContribution {
+	if contribs == nil {
+		return nil
 	}
-	for id, u := range st.Users {
-		d.users[id] = &UserRecord{
-			ID:               u.ID,
-			StateCode:        u.StateCode,
-			GeoTagged:        u.GeoTagged,
-			Tweets:           u.Tweets,
-			Mentions:         u.Mentions,
-			ClinicalMentions: u.ClinicalMentions,
-			Hashtags:         u.Hashtags,
-			FirstSeen:        u.FirstSeen,
-			FirstTweetID:     u.FirstTweetID,
+	out := make(map[int64]checkpointContribution, len(contribs))
+	for id, c := range contribs {
+		out[id] = checkpointContribution{
+			UserID:    c.userID,
+			Mentions:  c.mentions,
+			Clinical:  c.clinical,
+			Hashtags:  c.hashtags,
+			Distinct:  c.distinct,
+			GeoTagged: c.geoTagged,
 		}
 	}
-	if st.TrackDeletions {
+	return out
+}
+
+// restoreCommon applies the non-user fields shared by both snapshot
+// versions to a fresh dataset.
+func restoreCommon(d *Dataset, totalCollected, usTweets, geoTagged, mentionSum int,
+	firstTweet, lastTweet time.Time, organsPerTweet map[int]int,
+	trackDeletions bool, contribs map[int64]checkpointContribution,
+	locCache map[string]geo.Location, cursor uint64) {
+	d.totalCollected = totalCollected
+	d.usTweets = usTweets
+	d.geoTagged = geoTagged
+	d.mentionSum = mentionSum
+	d.firstTweet = firstTweet
+	d.lastTweet = lastTweet
+	d.cursor = cursor
+	for k, n := range organsPerTweet {
+		d.organsPerTweet[k] = n
+	}
+	if trackDeletions {
 		d.TrackDeletions()
-		for id, c := range st.Contributions {
+		for id, c := range contribs {
 			d.contributions[id] = tweetContribution{
 				userID:    c.UserID,
 				mentions:  c.Mentions,
@@ -177,9 +215,59 @@ func restore(st checkpointState) *Dataset {
 			}
 		}
 	}
-	for k, v := range st.LocCache {
+	for k, v := range locCache {
 		d.locCache.put(k, v)
 	}
+}
+
+// restore rebuilds a fresh dataset from a decoded v3 snapshot, adopting
+// the decoded column slices directly into the store.
+func restore(st checkpointStateV3) (*Dataset, error) {
+	store, err := userstore.FromColumns(organ.Count, userstore.Columns{
+		IDs:          st.UserIDs,
+		FirstSeen:    st.FirstSeen,
+		FirstTweetID: st.FirstTweetID,
+		Tweets:       st.Tweets,
+		Clinical:     st.Clinical,
+		Hashtags:     st.Hashtags,
+		StateIdx:     st.StateIdx,
+		Flags:        st.UserFlags,
+		Mentions:     st.Mentions,
+		StateCodes:   st.StateCodes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
+	}
+	d := NewDataset()
+	d.store = store
+	restoreCommon(d, st.TotalCollected, st.USTweets, st.GeoTagged, st.MentionSum,
+		st.FirstTweet, st.LastTweet, st.OrgansPerTweet,
+		st.TrackDeletions, st.Contributions, st.LocCache, st.Cursor)
+	return d, nil
+}
+
+// restoreLegacy rebuilds a dataset from a decoded v2 snapshot: the map
+// of user records is folded into a fresh columnar store. Store row order
+// after a migration is map-iteration order — unspecified, and invisible:
+// every consumer either sorts by user id or aggregates
+// order-independently.
+func restoreLegacy(st checkpointState) *Dataset {
+	d := NewDataset()
+	for id, u := range st.Users {
+		var flags uint8
+		if u.GeoTagged {
+			flags = userstore.FlagGeoTagged
+		}
+		row := d.store.Insert(id, u.StateCode, flags, u.FirstSeen, u.FirstTweetID)
+		d.store.AddCounts(row, int32(u.Tweets), int32(u.ClinicalMentions), int32(u.Hashtags))
+		mrow := d.store.MentionsRow(row)
+		for i, m := range u.Mentions {
+			mrow[i] = int32(m)
+		}
+	}
+	restoreCommon(d, st.TotalCollected, st.USTweets, st.GeoTagged, st.MentionSum,
+		st.FirstTweet, st.LastTweet, st.OrgansPerTweet,
+		st.TrackDeletions, st.Contributions, st.LocCache, st.Cursor)
 	return d
 }
 
@@ -215,8 +303,10 @@ func ReadCheckpoint(r io.Reader) (*Dataset, error) {
 	if [7]byte(magic[:7]) != [7]byte(checkpointMagic[:7]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCheckpointCorrupt)
 	}
-	if magic[7] != checkpointVersion {
-		return nil, fmt.Errorf("pipeline: checkpoint version %d not supported (want %d)", magic[7], checkpointVersion)
+	version := magic[7]
+	if version != checkpointVersion && version != checkpointVersionLegacy {
+		return nil, fmt.Errorf("pipeline: checkpoint version %d not supported (want %d or %d)",
+			version, checkpointVersionLegacy, checkpointVersion)
 	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -235,11 +325,18 @@ func ReadCheckpoint(r io.Reader) (*Dataset, error) {
 	if crc32.ChecksumIEEE(payload) != sum {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpointCorrupt)
 	}
-	var st checkpointState
+	if version == checkpointVersionLegacy {
+		var st checkpointState
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+			return nil, fmt.Errorf("%w: decode: %v", ErrCheckpointCorrupt, err)
+		}
+		return restoreLegacy(st), nil
+	}
+	var st checkpointStateV3
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: decode: %v", ErrCheckpointCorrupt, err)
 	}
-	return restore(st), nil
+	return restore(st)
 }
 
 // CheckpointBackupPath returns the path of the last-good backup snapshot

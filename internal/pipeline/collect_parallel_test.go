@@ -38,8 +38,8 @@ func assertDatasetsIdentical(t *testing.T, got, want *Dataset) {
 		t.Errorf("stats differ:\n%+v\n%+v", got.Stats(), want.Stats())
 	}
 	want.EachUser(func(u *UserRecord) {
-		gu := got.users[u.ID]
-		if gu == nil || *gu != *u {
+		gu, ok := got.LookupUser(u.ID)
+		if !ok || gu != *u {
 			t.Fatalf("user %d differs: %+v vs %+v", u.ID, gu, u)
 		}
 	})

@@ -56,18 +56,17 @@ func (d *Dataset) Delete(statusID int64) bool {
 	d.organsPerTweet[int(c.distinct)]--
 	d.mentionSum -= int(c.distinct)
 
-	u := d.users[c.userID]
-	if u == nil {
+	row, ok := d.store.Find(c.userID)
+	if !ok {
 		return true // user already gone (should not happen)
 	}
-	u.Tweets--
-	u.ClinicalMentions -= int(c.clinical)
-	u.Hashtags -= int(c.hashtags)
+	d.store.AddCounts(row, -1, -int32(c.clinical), -int32(c.hashtags))
+	mrow := d.store.MentionsRow(row)
 	for i, m := range c.mentions {
-		u.Mentions[i] -= int(m)
+		mrow[i] -= int32(m)
 	}
-	if u.Tweets <= 0 {
-		delete(d.users, c.userID)
+	if d.store.Tweets(row) <= 0 {
+		d.store.Remove(c.userID)
 	}
 	return true
 }

@@ -1,6 +1,9 @@
 package pipeline
 
-import "donorsense/internal/geo"
+import (
+	"donorsense/internal/geo"
+	"donorsense/internal/userstore"
+)
 
 // Merge folds the state of another dataset into this one. It is the
 // combine step of sharded collection: N shard collectors each build a
@@ -51,21 +54,21 @@ func (d *Dataset) Merge(other *Dataset) {
 		d.organsPerTweet[k] += n
 	}
 
-	for id, ou := range other.users {
-		u := d.users[id]
-		if u == nil {
-			d.users[id] = ou
-			continue
+	os := other.store
+	for row := int32(0); row < int32(os.Len()); row++ {
+		id := os.ID(row)
+		drow, ok := d.store.Find(id)
+		if !ok {
+			drow = d.store.Insert(id, os.StateCode(row), os.Flags(row),
+				os.FirstSeen(row), os.FirstTweetID(row))
+		} else if rowBefore(os, row, d.store, drow) {
+			d.store.SetIdentity(drow, os.StateCode(row), os.Flags(row),
+				os.FirstSeen(row), os.FirstTweetID(row))
 		}
-		if userBefore(ou, u) {
-			u.StateCode, u.GeoTagged = ou.StateCode, ou.GeoTagged
-			u.FirstSeen, u.FirstTweetID = ou.FirstSeen, ou.FirstTweetID
-		}
-		u.Tweets += ou.Tweets
-		u.ClinicalMentions += ou.ClinicalMentions
-		u.Hashtags += ou.Hashtags
-		for i := range u.Mentions {
-			u.Mentions[i] += ou.Mentions[i]
+		d.store.AddCounts(drow, os.Tweets(row), os.Clinical(row), os.Hashtags(row))
+		dst := d.store.MentionsRow(drow)
+		for i, v := range os.MentionsRow(row) {
+			dst[i] += v
 		}
 	}
 
@@ -86,20 +89,20 @@ func (d *Dataset) Merge(other *Dataset) {
 	}
 }
 
-// userBefore reports whether a's first retained tweet precedes b's under
-// the documented merge tie-break order: first-seen time, then tweet id,
-// then state code, then geo-tag flag. It is a strict weak order; records
-// equal under all four keys compare false both ways (either wins, and
-// their identity fields are identical anyway).
-func userBefore(a, b *UserRecord) bool {
-	if a.FirstSeen != b.FirstSeen {
-		return a.FirstSeen < b.FirstSeen
+// rowBefore reports whether store a's row ar has the earlier first
+// retained tweet under the documented merge tie-break order: first-seen
+// time, then tweet id, then state code, then geo-tag flag. It is a
+// strict weak order; rows equal under all four keys compare false both
+// ways (either wins, and their identity fields are identical anyway).
+func rowBefore(a *userstore.Store, ar int32, b *userstore.Store, br int32) bool {
+	if a.FirstSeen(ar) != b.FirstSeen(br) {
+		return a.FirstSeen(ar) < b.FirstSeen(br)
 	}
-	if a.FirstTweetID != b.FirstTweetID {
-		return a.FirstTweetID < b.FirstTweetID
+	if a.FirstTweetID(ar) != b.FirstTweetID(br) {
+		return a.FirstTweetID(ar) < b.FirstTweetID(br)
 	}
-	if a.StateCode != b.StateCode {
-		return a.StateCode < b.StateCode
+	if a.StateCode(ar) != b.StateCode(br) {
+		return a.StateCode(ar) < b.StateCode(br)
 	}
-	return !a.GeoTagged && b.GeoTagged
+	return !a.GeoTagged(ar) && b.GeoTagged(br)
 }

@@ -36,6 +36,8 @@ type Metrics struct {
 	users          *obs.Gauge
 	usTweets       *obs.Gauge
 	totalCollected *obs.Gauge
+	userstoreRows  *obs.Gauge
+	userstoreBytes *obs.Gauge
 
 	ckptSaves   *obs.Counter
 	ckptErrors  *obs.Counter
@@ -71,6 +73,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Retained US tweets (Table I)."),
 		totalCollected: reg.Gauge("donorsense_pipeline_collected_tweets",
 			"In-context tweets collected, US or not (Table I)."),
+		userstoreRows: reg.Gauge("donorsense_userstore_rows",
+			"Rows (retained users) in the columnar user store."),
+		userstoreBytes: reg.Gauge("donorsense_userstore_bytes",
+			"Retained bytes of the columnar user store: columns, hash index, and state bitsets."),
 		ckptSaves: reg.Counter("donorsense_checkpoint_saves_total",
 			"Checkpoint snapshots published successfully."),
 		ckptErrors: reg.Counter("donorsense_checkpoint_errors_total",
@@ -111,10 +117,7 @@ func (d *Dataset) SetMetrics(m *Metrics) {
 	}
 	// Seed the size gauges so a resumed dataset reports its restored
 	// state before the first processed tweet.
-	m.users.Set(float64(len(d.users)))
-	m.usTweets.Set(float64(d.usTweets))
-	m.totalCollected.Set(float64(d.totalCollected))
-	m.cacheEntries.Set(float64(d.locCache.len()))
+	m.updateSizes(d)
 }
 
 // observeOutcome folds one processed tweet into the throughput counters
@@ -143,12 +146,15 @@ func (m *Metrics) observeFold(o Outcome, p prepared, hadGPS bool, tc trace.SpanC
 	}
 }
 
-// updateSizes refreshes the dataset size gauges.
+// updateSizes refreshes the dataset size gauges, including the columnar
+// store's row count and retained-byte footprint.
 func (m *Metrics) updateSizes(d *Dataset) {
-	m.users.Set(float64(len(d.users)))
+	m.users.Set(float64(d.store.Len()))
 	m.usTweets.Set(float64(d.usTweets))
 	m.totalCollected.Set(float64(d.totalCollected))
 	m.cacheEntries.Set(float64(d.locCache.len()))
+	m.userstoreRows.Set(float64(d.store.Len()))
+	m.userstoreBytes.Set(float64(d.store.SizeBytes()))
 }
 
 // outcomeLabel maps an Outcome to its metric label (snake_case, stable).

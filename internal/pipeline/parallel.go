@@ -129,28 +129,7 @@ func (d *Dataset) fold(t twitter.Tweet, p prepared) Outcome {
 	if t.CreatedAt.After(d.lastTweet) {
 		d.lastTweet = t.CreatedAt
 	}
-	u := d.users[t.User.ID]
-	if u == nil {
-		u = &UserRecord{ID: t.User.ID, StateCode: p.loc.StateCode, GeoTagged: p.viaGeoTag,
-			FirstSeen: t.CreatedAt.UnixNano(), FirstTweetID: t.ID}
-		d.users[t.User.ID] = u
-	}
-	u.Tweets++
-	u.ClinicalMentions += p.ex.ClinicalMentions
-	u.Hashtags += p.ex.Hashtags
-	distinct := 0
-	for i, m := range p.ex.Mentions {
-		u.Mentions[i] += m
-		if m > 0 {
-			distinct++
-		}
-	}
-	d.organsPerTweet[distinct]++
-	d.mentionSum += distinct
-	d.recordContribution(t.ID, t.User.ID, p.ex.Mentions, p.ex.ClinicalMentions, p.ex.Hashtags, distinct, p.viaGeoTag)
-	if d.OnUSTweet != nil {
-		d.OnUSTweet(t, p.ex)
-	}
+	d.foldUSTweet(t, p.ex, p.loc.StateCode, p.viaGeoTag)
 	d.endFold(fsp, t.TraceCtx, CollectedUS)
 	return CollectedUS
 }

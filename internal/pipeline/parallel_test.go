@@ -51,8 +51,8 @@ func TestProcessAllMatchesSequential(t *testing.T) {
 	}
 	// Per-user records identical.
 	seq.EachUser(func(u *UserRecord) {
-		pu := par.users[u.ID]
-		if pu == nil || *pu != *u {
+		pu, ok := par.LookupUser(u.ID)
+		if !ok || pu != *u {
 			t.Fatalf("user %d differs: %+v vs %+v", u.ID, pu, u)
 		}
 	})

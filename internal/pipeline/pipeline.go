@@ -20,6 +20,7 @@ import (
 	"donorsense/internal/organ"
 	"donorsense/internal/text"
 	"donorsense/internal/twitter"
+	"donorsense/internal/userstore"
 )
 
 // Outcome classifies what happened to one processed tweet.
@@ -52,7 +53,10 @@ func (o Outcome) String() string {
 	return "outcome(?)"
 }
 
-// UserRecord aggregates everything the dataset retains about one US user.
+// UserRecord aggregates everything the dataset retains about one US
+// user. Since the columnar store became the backing representation it is
+// a view type: EachUser materializes records from the column slices on
+// the fly, and the store — not a map of these structs — owns the data.
 type UserRecord struct {
 	ID        int64
 	StateCode string
@@ -103,7 +107,12 @@ type Dataset struct {
 	// workers can share it without contending on one lock.
 	locCache *shardedLocCache
 
-	users map[int64]*UserRecord
+	// store holds every retained user columnar: an open-addressing id →
+	// row index, parallel column slices for the scalar fields, the
+	// row-major mention matrix the attention build consumes zero-copy,
+	// and per-state bitset membership indices (ROADMAP item 4: tens of
+	// bytes per user instead of a GC-scanned map of pointer records).
+	store *userstore.Store
 
 	totalCollected int // in-context tweets, US or not
 	usTweets       int
@@ -153,7 +162,7 @@ func NewDataset() *Dataset {
 		extractor:      text.NewExtractor(),
 		geocoder:       geo.NewGeocoder(),
 		locCache:       newShardedLocCache(locCacheCap),
-		users:          make(map[int64]*UserRecord),
+		store:          userstore.New(organ.Count),
 		organsPerTweet: make(map[int]int),
 	}
 }
@@ -218,18 +227,28 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 		d.lastTweet = t.CreatedAt
 	}
 
-	u := d.users[t.User.ID]
-	if u == nil {
-		u = &UserRecord{ID: t.User.ID, StateCode: loc.StateCode, GeoTagged: viaGeoTag,
-			FirstSeen: t.CreatedAt.UnixNano(), FirstTweetID: t.ID}
-		d.users[t.User.ID] = u
+	d.foldUSTweet(t, ex, loc.StateCode, viaGeoTag)
+	d.endFold(fsp, t.TraceCtx, CollectedUS)
+	return CollectedUS
+}
+
+// foldUSTweet applies one retained US tweet to the user store and the
+// tweet-level aggregates. It is the shared tail of Process and the
+// parallel fold path.
+func (d *Dataset) foldUSTweet(t twitter.Tweet, ex text.Extraction, stateCode string, viaGeoTag bool) {
+	row, ok := d.store.Find(t.User.ID)
+	if !ok {
+		var flags uint8
+		if viaGeoTag {
+			flags = userstore.FlagGeoTagged
+		}
+		row = d.store.Insert(t.User.ID, stateCode, flags, t.CreatedAt.UnixNano(), t.ID)
 	}
-	u.Tweets++
-	u.ClinicalMentions += ex.ClinicalMentions
-	u.Hashtags += ex.Hashtags
+	d.store.AddCounts(row, 1, int32(ex.ClinicalMentions), int32(ex.Hashtags))
+	mrow := d.store.MentionsRow(row)
 	distinct := 0
 	for i, m := range ex.Mentions {
-		u.Mentions[i] += m
+		mrow[i] += int32(m)
 		if m > 0 {
 			distinct++
 		}
@@ -240,8 +259,6 @@ func (d *Dataset) process(t twitter.Tweet) Outcome {
 	if d.OnUSTweet != nil {
 		d.OnUSTweet(t, ex)
 	}
-	d.endFold(fsp, t.TraceCtx, CollectedUS)
-	return CollectedUS
 }
 
 // locate augments the tweet with a location: the GPS geo-tag wins when
@@ -300,7 +317,14 @@ func (d *Dataset) Cursor() uint64 { return d.cursor }
 func (d *Dataset) SetCursor(c uint64) { d.cursor = c }
 
 // Users returns the number of retained US users.
-func (d *Dataset) Users() int { return len(d.users) }
+func (d *Dataset) Users() int { return d.store.Len() }
+
+// StoreFootprint reports the columnar user store's size: retained rows
+// and the retained bytes of its columns, hash index, and state bitsets.
+// It feeds the userstore gauge pair and the /statusz memory section.
+func (d *Dataset) StoreFootprint() (rows int, bytes int64) {
+	return d.store.Len(), d.store.SizeBytes()
+}
 
 // USTweets returns the number of retained US tweets.
 func (d *Dataset) USTweets() int { return d.usTweets }
@@ -311,29 +335,96 @@ func (d *Dataset) TotalCollected() int { return d.totalCollected }
 // GeoTagged returns how many retained US tweets were located via GPS.
 func (d *Dataset) GeoTagged() int { return d.geoTagged }
 
-// StateOf returns the userID → state map the characterization consumes.
+// StateOf materializes the userID → state map. It allocates O(users);
+// the analysis paths use StateLookup instead, which answers per-id
+// queries straight off the store's hash index. StateOf remains for
+// callers that genuinely want a snapshot map.
 func (d *Dataset) StateOf() map[int64]string {
-	out := make(map[int64]string, len(d.users))
-	for id, u := range d.users {
-		out[id] = u.StateCode
-	}
+	out := make(map[int64]string, d.store.Len())
+	d.EachUserState(func(id int64, code string) { out[id] = code })
 	return out
 }
 
-// BuildAttention constructs the normalized attention matrix Û over the
-// retained users.
-func (d *Dataset) BuildAttention() (*core.Attention, error) {
-	b := core.NewAttentionBuilder()
-	for id, u := range d.users {
-		b.Observe(id, u.Mentions)
+// StateLookup returns an O(1) userID → state resolver backed by the
+// store's hash index. The returned closure reads live store state; it is
+// only valid while the dataset is not mutated concurrently.
+func (d *Dataset) StateLookup() core.StateLookup {
+	return func(id int64) (string, bool) {
+		row, ok := d.store.Find(id)
+		if !ok {
+			return "", false
+		}
+		return d.store.StateCode(row), true
 	}
-	return b.Build()
+}
+
+// EachUserState calls fn with every retained user's id and state code,
+// straight off the columns — no map allocation. Iteration order is
+// unspecified.
+func (d *Dataset) EachUserState(fn func(id int64, code string)) {
+	for row := int32(0); row < int32(d.store.Len()); row++ {
+		fn(d.store.ID(row), d.store.StateCode(row))
+	}
+}
+
+// EachStateSlice iterates the per-state bitset indices: fn receives each
+// interned state's code, its retained user count, and the column sums of
+// its users' organ mentions. States whose users were all deleted are
+// reported with zero counts.
+func (d *Dataset) EachStateSlice(fn func(code string, users int, mentions [organ.Count]int64)) {
+	var sums [organ.Count]int64
+	for st := 0; st < d.store.StateCount(); st++ {
+		idx := uint8(st)
+		for i := range sums {
+			sums[i] = 0
+		}
+		d.store.StateMentionSums(idx, sums[:])
+		fn(d.store.StateCodeAt(st), d.store.StateUserCount(idx), sums)
+	}
+}
+
+// BuildAttention constructs the normalized attention matrix Û over the
+// retained users, straight from the store's id column and row-major
+// mention matrix — no per-user map or copy-into-matrix step.
+func (d *Dataset) BuildAttention() (*core.Attention, error) {
+	return core.AttentionFromCounts(d.store.IDs(), d.store.Mentions())
 }
 
 // EachUser calls fn for every retained user. Iteration order is
-// unspecified.
+// unspecified. The *UserRecord is a scratch view materialized from the
+// columns and reused across calls: copy the struct (not the pointer) to
+// retain it.
 func (d *Dataset) EachUser(fn func(*UserRecord)) {
-	for _, u := range d.users {
-		fn(u)
+	var u UserRecord
+	for row := int32(0); row < int32(d.store.Len()); row++ {
+		d.fillUserRecord(&u, row)
+		fn(&u)
+	}
+}
+
+// LookupUser materializes the record of one user id. It reports false
+// when the id is not retained.
+func (d *Dataset) LookupUser(id int64) (UserRecord, bool) {
+	row, ok := d.store.Find(id)
+	if !ok {
+		return UserRecord{}, false
+	}
+	var u UserRecord
+	d.fillUserRecord(&u, row)
+	return u, true
+}
+
+// fillUserRecord materializes one store row into a UserRecord.
+func (d *Dataset) fillUserRecord(u *UserRecord, row int32) {
+	u.ID = d.store.ID(row)
+	u.StateCode = d.store.StateCode(row)
+	u.GeoTagged = d.store.GeoTagged(row)
+	u.Tweets = int(d.store.Tweets(row))
+	u.ClinicalMentions = int(d.store.Clinical(row))
+	u.Hashtags = int(d.store.Hashtags(row))
+	u.FirstSeen = d.store.FirstSeen(row)
+	u.FirstTweetID = d.store.FirstTweetID(row)
+	for i, m := range d.store.MentionsRow(row) {
+		u.Mentions[i] = int(m)
 	}
 }

@@ -30,7 +30,7 @@ func (d *Dataset) Stats() TableI {
 		End:             d.lastTweet,
 		TweetsCollected: d.usTweets,
 		TotalCollected:  d.totalCollected,
-		Users:           len(d.users),
+		Users:           d.store.Len(),
 	}
 	if !d.firstTweet.IsZero() {
 		t.Days = int(d.lastTweet.Sub(d.firstTweet).Hours()/24) + 1
@@ -47,8 +47,13 @@ func (d *Dataset) Stats() TableI {
 	}
 	if t.Users > 0 {
 		total := 0
-		for _, u := range d.users {
-			total += u.DistinctOrgans()
+		ments := d.store.Mentions()
+		for r := 0; r < t.Users; r++ {
+			for _, m := range ments[r*organ.Count : (r+1)*organ.Count] {
+				if m > 0 {
+					total++
+				}
+			}
 		}
 		t.OrgansPerUser = float64(total) / float64(t.Users)
 	}
@@ -56,11 +61,13 @@ func (d *Dataset) Stats() TableI {
 }
 
 // UsersPerOrgan counts the distinct users mentioning each organ —
-// Figure 2(a), the organ "popularity" histogram.
+// Figure 2(a), the organ "popularity" histogram. One linear sweep of the
+// row-major mention matrix.
 func (d *Dataset) UsersPerOrgan() [organ.Count]int {
 	var out [organ.Count]int
-	for _, u := range d.users {
-		for i, m := range u.Mentions {
+	ments := d.store.Mentions()
+	for r := 0; r < d.store.Len(); r++ {
+		for i, m := range ments[r*organ.Count : (r+1)*organ.Count] {
 			if m > 0 {
 				out[i]++
 			}
@@ -78,8 +85,14 @@ func (d *Dataset) MultiOrganHistogram() (tweets, users [organ.Count]int) {
 			tweets[k-1] = n
 		}
 	}
-	for _, u := range d.users {
-		k := u.DistinctOrgans()
+	ments := d.store.Mentions()
+	for r := 0; r < d.store.Len(); r++ {
+		k := 0
+		for _, m := range ments[r*organ.Count : (r+1)*organ.Count] {
+			if m > 0 {
+				k++
+			}
+		}
 		if k >= 1 && k <= organ.Count {
 			users[k-1]++
 		}

@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"donorsense/internal/cluster"
+	"donorsense/internal/core"
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+	"donorsense/internal/text"
+	"donorsense/internal/twitter"
+)
+
+// The differential oracle: the map-of-pointer-structs user store the
+// columnar store replaced, re-implemented test-side with the exact old
+// fold semantics. Every paper statistic computed from the real Dataset —
+// Table I, the Figure 2 histograms, the attention matrix, the state
+// signatures, the relative risks, and the cluster assignments — must be
+// bit-identical to the oracle's, across sequential, -workers, and
+// -shards runs.
+
+// mapStoreOracle replays the pre-columnar Dataset fold over a tweet
+// stream.
+type mapStoreOracle struct {
+	extractor *text.Extractor
+	geocoder  *geo.Geocoder
+	locCache  map[string]geo.Location
+
+	users map[int64]*UserRecord
+
+	totalCollected int
+	usTweets       int
+	geoTagged      int
+	mentionSum     int
+	first, last    int64 // UnixNano window, 0 = unset
+	firstSet       bool
+	organsPerTweet map[int]int
+}
+
+func newMapStoreOracle() *mapStoreOracle {
+	return &mapStoreOracle{
+		extractor:      text.NewExtractor(),
+		geocoder:       geo.NewGeocoder(),
+		locCache:       make(map[string]geo.Location),
+		users:          make(map[int64]*UserRecord),
+		organsPerTweet: make(map[int]int),
+	}
+}
+
+func (o *mapStoreOracle) locate(t twitter.Tweet) (geo.Location, bool) {
+	if t.HasCoordinates {
+		if l, ok := o.geocoder.Reverse(t.Coordinates.Lat, t.Coordinates.Lon); ok {
+			return l, true
+		}
+		return geo.Location{}, false
+	}
+	if l, ok := o.locCache[t.User.Location]; ok {
+		return l, false
+	}
+	l := o.geocoder.Locate(t.User.Location)
+	o.locCache[t.User.Location] = l
+	return l, false
+}
+
+func (o *mapStoreOracle) process(t twitter.Tweet) {
+	ex := o.extractor.Extract(t.Text)
+	if !ex.InContext() {
+		return
+	}
+	o.totalCollected++
+	loc, viaGeoTag := o.locate(t)
+	if !loc.IsUSState() {
+		return
+	}
+	o.usTweets++
+	if viaGeoTag {
+		o.geoTagged++
+	}
+	ns := t.CreatedAt.UnixNano()
+	if !o.firstSet || ns < o.first {
+		o.first = ns
+		o.firstSet = true
+	}
+	if ns > o.last {
+		o.last = ns
+	}
+	u := o.users[t.User.ID]
+	if u == nil {
+		u = &UserRecord{ID: t.User.ID, StateCode: loc.StateCode, GeoTagged: viaGeoTag,
+			FirstSeen: ns, FirstTweetID: t.ID}
+		o.users[t.User.ID] = u
+	}
+	u.Tweets++
+	u.ClinicalMentions += ex.ClinicalMentions
+	u.Hashtags += ex.Hashtags
+	distinct := 0
+	for i, m := range ex.Mentions {
+		u.Mentions[i] += m
+		if m > 0 {
+			distinct++
+		}
+	}
+	o.organsPerTweet[distinct]++
+	o.mentionSum += distinct
+}
+
+// attention builds Û the old way: the map-based AttentionBuilder.
+func (o *mapStoreOracle) attention(t *testing.T) *core.Attention {
+	t.Helper()
+	b := core.NewAttentionBuilder()
+	for id, u := range o.users {
+		b.Observe(id, u.Mentions)
+	}
+	att, err := b.Build()
+	if err != nil {
+		t.Fatalf("oracle attention: %v", err)
+	}
+	return att
+}
+
+func (o *mapStoreOracle) stateOf() map[int64]string {
+	out := make(map[int64]string, len(o.users))
+	for id, u := range o.users {
+		out[id] = u.StateCode
+	}
+	return out
+}
+
+// assertMatchesOracle checks every paper statistic of d bit-for-bit
+// against the oracle.
+func assertMatchesOracle(t *testing.T, label string, d *Dataset, o *mapStoreOracle) {
+	t.Helper()
+
+	// Table I scalars (floats compared with ==, not a tolerance).
+	st := d.Stats()
+	if st.TweetsCollected != o.usTweets || st.TotalCollected != o.totalCollected ||
+		st.Users != len(o.users) || st.GeoTagRate != float64(o.geoTagged)/float64(o.usTweets) ||
+		st.OrgansPerTweet != float64(o.mentionSum)/float64(o.usTweets) {
+		t.Errorf("%s: Table I diverges from oracle: %+v", label, st)
+	}
+	oOrgansPerUser := 0
+	for _, u := range o.users {
+		oOrgansPerUser += u.DistinctOrgans()
+	}
+	if st.OrgansPerUser != float64(oOrgansPerUser)/float64(len(o.users)) {
+		t.Errorf("%s: organs/user %v diverges", label, st.OrgansPerUser)
+	}
+
+	// Per-user records.
+	if d.Users() != len(o.users) {
+		t.Fatalf("%s: %d users, oracle %d", label, d.Users(), len(o.users))
+	}
+	d.EachUser(func(u *UserRecord) {
+		ou := o.users[u.ID]
+		if ou == nil || *ou != *u {
+			t.Fatalf("%s: user %d: %+v, oracle %+v", label, u.ID, u, ou)
+		}
+	})
+
+	// Figure 2 histograms.
+	var oPerOrgan [organ.Count]int
+	var oMultiUsers [organ.Count]int
+	for _, u := range o.users {
+		for i, m := range u.Mentions {
+			if m > 0 {
+				oPerOrgan[i]++
+			}
+		}
+		if k := u.DistinctOrgans(); k >= 1 && k <= organ.Count {
+			oMultiUsers[k-1]++
+		}
+	}
+	if d.UsersPerOrgan() != oPerOrgan {
+		t.Errorf("%s: users-per-organ diverges", label)
+	}
+	var oMultiTweets [organ.Count]int
+	for k, n := range o.organsPerTweet {
+		if k >= 1 && k <= organ.Count {
+			oMultiTweets[k-1] = n
+		}
+	}
+	mt, mu := d.MultiOrganHistogram()
+	if mt != oMultiTweets || mu != oMultiUsers {
+		t.Errorf("%s: multi-organ histogram diverges", label)
+	}
+
+	// Attention: same users, same row order, bit-identical Û.
+	att, err := d.BuildAttention()
+	if err != nil {
+		t.Fatalf("%s: attention: %v", label, err)
+	}
+	oatt := o.attention(t)
+	if att.Users() != oatt.Users() {
+		t.Fatalf("%s: attention rows %d, oracle %d", label, att.Users(), oatt.Users())
+	}
+	gotIDs, wantIDs := att.UserIDs(), oatt.UserIDs()
+	for r := range gotIDs {
+		if gotIDs[r] != wantIDs[r] {
+			t.Fatalf("%s: attention row %d id %d, oracle %d", label, r, gotIDs[r], wantIDs[r])
+		}
+		gr, wr := att.Matrix().RowView(r), oatt.Matrix().RowView(r)
+		for c := range gr {
+			if gr[c] != wr[c] {
+				t.Fatalf("%s: Û[%d,%d] = %v, oracle %v", label, r, c, gr[c], wr[c])
+			}
+		}
+	}
+
+	// State signatures (Figure 4): float-exact K.
+	stateOf := o.stateOf()
+	gotRC, err1 := core.CharacterizeRegionsFunc(att, d.StateLookup())
+	wantRC, err2 := core.CharacterizeRegions(oatt, stateOf)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("%s: region errors diverge: %v vs %v", label, err1, err2)
+	}
+	if err1 == nil {
+		for s := 0; s < len(wantRC.StateCodes); s++ {
+			gr, wr := gotRC.K.RowView(s), wantRC.K.RowView(s)
+			for c := range gr {
+				if gr[c] != wr[c] {
+					t.Fatalf("%s: K[%s,%d] = %v, oracle %v", label, wantRC.StateCodes[s], c, gr[c], wr[c])
+				}
+			}
+		}
+	}
+
+	// Relative risks (Figure 5): bit-identical estimates and intervals.
+	gotH, err1 := core.HighlightOrgansFunc(att, d.StateLookup())
+	wantH, err2 := core.HighlightOrgans(oatt, stateOf)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("%s: highlight errors diverge: %v vs %v", label, err1, err2)
+	}
+	if err1 == nil {
+		for s := range wantH.Risks {
+			for j := range wantH.Risks[s] {
+				if gotH.Risks[s][j] != wantH.Risks[s][j] {
+					t.Fatalf("%s: RR[%s][%d] = %+v, oracle %+v", label,
+						wantH.StateCodes[s], j, gotH.Risks[s][j], wantH.Risks[s][j])
+				}
+			}
+		}
+	}
+	gotW, err1 := core.WinnerTakesAllFunc(att, d.StateLookup())
+	wantW, err2 := core.WinnerTakesAll(oatt, stateOf)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("%s: winner-takes-all errors diverge: %v vs %v", label, err1, err2)
+	}
+	for code, want := range wantW {
+		if gotW[code] != want {
+			t.Errorf("%s: winner[%s] = %v, oracle %v", label, code, gotW[code], want)
+		}
+	}
+
+	// Cluster assignments (Figure 7): identical labels row for row.
+	if att.Users() >= 12 {
+		cfg := cluster.KMeansConfig{K: 12, Seed: 1, Restarts: 2}
+		gotKM, err1 := cluster.KMeansDense(att.Matrix(), cfg)
+		wantKM, err2 := cluster.KMeansDense(oatt.Matrix(), cfg)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: kmeans: %v / %v", label, err1, err2)
+		}
+		for r := range wantKM.Labels {
+			if gotKM.Labels[r] != wantKM.Labels[r] {
+				t.Fatalf("%s: cluster label row %d = %d, oracle %d", label, r, gotKM.Labels[r], wantKM.Labels[r])
+			}
+		}
+	}
+}
+
+// TestColumnarMatchesMapOracle runs the full differential suite in the
+// three execution modes the acceptance criteria name: sequential,
+// parallel workers, and a ≥4-shard partition merged in shuffled orders.
+func TestColumnarMatchesMapOracle(t *testing.T) {
+	tweets := sharedCorpus.Tweets
+	oracle := newMapStoreOracle()
+	for _, tw := range tweets {
+		oracle.process(tw)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		assertMatchesOracle(t, "sequential", sharedDataset, oracle)
+	})
+
+	t.Run("workers", func(t *testing.T) {
+		d := NewDataset()
+		d.ProcessAll(tweets, 4)
+		assertMatchesOracle(t, "workers=4", d, oracle)
+	})
+
+	t.Run("shards", func(t *testing.T) {
+		const shards = 4
+		// Merge in several shuffled orders; every order must match.
+		for seed := int64(0); seed < 3; seed++ {
+			order := rand.New(rand.NewSource(seed)).Perm(shards)
+			// Re-shard: Merge consumes its argument's store, so each
+			// round rebuilds the shard datasets.
+			round := make([]*Dataset, shards)
+			for i := range round {
+				round[i] = NewDataset()
+			}
+			for _, tw := range tweets {
+				round[twitter.ShardIndex(tw.User.ID, shards)].Process(tw)
+			}
+			merged := round[order[0]]
+			for _, i := range order[1:] {
+				merged.Merge(round[i])
+			}
+			assertMatchesOracle(t, "shards", merged, oracle)
+		}
+	})
+}

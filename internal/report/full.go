@@ -23,7 +23,10 @@ type Analysis struct {
 	MultiUsers  [organ.Count]int
 
 	Attention *core.Attention
-	StateOf   map[int64]string
+	// StateOf resolves a user id to its state straight off the dataset's
+	// columnar store — no O(users) map is materialized for the region
+	// analyses anymore.
+	StateOf core.StateLookup
 
 	Organs    *core.OrganCharacterization  // Figure 3
 	Regions   *core.RegionCharacterization // Figure 4
@@ -96,19 +99,19 @@ func Analyze(d *pipeline.Dataset, cfg AnalysisConfig) (*Analysis, error) {
 	}
 	cfg.Metrics.observe(StageAttention, start)
 	a.Attention = att
-	a.StateOf = d.StateOf()
+	a.StateOf = d.StateLookup()
 
 	start = time.Now()
 	if a.Organs, err = core.CharacterizeOrgans(att); err != nil {
 		return nil, fmt.Errorf("report: figure 3: %w", err)
 	}
-	if a.Regions, err = core.CharacterizeRegions(att, a.StateOf); err != nil {
+	if a.Regions, err = core.CharacterizeRegionsFunc(att, a.StateOf); err != nil {
 		return nil, fmt.Errorf("report: figure 4: %w", err)
 	}
-	if a.Highlight, err = core.HighlightOrgans(att, a.StateOf); err != nil {
+	if a.Highlight, err = core.HighlightOrgansFunc(att, a.StateOf); err != nil {
 		return nil, fmt.Errorf("report: figure 5: %w", err)
 	}
-	if a.Baseline, err = core.WinnerTakesAll(att, a.StateOf); err != nil {
+	if a.Baseline, err = core.WinnerTakesAllFunc(att, a.StateOf); err != nil {
 		return nil, fmt.Errorf("report: winner-takes-all: %w", err)
 	}
 	cfg.Metrics.observe(StageCharacterize, start)

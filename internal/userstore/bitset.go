@@ -1,0 +1,63 @@
+package userstore
+
+import "math/bits"
+
+// Bitset is a dense bit vector over row indices, stored as uint64 words.
+// It is the membership-index representation the per-state (and, for the
+// analytics engine, per-cluster) slices use: testing, setting, and
+// clearing are O(1), and iteration walks 64 rows per word instead of one
+// map entry per user.
+type Bitset []uint64
+
+// Set sets bit i, growing the word slice as needed.
+func (b *Bitset) Set(i uint32) {
+	w := int(i >> 6)
+	if w >= len(*b) {
+		if w >= cap(*b) {
+			nb := make(Bitset, w+1, max(2*cap(*b), w+1))
+			copy(nb, *b)
+			*b = nb
+		} else {
+			*b = (*b)[:w+1]
+		}
+	}
+	(*b)[w] |= 1 << (i & 63)
+}
+
+// Clear clears bit i. Clearing past the end is a no-op.
+func (b Bitset) Clear(i uint32) {
+	if w := int(i >> 6); w < len(b) {
+		b[w] &^= 1 << (i & 63)
+	}
+}
+
+// Test reports whether bit i is set.
+func (b Bitset) Test(i uint32) bool {
+	w := int(i >> 6)
+	return w < len(b) && b[w]&(1<<(i&63)) != 0
+}
+
+// Count returns the number of set bits (population count over words).
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Each calls fn for every set bit in ascending order. The scan is
+// word-at-a-time: zero words are skipped with one comparison, and set
+// bits are extracted with trailing-zero counts.
+func (b Bitset) Each(fn func(i uint32)) {
+	for wi, w := range b {
+		base := uint32(wi) << 6
+		for w != 0 {
+			fn(base + uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// Words exposes the raw backing words (read-only for callers).
+func (b Bitset) Words() []uint64 { return b }

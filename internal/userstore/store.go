@@ -1,0 +1,501 @@
+// Package userstore is the columnar per-user store behind
+// pipeline.Dataset. At millions of retained users a map of pointer
+// structs costs ~100+ bytes of header, pointer, and GC-metadata overhead
+// per user before any data; this store keeps the same information in a
+// handful of flat parallel slices — a few dozen bytes per user, no
+// per-entry allocation, nothing for the garbage collector to trace —
+// with O(1) amortized find-or-insert and delete.
+//
+// Layout:
+//
+//   - A dense-index open-addressing hash (int64 user id → row) with
+//     linear probing and backward-shift deletion. The table is two flat
+//     slices (keys, rows); growth rehashes at 75% load.
+//   - Parallel column slices indexed by row: id, first-seen time, first
+//     tweet id (int64); tweet/clinical/hashtag counters (int32); an
+//     interned state index and a flags byte (uint8 each).
+//   - One row-major mention-count matrix ([]int32, nCols columns per
+//     row) — the shape the analytics engine consumes, so building Û is a
+//     single linear pass with no intermediate maps.
+//   - Per-state Bitset membership indices, so per-state slices iterate
+//     64 rows per word instead of hashing every user.
+//
+// Rows are kept dense: deleting a user moves the last row into the hole
+// (updating its hash slot and bitset bit), so columns never fragment and
+// iteration is always a linear scan. Row order is consequently
+// unspecified; consumers that need determinism sort by user id.
+package userstore
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flag bits of the per-row flags byte.
+const (
+	// FlagGeoTagged records that the user's state came from a GPS
+	// geo-tag; unset means the geocoded profile location (the two
+	// location sources the pipeline distinguishes).
+	FlagGeoTagged uint8 = 1 << 0
+)
+
+// NoState is the interned state index of a row whose identity has not
+// been set yet (Insert assigns a real state immediately; the sentinel
+// only exists so the zero column value is never a valid state).
+const NoState = math.MaxUint8
+
+const (
+	minTableSize = 64 // power of two; small enough that tests exercise growth
+	emptySlot    = -1
+)
+
+// Store is the columnar user store. It is not safe for concurrent
+// mutation; like pipeline.Dataset, the collecting goroutine owns it.
+type Store struct {
+	nCols int
+
+	// Open-addressing index: slots[i] is a row index or emptySlot. The
+	// key itself is not duplicated in the table — probes compare
+	// against ids[slots[i]] — so the index costs 4 bytes per slot.
+	// len(slots) is a power of two.
+	slots []int32
+	mask  uint64
+	used  int
+
+	// Columns, indexed by row. All have identical length.
+	ids          []int64
+	firstSeen    []int64
+	firstTweetID []int64
+	tweets       []int32
+	clinical     []int32
+	hashtags     []int32
+	stateIdx     []uint8
+	flags        []uint8
+	mentions     []int32 // row-major, nCols per row
+
+	// State interning and per-state membership. stateCodes is
+	// append-ordered (first-seen order, not canonical); members[i] is
+	// the row bitset of stateCodes[i].
+	stateCodes  []string
+	stateByCode map[string]uint8
+	members     []Bitset
+}
+
+// New returns an empty store with nCols mention columns per user.
+func New(nCols int) *Store {
+	if nCols <= 0 {
+		panic(fmt.Sprintf("userstore: invalid column count %d", nCols))
+	}
+	return &Store{
+		nCols:       nCols,
+		stateByCode: make(map[string]uint8, 64),
+	}
+}
+
+// Len returns the number of live rows (retained users).
+func (s *Store) Len() int { return len(s.ids) }
+
+// Cols returns the number of mention columns per row.
+func (s *Store) Cols() int { return s.nCols }
+
+// splitmix64 is the standard 64-bit finalizer; it spreads sequential
+// user ids across the table.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Find returns the row of id, or (-1, false) when absent.
+func (s *Store) Find(id int64) (int32, bool) {
+	if s.used == 0 {
+		return -1, false
+	}
+	i := splitmix64(uint64(id)) & s.mask
+	for {
+		r := s.slots[i]
+		if r == emptySlot {
+			return -1, false
+		}
+		if s.ids[r] == id {
+			return r, true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// findSlot returns the table slot holding id, or (0, false).
+func (s *Store) findSlot(id int64) (uint64, bool) {
+	if s.used == 0 {
+		return 0, false
+	}
+	i := splitmix64(uint64(id)) & s.mask
+	for {
+		r := s.slots[i]
+		if r == emptySlot {
+			return 0, false
+		}
+		if s.ids[r] == id {
+			return i, true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Insert appends a new row for id with the given identity fields and
+// zeroed counters, and returns its row index. id must not already be
+// present (Find first); inserting a duplicate corrupts the index.
+func (s *Store) Insert(id int64, stateCode string, flags uint8, firstSeen, firstTweetID int64) int32 {
+	if len(s.ids) >= math.MaxInt32 {
+		panic("userstore: row count exceeds int32")
+	}
+	s.grow()
+	row := int32(len(s.ids))
+	i := splitmix64(uint64(id)) & s.mask
+	for s.slots[i] != emptySlot {
+		i = (i + 1) & s.mask
+	}
+	s.slots[i] = row
+	s.used++
+
+	st := s.internState(stateCode)
+	s.ids = append(s.ids, id)
+	s.firstSeen = append(s.firstSeen, firstSeen)
+	s.firstTweetID = append(s.firstTweetID, firstTweetID)
+	s.tweets = append(s.tweets, 0)
+	s.clinical = append(s.clinical, 0)
+	s.hashtags = append(s.hashtags, 0)
+	s.stateIdx = append(s.stateIdx, st)
+	s.flags = append(s.flags, flags)
+	s.mentions = append(s.mentions, make([]int32, s.nCols)...)
+	s.members[st].Set(uint32(row))
+	return row
+}
+
+// grow rehashes the table when load would exceed 75% (or it is empty).
+func (s *Store) grow() {
+	if s.slots != nil && (s.used+1)*4 <= len(s.slots)*3 {
+		return
+	}
+	newSize := minTableSize
+	if len(s.slots) > 0 {
+		newSize = 2 * len(s.slots)
+	}
+	slots := make([]int32, newSize)
+	for i := range slots {
+		slots[i] = emptySlot
+	}
+	mask := uint64(newSize - 1)
+	for _, r := range s.slots {
+		if r == emptySlot {
+			continue
+		}
+		j := splitmix64(uint64(s.ids[r])) & mask
+		for slots[j] != emptySlot {
+			j = (j + 1) & mask
+		}
+		slots[j] = r
+	}
+	s.slots, s.mask = slots, mask
+}
+
+// internState returns the intern index of code, adding it on first use.
+func (s *Store) internState(code string) uint8 {
+	if i, ok := s.stateByCode[code]; ok {
+		return i
+	}
+	if len(s.stateCodes) >= int(NoState) {
+		panic(fmt.Sprintf("userstore: state intern table overflow at %q", code))
+	}
+	i := uint8(len(s.stateCodes))
+	s.stateCodes = append(s.stateCodes, code)
+	s.stateByCode[code] = i
+	s.members = append(s.members, nil)
+	return i
+}
+
+// Remove deletes id's row. The last row is moved into the hole so
+// columns stay dense; its hash slot and bitset bit follow. It reports
+// whether the id was present.
+func (s *Store) Remove(id int64) bool {
+	slot, ok := s.findSlot(id)
+	if !ok {
+		return false
+	}
+	row := s.slots[slot]
+	s.deleteSlot(slot)
+	s.used--
+
+	last := int32(len(s.ids) - 1)
+	s.members[s.stateIdx[row]].Clear(uint32(row))
+	if row != last {
+		// Move the last row into the hole.
+		s.members[s.stateIdx[last]].Clear(uint32(last))
+		s.members[s.stateIdx[last]].Set(uint32(row))
+		s.ids[row] = s.ids[last]
+		s.firstSeen[row] = s.firstSeen[last]
+		s.firstTweetID[row] = s.firstTweetID[last]
+		s.tweets[row] = s.tweets[last]
+		s.clinical[row] = s.clinical[last]
+		s.hashtags[row] = s.hashtags[last]
+		s.stateIdx[row] = s.stateIdx[last]
+		s.flags[row] = s.flags[last]
+		copy(s.mentions[int(row)*s.nCols:(int(row)+1)*s.nCols],
+			s.mentions[int(last)*s.nCols:(int(last)+1)*s.nCols])
+		ms, ok := s.findSlot(s.ids[last])
+		if !ok {
+			panic("userstore: moved row missing from index")
+		}
+		s.slots[ms] = row
+	}
+	s.ids = s.ids[:last]
+	s.firstSeen = s.firstSeen[:last]
+	s.firstTweetID = s.firstTweetID[:last]
+	s.tweets = s.tweets[:last]
+	s.clinical = s.clinical[:last]
+	s.hashtags = s.hashtags[:last]
+	s.stateIdx = s.stateIdx[:last]
+	s.flags = s.flags[:last]
+	s.mentions = s.mentions[:int(last)*s.nCols]
+	return true
+}
+
+// deleteSlot removes table slot i with backward-shift deletion: later
+// entries of the probe chain slide back so lookups never need
+// tombstones.
+func (s *Store) deleteSlot(i uint64) {
+	for {
+		s.slots[i] = emptySlot
+		j := i
+		for {
+			j = (j + 1) & s.mask
+			if s.slots[j] == emptySlot {
+				return
+			}
+			ideal := splitmix64(uint64(s.ids[s.slots[j]])) & s.mask
+			// Entry j may move into the hole at i only if its ideal
+			// position is cyclically at or before i.
+			if (j-ideal)&s.mask >= (j-i)&s.mask {
+				s.slots[i] = s.slots[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Column accessors. Rows are valid indices in [0, Len()); no bounds
+// checks beyond the slice's own.
+
+// ID returns the user id of row.
+func (s *Store) ID(row int32) int64 { return s.ids[row] }
+
+// FirstSeen returns the first-retained-tweet time (UnixNano) of row.
+func (s *Store) FirstSeen(row int32) int64 { return s.firstSeen[row] }
+
+// FirstTweetID returns the first retained tweet id of row.
+func (s *Store) FirstTweetID(row int32) int64 { return s.firstTweetID[row] }
+
+// Tweets returns the retained tweet count of row.
+func (s *Store) Tweets(row int32) int32 { return s.tweets[row] }
+
+// Clinical returns the clinical-variant mention count of row.
+func (s *Store) Clinical(row int32) int32 { return s.clinical[row] }
+
+// Hashtags returns the hashtag-token count of row.
+func (s *Store) Hashtags(row int32) int32 { return s.hashtags[row] }
+
+// Flags returns the flags byte of row.
+func (s *Store) Flags(row int32) uint8 { return s.flags[row] }
+
+// GeoTagged reports whether row's state came from a GPS geo-tag.
+func (s *Store) GeoTagged(row int32) bool { return s.flags[row]&FlagGeoTagged != 0 }
+
+// StateIndex returns the interned state index of row.
+func (s *Store) StateIndex(row int32) uint8 { return s.stateIdx[row] }
+
+// StateCode returns the state code of row (an interned string; no
+// allocation).
+func (s *Store) StateCode(row int32) string { return s.stateCodes[s.stateIdx[row]] }
+
+// MentionsRow returns row's mention-count slice — a zero-copy view into
+// the row-major matrix. The caller may mutate it to update counts.
+func (s *Store) MentionsRow(row int32) []int32 {
+	return s.mentions[int(row)*s.nCols : (int(row)+1)*s.nCols : (int(row)+1)*s.nCols]
+}
+
+// IDs returns the id column in row order (a view; do not mutate).
+func (s *Store) IDs() []int64 { return s.ids }
+
+// Mentions returns the whole row-major mention matrix (a view; mutate
+// only through MentionsRow).
+func (s *Store) Mentions() []int32 { return s.mentions }
+
+// AddCounts adds deltas to row's tweet/clinical/hashtag counters.
+func (s *Store) AddCounts(row, tweets, clinical, hashtags int32) {
+	s.tweets[row] += tweets
+	s.clinical[row] += clinical
+	s.hashtags[row] += hashtags
+}
+
+// SetIdentity rewrites row's identity fields (the merge tie-break
+// winner's state, flags, and first-tweet key), moving the row between
+// state bitsets when the state changes.
+func (s *Store) SetIdentity(row int32, stateCode string, flags uint8, firstSeen, firstTweetID int64) {
+	st := s.internState(stateCode)
+	if st != s.stateIdx[row] {
+		s.members[s.stateIdx[row]].Clear(uint32(row))
+		s.members[st].Set(uint32(row))
+		s.stateIdx[row] = st
+	}
+	s.flags[row] = flags
+	s.firstSeen[row] = firstSeen
+	s.firstTweetID[row] = firstTweetID
+}
+
+// StateCount returns the number of interned states.
+func (s *Store) StateCount() int { return len(s.stateCodes) }
+
+// StateCodeAt returns the interned state code at index i.
+func (s *Store) StateCodeAt(i int) string { return s.stateCodes[i] }
+
+// StateIndexOf returns the intern index of code, or (0, false) when the
+// code has never been seen.
+func (s *Store) StateIndexOf(code string) (uint8, bool) {
+	i, ok := s.stateByCode[code]
+	return i, ok
+}
+
+// StateRows returns the membership bitset of interned state i (a view;
+// do not mutate). Bits index rows.
+func (s *Store) StateRows(i uint8) Bitset { return s.members[i] }
+
+// EachStateRow calls fn for every row in interned state i, ascending.
+func (s *Store) EachStateRow(i uint8, fn func(row int32)) {
+	s.members[i].Each(func(b uint32) { fn(int32(b)) })
+}
+
+// StateUserCount returns the number of users in interned state i — one
+// popcount pass over the bitset words.
+func (s *Store) StateUserCount(i uint8) int { return s.members[i].Count() }
+
+// StateMentionSums accumulates the per-column mention totals of
+// interned state i into sums (len nCols). The scan iterates bitset
+// words and reads mention rows straight out of the matrix.
+func (s *Store) StateMentionSums(i uint8, sums []int64) {
+	s.members[i].Each(func(b uint32) {
+		row := s.mentions[int(b)*s.nCols : (int(b)+1)*s.nCols]
+		for c, v := range row {
+			sums[c] += int64(v)
+		}
+	})
+}
+
+// SizeBytes returns the retained heap footprint of the store: columns,
+// hash table, and bitset words, by capacity. String headers of the
+// (≤ 51-entry) intern table are ignored.
+func (s *Store) SizeBytes() int64 {
+	n := int64(0)
+	n += int64(cap(s.ids)+cap(s.firstSeen)+cap(s.firstTweetID)) * 8
+	n += int64(cap(s.tweets)+cap(s.clinical)+cap(s.hashtags)+cap(s.mentions)) * 4
+	n += int64(cap(s.stateIdx) + cap(s.flags))
+	n += int64(cap(s.slots)) * 4
+	for _, m := range s.members {
+		n += int64(cap(m)) * 8
+	}
+	return n
+}
+
+// Columns is a borrowed view of every dense column plus the state
+// intern table, in row order — the checkpoint encoder's input. Slices
+// alias store memory: read-only, and invalidated by the next mutation.
+type Columns struct {
+	IDs          []int64
+	FirstSeen    []int64
+	FirstTweetID []int64
+	Tweets       []int32
+	Clinical     []int32
+	Hashtags     []int32
+	StateIdx     []uint8
+	Flags        []uint8
+	Mentions     []int32
+	StateCodes   []string
+}
+
+// Columns returns the store's column views.
+func (s *Store) Columns() Columns {
+	return Columns{
+		IDs:          s.ids,
+		FirstSeen:    s.firstSeen,
+		FirstTweetID: s.firstTweetID,
+		Tweets:       s.tweets,
+		Clinical:     s.clinical,
+		Hashtags:     s.hashtags,
+		StateIdx:     s.stateIdx,
+		Flags:        s.flags,
+		Mentions:     s.mentions,
+		StateCodes:   s.stateCodes,
+	}
+}
+
+// FromColumns rebuilds a store from decoded columns, adopting the
+// slices (the checkpoint loader owns freshly-decoded memory). It
+// validates column lengths, state indices, and id uniqueness, and
+// reconstructs the hash index and state bitsets.
+func FromColumns(nCols int, c Columns) (*Store, error) {
+	n := len(c.IDs)
+	if len(c.FirstSeen) != n || len(c.FirstTweetID) != n ||
+		len(c.Tweets) != n || len(c.Clinical) != n || len(c.Hashtags) != n ||
+		len(c.StateIdx) != n || len(c.Flags) != n || len(c.Mentions) != n*nCols {
+		return nil, fmt.Errorf("userstore: column lengths disagree (rows=%d)", n)
+	}
+	if len(c.StateCodes) >= int(NoState) {
+		return nil, fmt.Errorf("userstore: %d interned states exceeds limit", len(c.StateCodes))
+	}
+	s := New(nCols)
+	s.ids = c.IDs
+	s.firstSeen = c.FirstSeen
+	s.firstTweetID = c.FirstTweetID
+	s.tweets = c.Tweets
+	s.clinical = c.Clinical
+	s.hashtags = c.Hashtags
+	s.stateIdx = c.StateIdx
+	s.flags = c.Flags
+	s.mentions = c.Mentions
+	s.stateCodes = c.StateCodes
+	s.members = make([]Bitset, len(c.StateCodes))
+	for i, code := range c.StateCodes {
+		if _, dup := s.stateByCode[code]; dup {
+			return nil, fmt.Errorf("userstore: duplicate interned state %q", code)
+		}
+		s.stateByCode[code] = uint8(i)
+	}
+
+	size := minTableSize
+	for size*3 < n*4 {
+		size *= 2
+	}
+	s.slots = make([]int32, size)
+	for i := range s.slots {
+		s.slots[i] = emptySlot
+	}
+	s.mask = uint64(size - 1)
+	for row, id := range s.ids {
+		st := s.stateIdx[row]
+		if int(st) >= len(s.stateCodes) {
+			return nil, fmt.Errorf("userstore: row %d has state index %d out of range", row, st)
+		}
+		i := splitmix64(uint64(id)) & s.mask
+		for s.slots[i] != emptySlot {
+			if s.ids[s.slots[i]] == id {
+				return nil, fmt.Errorf("userstore: duplicate user id %d", id)
+			}
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = int32(row)
+		s.used++
+		s.members[st].Set(uint32(row))
+	}
+	return s, nil
+}
