@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-userstore bench-userstore-baseline bench-paper fuzz fmt
+.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-userstore bench-userstore-baseline bench-incremental bench-incremental-baseline bench-paper fuzz fmt
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
@@ -84,6 +84,7 @@ benchcmp:
 	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_wire_new.txt -out /tmp/benchcmp_wire_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_wire.json /tmp/benchcmp_wire_new.json
 	$(MAKE) bench-userstore
+	$(MAKE) bench-incremental
 
 # Columnar user-store benchmarks: the userstore package measuring memory
 # footprint (bytes/user at 1M and 10M rows), update latency, and
@@ -114,6 +115,27 @@ bench-userstore:
 	$(GO) test -run '^$$' -bench '$(USERSTORE_BENCH_1M)' -benchmem -count 3 $(USERSTORE_PKG) > /tmp/benchcmp_userstore_new.txt
 	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_userstore_new.txt -out /tmp/benchcmp_userstore_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_userstore.json /tmp/benchcmp_userstore_new.json
+
+# Incremental analytics benchmarks: one full-report refresh after a
+# 10k-tweet delta lands on a 100k- or 1M-user store, incremental engine
+# (BENCH_incremental.*) versus from-scratch Analyze at the same config
+# (BENCH_incremental_before.*) — the ≥20× latency claim lives in the
+# diff of the two files. The 1M benchmarks are baseline-only; the gate
+# reruns the 100k subset.
+REPORT_PKG = ./internal/report/
+
+bench-incremental-baseline:
+	$(GO) test -run '^$$' -bench '^BenchmarkIncrementalRefresh100k$$' -benchmem -count 3 $(REPORT_PKG) | tee BENCH_incremental.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkIncrementalRefresh1M$$' -benchmem -benchtime 10x -timeout 60m $(REPORT_PKG) | tee -a BENCH_incremental.txt
+	$(GO) run ./cmd/benchjson -in BENCH_incremental.txt -out BENCH_incremental.json
+	$(GO) test -run '^$$' -bench '^BenchmarkFromScratchAnalyze100k$$' -benchmem -count 3 $(REPORT_PKG) | tee BENCH_incremental_before.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkFromScratchAnalyze1M$$' -benchmem -benchtime 3x -timeout 60m $(REPORT_PKG) | tee -a BENCH_incremental_before.txt
+	$(GO) run ./cmd/benchjson -in BENCH_incremental_before.txt -out BENCH_incremental_before.json
+
+bench-incremental:
+	$(GO) test -run '^$$' -bench '^BenchmarkIncrementalRefresh100k$$' -benchmem -count 3 $(REPORT_PKG) > /tmp/benchcmp_incremental_new.txt
+	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_incremental_new.txt -out /tmp/benchcmp_incremental_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_incremental.json /tmp/benchcmp_incremental_new.json
 
 # Differential fuzz of the wire codec against the encoding/json oracle
 # (CI runs the same target for 30s on every push).

@@ -298,6 +298,7 @@ func cmdCollect(args []string) error {
 	workers := fs.Int("workers", 1, "extract/geocode workers for live collection (0 = GOMAXPROCS, 1 = sequential)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file: load on start (if present), save periodically and on shutdown")
 	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "interval between periodic checkpoint saves")
+	reportEvery := fs.Duration("report-every", 0, "interval between in-flight incremental analysis refreshes (0 = off; single-shard mode only)")
 	shards := fs.Int("shards", 1, "hash-partitioned shard workers; >1 runs the crash-tolerant shard supervisor (-checkpoint becomes the per-shard base path)")
 	shardBuffer := fs.Int("shard-buffer", 8192, "per-shard replay buffer capacity (sharded mode; full buffer = backpressure, not loss)")
 	heartbeatTimeout := fs.Duration("heartbeat-timeout", 30*time.Second, "restart a shard silent for this long with pending work (sharded mode)")
@@ -381,6 +382,29 @@ func cmdCollect(args []string) error {
 		}
 	}
 
+	// Incremental analytics: an engine that keeps the full report warm
+	// between refreshes, patching only the users touched since the last
+	// one. Its clustering warm state rides the checkpoint (v4), so a
+	// resumed collector skips the cold start too. Refreshes run on the
+	// collect goroutine against a quiescent dataset; the sweep is left off
+	// — it is a cold model-selection tool, not a live artifact.
+	var engine *report.Engine
+	probe := &analyticsProbe{enabled: *reportEvery > 0, every: *reportEvery}
+	if *reportEvery > 0 {
+		ecfg := report.DefaultAnalysisConfig()
+		ecfg.KUsers = *k
+		ecfg.SilhouetteSample = *sil
+		ecfg.Workers = *workers
+		ecfg.SweepKs = nil
+		engine = report.NewEngine(d, ecfg)
+		if err := engine.RestoreWarm(d.AnalyticsState()); err != nil {
+			logger.Warn("ignoring unreadable analytics warm state", "err", err)
+		}
+		if tracer != nil {
+			engine.SetTracer(tracer)
+		}
+	}
+
 	// SIGINT and SIGTERM both end collection; the deferred save below
 	// checkpoints whatever was gathered before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -459,7 +483,11 @@ func cmdCollect(args []string) error {
 			sec.Field("malformed_lines", st.MalformedLines)
 			return sec
 		})
+		if engine != nil {
+			engine.SetMetrics(report.NewEngineMetrics(reg))
+		}
 		srv.AddStatus("checkpoint", checkpointStatus(*checkpoint, &lastSaveUnixNano))
+		srv.AddStatus("analytics", analyticsStatus(probe))
 		srv.AddStatus("memory", obs.MemStatsStatusSection(func(sec *obs.StatusSection) {
 			rows, bytes := d.StoreFootprint()
 			sec.Field("userstore_rows", rows)
@@ -483,6 +511,15 @@ func cmdCollect(args []string) error {
 		if *checkpoint == "" {
 			return nil
 		}
+		// Ride the clustering warm state along in the snapshot (v4) so a
+		// resumed collector's first refresh resumes instead of cold-starting.
+		if engine != nil {
+			if b, err := engine.MarshalWarm(); err != nil {
+				logger.Warn("analytics warm state not persisted", "err", err)
+			} else {
+				d.SetAnalyticsState(b)
+			}
+		}
 		if err := d.SaveCheckpoint(*checkpoint); err != nil {
 			return err
 		}
@@ -490,6 +527,31 @@ func cmdCollect(args []string) error {
 		return nil
 	}
 	lastSave := time.Now()
+
+	// refreshReport runs one incremental refresh and publishes the outcome
+	// to the log and the /statusz probe. Skipped while the dataset is
+	// empty: there is nothing to analyze yet.
+	lastReport := time.Now()
+	refreshReport := func() {
+		if engine == nil || d.Users() == 0 {
+			return
+		}
+		if _, err := engine.Refresh(); err != nil {
+			logger.Warn("analysis refresh failed", "err", err)
+			return
+		}
+		dirty, latency, cold := engine.LastRefresh()
+		probe.refreshes.Store(engine.Refreshes())
+		probe.epoch.Store(engine.Epoch())
+		probe.dirty.Store(int64(dirty))
+		probe.latencyNS.Store(int64(latency))
+		probe.cold.Store(cold)
+		probe.users.Store(int64(d.Users()))
+		probe.lastUnix.Store(time.Now().UnixNano())
+		logger.Info("analysis refreshed",
+			"epoch", engine.Epoch(), "dirty_rows", dirty, "cold", cold,
+			"latency", latency.Round(time.Microsecond).String(), "users", d.Users())
+	}
 
 	// Progress: a periodic one-line pulse — ingest rate, retention, and
 	// checkpoint age — so a multi-day run is never silent.
@@ -545,6 +607,10 @@ func cmdCollect(args []string) error {
 					}
 					lastSave = time.Now()
 				}
+				if engine != nil && time.Since(lastReport) >= *reportEvery {
+					refreshReport()
+					lastReport = time.Now()
+				}
 				if *maxTweets > 0 && total >= *maxTweets {
 					reachedMax = true
 					return false
@@ -580,6 +646,10 @@ func cmdCollect(args []string) error {
 						return err
 					}
 					lastSave = time.Now()
+				}
+				if engine != nil && time.Since(lastReport) >= *reportEvery {
+					refreshReport()
+					lastReport = time.Now()
 				}
 				if *maxTweets > 0 && n >= *maxTweets {
 					stop()

@@ -14,6 +14,7 @@ import (
 	"donorsense/internal/obs"
 	"donorsense/internal/organ"
 	"donorsense/internal/pipeline"
+	"donorsense/internal/report"
 	"donorsense/internal/twitter"
 )
 
@@ -96,6 +97,18 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "telemetry.ckpt")
 	if err := d.SaveCheckpoint(ckpt); err != nil {
 		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	// One incremental analysis refresh so the analytics families are live.
+	ecfg := report.DefaultAnalysisConfig()
+	ecfg.KUsers = 0
+	ecfg.SweepKs = nil
+	ecfg.SilhouetteSample = 0
+	ecfg.Workers = 1
+	eng := report.NewEngine(d, ecfg)
+	eng.SetMetrics(report.NewEngineMetrics(reg))
+	if _, err := eng.Refresh(); err != nil {
+		t.Fatalf("engine Refresh: %v", err)
 	}
 
 	// A minimal sharded run + merge so the supervisor and merge families
@@ -187,6 +200,9 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 		"donorsense_shard_buffer_full_total",
 		"donorsense_checkpoint_fallbacks_total",
 		"donorsense_merge_seconds",
+		"donorsense_analytics_refresh_seconds",
+		"donorsense_analytics_epoch",
+		"donorsense_analytics_dirty_rows",
 	} {
 		if !strings.Contains(body, must) {
 			t.Errorf("family %s missing from exposition", must)
@@ -196,6 +212,16 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 	// The mini sharded run registered one merge.
 	if series["donorsense_merges_total"] != 1 {
 		t.Errorf("merges_total = %g, want 1", series["donorsense_merges_total"])
+	}
+
+	// The analytics engine observed exactly one (cold) refresh.
+	if series["donorsense_analytics_refresh_seconds_count"] != 1 {
+		t.Errorf("analytics_refresh_seconds_count = %g, want 1",
+			series["donorsense_analytics_refresh_seconds_count"])
+	}
+	if series["donorsense_analytics_epoch"] != 0 {
+		t.Errorf("analytics_epoch = %g, want 0 after a cold build",
+			series["donorsense_analytics_epoch"])
 	}
 
 	// Histogram quantiles must be derivable: the stage histogram's +Inf

@@ -72,9 +72,7 @@ func (b *AttentionBuilder) Build() (*Attention, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	m := mat.New(len(ids), organ.Count)
-	index := make(map[int64]int, len(ids))
 	for r, id := range ids {
-		index[id] = r
 		row := b.counts[id]
 		for c, v := range row {
 			m.Set(r, c, v)
@@ -84,7 +82,7 @@ func (b *AttentionBuilder) Build() (*Attention, error) {
 		// Observe rejects all-zero mention vectors, so this is a bug.
 		return nil, fmt.Errorf("core: %d zero attention rows", len(zero))
 	}
-	return &Attention{ids: ids, index: index, u: m}, nil
+	return &Attention{ids: ids, u: m}, nil
 }
 
 // AttentionFromCounts builds the Attention matrix straight from columnar
@@ -116,11 +114,8 @@ func AttentionFromCounts(ids []int64, counts []int32) (*Attention, error) {
 
 	m := mat.New(len(perm), organ.Count)
 	outIDs := make([]int64, len(perm))
-	index := make(map[int64]int, len(perm))
 	for r, src := range perm {
-		id := ids[src]
-		outIDs[r] = id
-		index[id] = r
+		outIDs[r] = ids[src]
 		row := counts[int(src)*organ.Count : (int(src)+1)*organ.Count]
 		for c, v := range row {
 			m.Set(r, c, float64(v))
@@ -130,15 +125,20 @@ func AttentionFromCounts(ids []int64, counts []int32) (*Attention, error) {
 		// Zero-sum rows were filtered above, so this is a bug.
 		return nil, fmt.Errorf("core: %d zero attention rows", len(zero))
 	}
-	return &Attention{ids: outIDs, index: index, u: m}, nil
+	return &Attention{ids: outIDs, u: m}, nil
 }
 
 // Attention is the normalized user-attention matrix Û. Each row is a
-// discrete probability distribution over the six organs.
+// discrete probability distribution over the six organs. Rows are
+// ordered by ascending user id — lookups binary-search the id column,
+// which keeps incremental patching (Patch) free of any per-user index
+// maintenance. epoch counts applied patches: 0 is a cold build, and
+// every Patch call increments it, so consumers caching row-derived
+// state can detect staleness cheaply.
 type Attention struct {
 	ids   []int64
-	index map[int64]int
 	u     *mat.Matrix
+	epoch uint64
 }
 
 // Users returns the number of users (rows).
@@ -148,10 +148,23 @@ func (a *Attention) Users() int { return len(a.ids) }
 // mutate.
 func (a *Attention) UserIDs() []int64 { return a.ids }
 
-// RowOf returns the row index of the user, or -1 if unknown.
+// Epoch returns the number of patches applied since the cold build.
+func (a *Attention) Epoch() uint64 { return a.epoch }
+
+// RowOf returns the row index of the user, or -1 if unknown. Rows are
+// sorted by user id, so this is a binary search.
 func (a *Attention) RowOf(userID int64) int {
-	if r, ok := a.index[userID]; ok {
-		return r
+	lo, hi := 0, len(a.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.ids[mid] < userID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.ids) && a.ids[lo] == userID {
+		return lo
 	}
 	return -1
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"donorsense/internal/mat"
+	"donorsense/internal/organ"
+)
+
+// Patch applies one refresh's worth of user changes to Û in place of a
+// full rebuild, advancing the epoch. ids/counts carry the users whose
+// mention vectors changed (ids strictly ascending, counts row-major
+// len(ids)×organ.Count, every row with a nonzero sum — callers route
+// users whose mentions dropped to zero through removes instead, exactly
+// mirroring the zero-row filter of AttentionFromCounts). removes lists
+// user ids to drop, also strictly ascending; ids unknown to the matrix
+// are skipped, so callers may pass deletions of users that never earned
+// a Û row.
+//
+// The result is bit-identical to AttentionFromCounts over the
+// post-change columnar state: updated and inserted rows are normalized
+// with the exact float sequence mat.NormalizeRows uses (left-to-right
+// float64 sum, then per-element divide), untouched rows are copied —
+// or, when the user set did not change, left in place — so no float is
+// ever recomputed from a different expression.
+//
+// Cost: O(touched) when no users appear or disappear, O(users + touched)
+// for one splice pass otherwise — never O(users × corpus-age).
+func (a *Attention) Patch(ids []int64, counts []int32, removes []int64) error {
+	if len(counts) != len(ids)*organ.Count {
+		return fmt.Errorf("core: patch counts length %d does not match %d users", len(counts), len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return fmt.Errorf("core: patch ids not strictly ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(removes); i++ {
+		if removes[i-1] >= removes[i] {
+			return fmt.Errorf("core: patch removes not strictly ascending at %d", i)
+		}
+	}
+	for r := range ids {
+		sum := int64(0)
+		for _, v := range counts[r*organ.Count : (r+1)*organ.Count] {
+			sum += int64(v)
+		}
+		if sum <= 0 {
+			return fmt.Errorf("core: patch row for user %d sums to %d (zero rows go through removes)", ids[r], sum)
+		}
+	}
+
+	// Count inserts and effective removes to decide between the in-place
+	// fast path and the splice pass.
+	inserts := 0
+	for _, id := range ids {
+		if a.RowOf(id) < 0 {
+			inserts++
+		}
+	}
+	removed := 0
+	for _, id := range removes {
+		if a.RowOf(id) >= 0 {
+			removed++
+		}
+	}
+
+	if inserts == 0 && removed == 0 {
+		// Row set unchanged: renormalize the touched rows in place.
+		for r, id := range ids {
+			row := a.RowOf(id)
+			normalizeInto(a.u.RowView(row), counts[r*organ.Count:(r+1)*organ.Count])
+		}
+		a.epoch++
+		return nil
+	}
+
+	newN := len(a.ids) - removed + inserts
+	if newN == 0 {
+		return fmt.Errorf("core: no users observed")
+	}
+	outIDs := make([]int64, 0, newN)
+	m := mat.New(newN, organ.Count)
+	data := m.Data()
+	old := a.u.Data()
+
+	// Three-way ascending merge: old rows vs. updates vs. removes.
+	oi, ui, ri := 0, 0, 0
+	for oi < len(a.ids) || ui < len(ids) {
+		var id int64
+		switch {
+		case oi >= len(a.ids):
+			id = ids[ui]
+		case ui >= len(ids):
+			id = a.ids[oi]
+		case ids[ui] < a.ids[oi]:
+			id = ids[ui]
+		default:
+			id = a.ids[oi]
+		}
+		for ri < len(removes) && removes[ri] < id {
+			ri++
+		}
+		if ri < len(removes) && removes[ri] == id {
+			// Dropped user: skip its old row (an id can't be both
+			// updated and removed in one patch).
+			if ui < len(ids) && ids[ui] == id {
+				return fmt.Errorf("core: patch updates and removes both carry user %d", id)
+			}
+			if oi < len(a.ids) && a.ids[oi] == id {
+				oi++
+			}
+			ri++
+			continue
+		}
+		r := len(outIDs)
+		outIDs = append(outIDs, id)
+		dst := data[r*organ.Count : (r+1)*organ.Count]
+		if ui < len(ids) && ids[ui] == id {
+			normalizeInto(dst, counts[ui*organ.Count:(ui+1)*organ.Count])
+			if oi < len(a.ids) && a.ids[oi] == id {
+				oi++
+			}
+			ui++
+		} else {
+			copy(dst, old[oi*organ.Count:(oi+1)*organ.Count])
+			oi++
+		}
+	}
+	if len(outIDs) != newN {
+		return fmt.Errorf("core: patch merge produced %d rows, expected %d", len(outIDs), newN)
+	}
+	a.ids = outIDs
+	a.u = m
+	a.epoch++
+	return nil
+}
+
+// normalizeInto writes the row-normalized form of an integer mention
+// vector, replicating mat.NormalizeRows bit for bit: the denominator is
+// the left-to-right float64 sum and each element is one divide.
+func normalizeInto(dst []float64, cnt []int32) {
+	sum := 0.0
+	for _, v := range cnt {
+		sum += float64(v)
+	}
+	for j, v := range cnt {
+		dst[j] = float64(v) / sum
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"donorsense/internal/organ"
+)
+
+// patchShadow is the oracle: a plain map of per-user mention counts,
+// flattened into the columnar (ids, counts) shape on demand.
+type patchShadow map[int64][]int32
+
+func (sh patchShadow) columns() ([]int64, []int32) {
+	ids := make([]int64, 0, len(sh))
+	for id := range sh {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	counts := make([]int32, 0, len(ids)*organ.Count)
+	for _, id := range ids {
+		counts = append(counts, sh[id]...)
+	}
+	return ids, counts
+}
+
+func rowSum(cnt []int32) int64 {
+	s := int64(0)
+	for _, v := range cnt {
+		s += int64(v)
+	}
+	return s
+}
+
+// TestAttentionPatchProperty asserts that an Attention patched through
+// randomized update / delete / merge batches stays bit-identical to one
+// rebuilt from scratch by AttentionFromCounts at every epoch boundary,
+// and that RowOf agrees with the rebuilt index after deletes and merges.
+func TestAttentionPatchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1709))
+
+	for trial := 0; trial < 20; trial++ {
+		shadow := patchShadow{}
+		// Seed population.
+		for i := 0; i < 30+rng.Intn(50); i++ {
+			id := int64(rng.Intn(500) + 1)
+			cnt := make([]int32, organ.Count)
+			cnt[rng.Intn(organ.Count)] = int32(rng.Intn(3) + 1)
+			if old, ok := shadow[id]; ok {
+				for c := range old {
+					old[c] += cnt[c]
+				}
+			} else {
+				shadow[id] = cnt
+			}
+		}
+		ids, counts := shadow.columns()
+		att, err := AttentionFromCounts(ids, counts)
+		if err != nil {
+			t.Fatalf("trial %d: cold build: %v", trial, err)
+		}
+		if att.Epoch() != 0 {
+			t.Fatalf("cold epoch %d", att.Epoch())
+		}
+
+		for batch := 0; batch < 15; batch++ {
+			// One batch = a mix of mention updates, user deletions, and a
+			// merge-like bulk add, applied to the shadow while recording
+			// which ids changed.
+			changed := map[int64]bool{}
+			for op := 0; op < 1+rng.Intn(12); op++ {
+				switch k := rng.Intn(10); {
+				case k < 5: // mention delta on a random (maybe new) user
+					id := int64(rng.Intn(500) + 1)
+					cnt := shadow[id]
+					if cnt == nil {
+						cnt = make([]int32, organ.Count)
+						shadow[id] = cnt
+					}
+					cnt[rng.Intn(organ.Count)] += int32(rng.Intn(4) + 1)
+					changed[id] = true
+				case k < 7: // decrement (tweet deletion) — may zero the row
+					for id, cnt := range shadow {
+						for c := range cnt {
+							if cnt[c] > 0 {
+								cnt[c]--
+								changed[id] = true
+								break
+							}
+						}
+						break
+					}
+				case k < 8: // hard delete (user removed from the store)
+					for id := range shadow {
+						delete(shadow, id)
+						changed[id] = true
+						break
+					}
+				default: // merge: bulk-add a small foreign shard
+					for i := 0; i < 3+rng.Intn(5); i++ {
+						id := int64(rng.Intn(500) + 1)
+						cnt := shadow[id]
+						if cnt == nil {
+							cnt = make([]int32, organ.Count)
+							shadow[id] = cnt
+						}
+						cnt[rng.Intn(organ.Count)] += int32(rng.Intn(2) + 1)
+						changed[id] = true
+					}
+				}
+			}
+
+			// Build the patch from the changed set.
+			var upIDs, rmIDs []int64
+			for id := range changed {
+				if cnt, ok := shadow[id]; ok && rowSum(cnt) > 0 {
+					upIDs = append(upIDs, id)
+				} else {
+					rmIDs = append(rmIDs, id)
+				}
+			}
+			sort.Slice(upIDs, func(i, j int) bool { return upIDs[i] < upIDs[j] })
+			sort.Slice(rmIDs, func(i, j int) bool { return rmIDs[i] < rmIDs[j] })
+			upCounts := make([]int32, 0, len(upIDs)*organ.Count)
+			for _, id := range upIDs {
+				upCounts = append(upCounts, shadow[id]...)
+			}
+
+			wantIDs, wantCounts := shadow.columns()
+			live := 0
+			for _, id := range wantIDs {
+				if rowSum(shadow[id]) > 0 {
+					live++
+				}
+			}
+			prevEpoch := att.Epoch()
+			err := att.Patch(upIDs, upCounts, rmIDs)
+			if live == 0 {
+				if err == nil {
+					t.Fatalf("trial %d batch %d: patch to empty matrix succeeded", trial, batch)
+				}
+				break // shadow emptied out; start next trial
+			}
+			if err != nil {
+				t.Fatalf("trial %d batch %d: patch: %v", trial, batch, err)
+			}
+			if att.Epoch() != prevEpoch+1 {
+				t.Fatalf("epoch %d after patch, want %d", att.Epoch(), prevEpoch+1)
+			}
+
+			want, err := AttentionFromCounts(wantIDs, wantCounts)
+			if err != nil {
+				t.Fatalf("trial %d batch %d: rebuild: %v", trial, batch, err)
+			}
+			compareAttention(t, att, want)
+		}
+	}
+}
+
+// compareAttention asserts got and want are bit-identical: same id
+// order, bitwise-equal Û, agreeing RowOf.
+func compareAttention(t *testing.T, got, want *Attention) {
+	t.Helper()
+	gIDs, wIDs := got.UserIDs(), want.UserIDs()
+	if len(gIDs) != len(wIDs) {
+		t.Fatalf("users %d want %d", len(gIDs), len(wIDs))
+	}
+	for i := range gIDs {
+		if gIDs[i] != wIDs[i] {
+			t.Fatalf("row %d id %d want %d", i, gIDs[i], wIDs[i])
+		}
+	}
+	g, w := got.Matrix().Data(), want.Matrix().Data()
+	if len(g) != len(w) {
+		t.Fatalf("matrix size %d want %d", len(g), len(w))
+	}
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("Û[%d] = %x want %x (%g vs %g)", i,
+				math.Float64bits(g[i]), math.Float64bits(w[i]), g[i], w[i])
+		}
+	}
+	for _, id := range wIDs {
+		if got.RowOf(id) != want.RowOf(id) {
+			t.Fatalf("RowOf(%d) = %d want %d", id, got.RowOf(id), want.RowOf(id))
+		}
+	}
+	if got.RowOf(-99) != -1 {
+		t.Fatalf("RowOf(unknown) = %d", got.RowOf(-99))
+	}
+}
+
+// TestAttentionPatchValidation pins the error paths: misordered inputs,
+// zero-sum update rows, update∩remove overlap, and length mismatches.
+func TestAttentionPatchValidation(t *testing.T) {
+	att, err := AttentionFromCounts([]int64{1, 2}, []int32{
+		1, 0, 0, 0, 0, 0,
+		0, 2, 0, 0, 0, 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(v int32) []int32 { return []int32{v, 0, 0, 0, 0, 0} }
+
+	if err := att.Patch([]int64{2, 1}, append(row(1), row(1)...), nil); err == nil {
+		t.Fatal("unsorted update ids accepted")
+	}
+	if err := att.Patch([]int64{1}, row(0), nil); err == nil {
+		t.Fatal("zero-sum update row accepted")
+	}
+	if err := att.Patch([]int64{1}, row(1), []int64{1}); err == nil {
+		t.Fatal("update∩remove overlap accepted")
+	}
+	if err := att.Patch([]int64{1}, nil, nil); err == nil {
+		t.Fatal("counts length mismatch accepted")
+	}
+	if err := att.Patch(nil, nil, []int64{3, 3}); err == nil {
+		t.Fatal("non-ascending removes accepted")
+	}
+	if att.Epoch() != 0 {
+		t.Fatalf("failed patches advanced epoch to %d", att.Epoch())
+	}
+	// Removing every user must error, not produce an empty matrix.
+	if err := att.Patch(nil, nil, []int64{1, 2}); err == nil {
+		t.Fatal("patch to empty accepted")
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"donorsense/internal/geo"
 	"donorsense/internal/organ"
 	"donorsense/internal/stats"
@@ -17,6 +15,14 @@ type StateOrganRisk struct {
 	// (zero-count) cells leave Defined false.
 	RR      stats.RelativeRisk
 	Defined bool
+	// Continuity carries the Haldane–Anscombe continuity-corrected
+	// estimate for cells where the uncorrected RR is undefined (a zero
+	// outcome cell — routinely produced by incremental decrements), so
+	// sparse cells degrade to a shrunk estimate instead of a hole.
+	// Populated only when Defined is false and both exposure groups are
+	// nonempty; it never influences Highlighted().
+	Continuity        stats.RelativeRisk
+	ContinuityDefined bool
 }
 
 // Highlighted reports the paper's Figure 5 criterion: the organ's
@@ -77,61 +83,12 @@ func HighlightOrgans(a *Attention, stateOf map[int64]string) (*HighlightResult, 
 
 // HighlightOrgansFunc is HighlightOrgans with a StateLookup callback
 // instead of a materialized map. The cell counts are integers, so the
-// result is identical for any lookup backing.
+// result is identical for any lookup backing. It scans Û into a
+// StateOrganCells accumulator and builds the result with Highlight —
+// the same constructor the incremental engine feeds from its in-place
+// accumulators, so the two paths cannot diverge.
 func HighlightOrgansFunc(a *Attention, stateOf StateLookup) (*HighlightResult, error) {
-	codes := geo.StateCodes()
-	nStates := len(codes)
-
-	// mention[s][o] = users in state s mentioning organ o;
-	// users[s] = users in state s.
-	mention := make([][organ.Count]int, nStates)
-	users := make([]int, nStates)
-	totalMention := [organ.Count]int{}
-	totalUsers := 0
-
-	for row, id := range a.UserIDs() {
-		code, ok := stateOf(id)
-		if !ok {
-			continue
-		}
-		s := geo.StateIndex(code)
-		if s < 0 {
-			continue
-		}
-		users[s]++
-		totalUsers++
-		for _, o := range organ.All() {
-			if a.MentionsOrgan(row, o) {
-				mention[s][o.Index()]++
-				totalMention[o.Index()]++
-			}
-		}
-	}
-	if totalUsers == 0 {
-		return nil, fmt.Errorf("core: no users could be assigned to a state")
-	}
-
-	res := &HighlightResult{
-		Risks:      make([][]StateOrganRisk, nStates),
-		StateCodes: codes,
-	}
-	for s := 0; s < nStates; s++ {
-		res.Risks[s] = make([]StateOrganRisk, organ.Count)
-		for _, o := range organ.All() {
-			j := o.Index()
-			aCnt := mention[s][j]
-			bCnt := users[s] - aCnt
-			cCnt := totalMention[j] - aCnt
-			dCnt := (totalUsers - users[s]) - cCnt
-			risk := StateOrganRisk{StateCode: codes[s], Organ: o}
-			if rr, err := stats.NewRelativeRisk(aCnt, bCnt, cCnt, dCnt); err == nil {
-				risk.RR = rr
-				risk.Defined = true
-			}
-			res.Risks[s][j] = risk
-		}
-	}
-	return res, nil
+	return cellsFromAttention(a, stateOf).Highlight()
 }
 
 // WinnerTakesAll is the baseline the paper argues against (§IV-B1): the
@@ -143,45 +100,9 @@ func WinnerTakesAll(a *Attention, stateOf map[int64]string) (map[string]organ.Or
 	return WinnerTakesAllFunc(a, lookupMap(stateOf))
 }
 
-// WinnerTakesAllFunc is WinnerTakesAll with a StateLookup callback.
+// WinnerTakesAllFunc is WinnerTakesAll with a StateLookup callback. Like
+// HighlightOrgansFunc it scans into a StateOrganCells accumulator and
+// shares the WinnerTakesAll constructor with the incremental engine.
 func WinnerTakesAllFunc(a *Attention, stateOf StateLookup) (map[string]organ.Organ, error) {
-	codes := geo.StateCodes()
-	counts := make([][organ.Count]int, len(codes))
-	seen := make([]bool, len(codes))
-	for row, id := range a.UserIDs() {
-		code, ok := stateOf(id)
-		if !ok {
-			continue
-		}
-		s := geo.StateIndex(code)
-		if s < 0 {
-			continue
-		}
-		seen[s] = true
-		for _, o := range organ.All() {
-			if a.MentionsOrgan(row, o) {
-				counts[s][o.Index()]++
-			}
-		}
-	}
-	out := make(map[string]organ.Organ, len(codes))
-	any := false
-	for s, code := range codes {
-		if !seen[s] {
-			out[code] = organ.Organ(-1)
-			continue
-		}
-		any = true
-		best, bi := -1, 0
-		for j, c := range counts[s] {
-			if c > best {
-				best, bi = c, j
-			}
-		}
-		out[code] = organ.Organ(bi)
-	}
-	if !any {
-		return nil, fmt.Errorf("core: no users could be assigned to a state")
-	}
-	return out, nil
+	return cellsFromAttention(a, stateOf).WinnerTakesAll()
 }

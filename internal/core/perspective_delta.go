@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/mat"
+	"donorsense/internal/organ"
+)
+
+// Incremental Equation 3: recompute only the dirty group rows of K.
+//
+// K's rows are floating-point means, and float addition is not
+// associative — a per-group sum is bit-identical to Aggregate's only
+// when accumulated over the same members in the same (ascending row)
+// order. So unlike the integer layer (StateOrganCells, MentionAccum),
+// group rows are not subtracted in place: a group whose membership or
+// member rows changed is marked dirty and its row is recomputed from
+// scratch with Aggregate's exact summation order, while clean rows are
+// carried over bit-for-bit from the previous characterization. The
+// required invariant, which callers (the report engine) maintain and the
+// differential tests enforce: every attention row that was patched, and
+// both the old and new group of every row whose assignment moved, dirty
+// the affected groups. Group sizes are plain integers and are maintained
+// subtractably by the caller; aggregateDelta cross-checks them against
+// the assignment vector.
+
+// aggregateDelta rebuilds K from a previous aggregation: assign gives
+// each attention row's group (-1 unassigned), sizes the caller-tracked
+// per-group membership counts, dirty the groups whose rows must be
+// recomputed. Returns the new K and the empty-group list (ascending),
+// exactly as mat.Membership.Aggregate reports them.
+func aggregateDelta(a *Attention, prevK *mat.Matrix, groups int, assign []int16, sizes []int, dirty []bool) (*mat.Matrix, []int, error) {
+	m := a.Users()
+	if len(assign) != m {
+		return nil, nil, fmt.Errorf("core: delta assignment has %d rows, attention has %d", len(assign), m)
+	}
+	if len(sizes) != groups || len(dirty) != groups {
+		return nil, nil, fmt.Errorf("core: delta sizes/dirty length %d/%d, want %d groups", len(sizes), len(dirty), groups)
+	}
+	if prevK.Rows() != groups || prevK.Cols() != organ.Count {
+		return nil, nil, fmt.Errorf("core: previous K is %d×%d, want %d×%d", prevK.Rows(), prevK.Cols(), groups, organ.Count)
+	}
+	// Cross-check the subtractable size counters against the assignment
+	// vector; a mismatch means the caller broke the dirtiness invariant.
+	hist := make([]int, groups)
+	for i, g := range assign {
+		if g < -1 || int(g) >= groups {
+			return nil, nil, fmt.Errorf("core: row %d assigned to group %d of %d", i, g, groups)
+		}
+		if g >= 0 {
+			hist[g]++
+		}
+	}
+	for g, n := range hist {
+		if n != sizes[g] {
+			return nil, nil, fmt.Errorf("core: group %d size counter %d, assignment has %d", g, sizes[g], n)
+		}
+	}
+
+	k := mat.New(groups, organ.Count)
+	anyDirty := false
+	for g := 0; g < groups; g++ {
+		if dirty[g] {
+			anyDirty = true
+			continue
+		}
+		copy(k.RowView(g), prevK.RowView(g))
+	}
+	if anyDirty {
+		// One ascending pass accumulating only into dirty rows — the
+		// same per-group visit order Aggregate uses over all rows.
+		u := a.Matrix()
+		for i := 0; i < m; i++ {
+			g := assign[i]
+			if g < 0 || !dirty[g] {
+				continue
+			}
+			urow := u.RowView(i)
+			krow := k.RowView(int(g))
+			for j, v := range urow {
+				krow[j] += v
+			}
+		}
+		for g := 0; g < groups; g++ {
+			if !dirty[g] || sizes[g] == 0 {
+				continue
+			}
+			krow := k.RowView(g)
+			inv := 1 / float64(sizes[g])
+			for j := range krow {
+				krow[j] *= inv
+			}
+		}
+	}
+	var empty []int
+	for g, n := range sizes {
+		if n == 0 {
+			empty = append(empty, g)
+		}
+	}
+	return k, empty, nil
+}
+
+// CharacterizeOrgansDelta is the incremental CharacterizeOrgans: assign
+// holds each attention row's primary-organ group (never -1 — every Û row
+// has a primary organ), sizes the per-organ membership counts, dirty the
+// organ groups needing recomputation against prev.
+func CharacterizeOrgansDelta(a *Attention, prev *OrganCharacterization, assign []int16, sizes []int, dirty []bool) (*OrganCharacterization, error) {
+	k, _, err := aggregateDelta(a, prev.K, organ.Count, assign, sizes, dirty)
+	if err != nil {
+		return nil, fmt.Errorf("core: organ aggregation: %w", err)
+	}
+	out := &OrganCharacterization{K: k, GroupSizes: make([]int, len(sizes))}
+	copy(out.GroupSizes, sizes)
+	return out, nil
+}
+
+// CharacterizeRegionsDelta is the incremental CharacterizeRegionsFunc:
+// assign holds each attention row's geo.StateCodes() row (-1 when the
+// user's state is unresolvable), sizes the per-state membership counts,
+// dirty the states needing recomputation against prev.
+func CharacterizeRegionsDelta(a *Attention, prev *RegionCharacterization, assign []int16, sizes []int, dirty []bool) (*RegionCharacterization, error) {
+	codes := geo.StateCodes()
+	assigned := 0
+	for _, n := range sizes {
+		assigned += n
+	}
+	if assigned == 0 {
+		return nil, fmt.Errorf("core: no users could be assigned to a state")
+	}
+	k, empty, err := aggregateDelta(a, prev.K, len(codes), assign, sizes, dirty)
+	if err != nil {
+		return nil, fmt.Errorf("core: region aggregation: %w", err)
+	}
+	out := &RegionCharacterization{
+		K:           k,
+		StateCodes:  codes,
+		GroupSizes:  make([]int, len(sizes)),
+		EmptyStates: empty,
+	}
+	copy(out.GroupSizes, sizes)
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"donorsense/internal/geo"
+	"donorsense/internal/organ"
+)
+
+// TestAggregateDeltaBitIdentical drives randomized mention updates
+// through the dirty-group recompute and asserts the resulting organ and
+// region characterizations are bit-identical to full recomputation —
+// including that clean group rows are carried over untouched.
+func TestAggregateDeltaBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	codes := geo.StateCodes()
+
+	// Build a population confined to a few states so some states stay
+	// clean across updates.
+	usedStates := []string{"OH", "CA", "NY", "TX", "WA", "FL"}
+	shadow := map[int64][]int32{}
+	stateOfMap := map[int64]string{}
+	for i := 0; i < 400; i++ {
+		id := int64(i + 1)
+		row := make([]int32, organ.Count)
+		row[rng.Intn(organ.Count)] = int32(rng.Intn(3) + 1)
+		if rng.Intn(4) == 0 {
+			row[rng.Intn(organ.Count)] += int32(rng.Intn(2) + 1)
+		}
+		shadow[id] = row
+		stateOfMap[id] = usedStates[rng.Intn(len(usedStates))]
+	}
+	stateOf := func(id int64) (string, bool) { s, ok := stateOfMap[id]; return s, ok }
+
+	columns := func() ([]int64, []int32) {
+		sh := patchShadow(shadow)
+		return sh.columns()
+	}
+	ids, counts := columns()
+	att, err := AttentionFromCounts(ids, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevOrg, err := CharacterizeOrgans(att)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevReg, err := CharacterizeRegionsFunc(att, stateOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assignments := func(a *Attention) (orgAssign, regAssign []int16, orgSizes, regSizes []int) {
+		orgAssign = make([]int16, a.Users())
+		regAssign = make([]int16, a.Users())
+		orgSizes = make([]int, organ.Count)
+		regSizes = make([]int, len(codes))
+		for row, id := range a.UserIDs() {
+			g := a.PrimaryOrgan(row).Index()
+			orgAssign[row] = int16(g)
+			orgSizes[g]++
+			code, _ := stateOf(id)
+			s := geo.StateIndex(code)
+			regAssign[row] = int16(s)
+			if s >= 0 {
+				regSizes[s]++
+			}
+		}
+		return
+	}
+
+	for round := 0; round < 12; round++ {
+		// Touch a handful of users in a couple of states.
+		prevPrimary := map[int64]int{}
+		for row, id := range att.UserIDs() {
+			prevPrimary[id] = att.PrimaryOrgan(row).Index()
+		}
+		touched := map[int64]bool{}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			id := int64(rng.Intn(400) + 1)
+			shadow[id][rng.Intn(organ.Count)] += int32(rng.Intn(3) + 1)
+			touched[id] = true
+		}
+		var upIDs []int64
+		for id := range touched {
+			upIDs = append(upIDs, id)
+		}
+		for i := range upIDs {
+			for j := i + 1; j < len(upIDs); j++ {
+				if upIDs[j] < upIDs[i] {
+					upIDs[i], upIDs[j] = upIDs[j], upIDs[i]
+				}
+			}
+		}
+		var upCounts []int32
+		for _, id := range upIDs {
+			upCounts = append(upCounts, shadow[id]...)
+		}
+		if err := att.Patch(upIDs, upCounts, nil); err != nil {
+			t.Fatal(err)
+		}
+
+		// Dirty groups: the touched users' states, plus old+new primary
+		// organs.
+		orgDirty := make([]bool, organ.Count)
+		regDirty := make([]bool, len(codes))
+		for id := range touched {
+			row := att.RowOf(id)
+			orgDirty[prevPrimary[id]] = true
+			orgDirty[att.PrimaryOrgan(row).Index()] = true
+			code, _ := stateOf(id)
+			regDirty[geo.StateIndex(code)] = true
+		}
+
+		orgAssign, regAssign, orgSizes, regSizes := assignments(att)
+		gotOrg, err := CharacterizeOrgansDelta(att, prevOrg, orgAssign, orgSizes, orgDirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotReg, err := CharacterizeRegionsDelta(att, prevReg, regAssign, regSizes, regDirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wantOrg, err := CharacterizeOrgans(att)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantReg, err := CharacterizeRegionsFunc(att, stateOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		compareMatrixBits(t, "organ K", gotOrg.K.Data(), wantOrg.K.Data())
+		compareMatrixBits(t, "region K", gotReg.K.Data(), wantReg.K.Data())
+		if len(gotOrg.GroupSizes) != len(wantOrg.GroupSizes) {
+			t.Fatal("organ group sizes length")
+		}
+		for i := range wantOrg.GroupSizes {
+			if gotOrg.GroupSizes[i] != wantOrg.GroupSizes[i] {
+				t.Fatalf("organ group %d size %d want %d", i, gotOrg.GroupSizes[i], wantOrg.GroupSizes[i])
+			}
+		}
+		for i := range wantReg.GroupSizes {
+			if gotReg.GroupSizes[i] != wantReg.GroupSizes[i] {
+				t.Fatalf("region group %d size %d want %d", i, gotReg.GroupSizes[i], wantReg.GroupSizes[i])
+			}
+		}
+		if len(gotReg.EmptyStates) != len(wantReg.EmptyStates) {
+			t.Fatalf("empty states %v want %v", gotReg.EmptyStates, wantReg.EmptyStates)
+		}
+		for i := range wantReg.EmptyStates {
+			if gotReg.EmptyStates[i] != wantReg.EmptyStates[i] {
+				t.Fatalf("empty states %v want %v", gotReg.EmptyStates, wantReg.EmptyStates)
+			}
+		}
+		prevOrg, prevReg = gotOrg, gotReg
+	}
+}
+
+func compareMatrixBits(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %x want %x", what, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestAggregateDeltaValidation pins the cross-checks: mismatched size
+// counters and malformed assignments are refused.
+func TestAggregateDeltaValidation(t *testing.T) {
+	att, err := AttentionFromCounts([]int64{1, 2}, []int32{
+		1, 0, 0, 0, 0, 0,
+		0, 2, 0, 0, 0, 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := CharacterizeOrgans(att)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodAssign := []int16{0, 1}
+	goodSizes := []int{1, 1, 0, 0, 0, 0}
+	dirty := make([]bool, organ.Count)
+
+	if _, err := CharacterizeOrgansDelta(att, prev, []int16{0}, goodSizes, dirty); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := CharacterizeOrgansDelta(att, prev, goodAssign, []int{2, 0, 0, 0, 0, 0}, dirty); err == nil {
+		t.Fatal("size-counter mismatch accepted")
+	}
+	if _, err := CharacterizeOrgansDelta(att, prev, []int16{0, 99}, goodSizes, dirty); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+	if _, err := CharacterizeOrgansDelta(att, prev, goodAssign, goodSizes, dirty); err != nil {
+		t.Fatalf("valid no-dirty delta: %v", err)
+	}
+}

@@ -42,12 +42,14 @@ import (
 // is the format version.
 var checkpointMagic = [8]byte{'D', 'S', 'C', 'K', 'P', 'T', 0, checkpointVersion}
 
-// checkpointVersion is the format written by WriteCheckpoint. Version 3
-// serializes the user store as flat columns (the userstore layout);
-// version 2, the legacy map-of-records payload, is still readable so
-// pre-columnar snapshots migrate on load.
+// checkpointVersion is the format written by WriteCheckpoint. Version 4
+// is version 3 (the user store as flat columns) plus the report engine's
+// opaque analytics warm-start blob. Versions 3 and 2 (the legacy
+// map-of-records payload) are still readable so older snapshots migrate
+// on load.
 const (
-	checkpointVersion       = 3
+	checkpointVersion       = 4
+	checkpointVersionV3     = 3
 	checkpointVersionLegacy = 2
 )
 
@@ -98,13 +100,15 @@ type checkpointState struct {
 	Cursor uint64
 }
 
-// checkpointStateV3 is the v3 gob payload: the user store as flat
+// checkpointStateV4 is the v4 gob payload: the user store as flat
 // columns (one slice per field, row-major mention matrix, append-ordered
-// state intern table) plus the dataset counters. Encoding the columns
-// directly — no per-user structs — keeps the snapshot one contiguous
-// write per column and lets the loader adopt the decoded slices without
-// copying.
-type checkpointStateV3 struct {
+// state intern table) plus the dataset counters and the analytics
+// warm-start blob. Encoding the columns directly — no per-user structs —
+// keeps the snapshot one contiguous write per column and lets the loader
+// adopt the decoded slices without copying. The same struct decodes v3
+// payloads: gob matches fields by name and leaves the absent Analytics
+// field nil.
+type checkpointStateV4 struct {
 	UserIDs        []int64
 	FirstSeen      []int64
 	FirstTweetID   []int64
@@ -129,14 +133,18 @@ type checkpointStateV3 struct {
 	// Dataset.SetCursor); the shard supervisor's replay skip depends on
 	// it surviving the round-trip.
 	Cursor uint64
+	// Analytics is the report engine's opaque clustering warm-start blob
+	// (Dataset.SetAnalyticsState) — new in v4; nil when no engine has run
+	// or in snapshots loaded from v3 files.
+	Analytics []byte
 }
 
-// snapshot captures the dataset into its serializable (v3) form. The
+// snapshot captures the dataset into its serializable (v4) form. The
 // column slices are borrowed views into the store; the snapshot must be
 // encoded before the dataset is mutated again.
-func (d *Dataset) snapshot() checkpointStateV3 {
+func (d *Dataset) snapshot() checkpointStateV4 {
 	cols := d.store.Columns()
-	st := checkpointStateV3{
+	st := checkpointStateV4{
 		UserIDs:        cols.IDs,
 		FirstSeen:      cols.FirstSeen,
 		FirstTweetID:   cols.FirstTweetID,
@@ -157,6 +165,7 @@ func (d *Dataset) snapshot() checkpointStateV3 {
 		TrackDeletions: d.contributions != nil,
 		LocCache:       make(map[string]geo.Location, d.locCache.len()),
 		Cursor:         d.cursor,
+		Analytics:      d.analytics,
 	}
 	for k, n := range d.organsPerTweet {
 		st.OrgansPerTweet[k] = n
@@ -220,9 +229,9 @@ func restoreCommon(d *Dataset, totalCollected, usTweets, geoTagged, mentionSum i
 	}
 }
 
-// restore rebuilds a fresh dataset from a decoded v3 snapshot, adopting
-// the decoded column slices directly into the store.
-func restore(st checkpointStateV3) (*Dataset, error) {
+// restore rebuilds a fresh dataset from a decoded v3/v4 snapshot,
+// adopting the decoded column slices directly into the store.
+func restore(st checkpointStateV4) (*Dataset, error) {
 	store, err := userstore.FromColumns(organ.Count, userstore.Columns{
 		IDs:          st.UserIDs,
 		FirstSeen:    st.FirstSeen,
@@ -240,6 +249,7 @@ func restore(st checkpointStateV3) (*Dataset, error) {
 	}
 	d := NewDataset()
 	d.store = store
+	d.analytics = st.Analytics
 	restoreCommon(d, st.TotalCollected, st.USTweets, st.GeoTagged, st.MentionSum,
 		st.FirstTweet, st.LastTweet, st.OrgansPerTweet,
 		st.TrackDeletions, st.Contributions, st.LocCache, st.Cursor)
@@ -304,8 +314,9 @@ func ReadCheckpoint(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCheckpointCorrupt)
 	}
 	version := magic[7]
-	if version != checkpointVersion && version != checkpointVersionLegacy {
-		return nil, fmt.Errorf("pipeline: checkpoint version %d not supported (want %d or %d)",
+	if version != checkpointVersion && version != checkpointVersionV3 &&
+		version != checkpointVersionLegacy {
+		return nil, fmt.Errorf("pipeline: checkpoint version %d not supported (want %d..%d)",
 			version, checkpointVersionLegacy, checkpointVersion)
 	}
 	var hdr [12]byte
@@ -332,7 +343,9 @@ func ReadCheckpoint(r io.Reader) (*Dataset, error) {
 		}
 		return restoreLegacy(st), nil
 	}
-	var st checkpointStateV3
+	// v3 and v4 share the decode path: a v3 payload simply lacks the
+	// Analytics field, which gob leaves nil.
+	var st checkpointStateV4
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: decode: %v", ErrCheckpointCorrupt, err)
 	}

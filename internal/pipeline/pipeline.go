@@ -154,6 +154,11 @@ type Dataset struct {
 	traceShard       string
 	traceIncarnation int64
 	pendingTrace     trace.SpanContext
+
+	// analytics is the report engine's opaque warm-start blob
+	// (SetAnalyticsState), persisted in v4 checkpoints so a restarted
+	// process resumes clustering warm instead of cold.
+	analytics []byte
 }
 
 // NewDataset returns an empty dataset.

@@ -25,6 +25,38 @@ type TableI struct {
 // Stats summarizes the dataset in Table I form. Day count is derived from
 // the observed tweet span (inclusive of both end days).
 func (d *Dataset) Stats() TableI {
+	t := d.statsBase()
+	if t.Users > 0 {
+		total := 0
+		ments := d.store.Mentions()
+		for r := 0; r < t.Users; r++ {
+			for _, m := range ments[r*organ.Count : (r+1)*organ.Count] {
+				if m > 0 {
+					total++
+				}
+			}
+		}
+		t.OrgansPerUser = float64(total) / float64(t.Users)
+	}
+	return t
+}
+
+// StatsFromDistinct is Stats with the distinct (user, organ) pair total
+// supplied by the caller — the incremental engine maintains it in a
+// mergeable accumulator, so Table I no longer needs the O(users) mention
+// scan. Identical output to Stats when the supplied total matches the
+// store.
+func (d *Dataset) StatsFromDistinct(distinctTotal int) TableI {
+	t := d.statsBase()
+	if t.Users > 0 {
+		t.OrgansPerUser = float64(distinctTotal) / float64(t.Users)
+	}
+	return t
+}
+
+// statsBase computes every Table I field except OrgansPerUser (the only
+// one needing a user scan or an accumulator).
+func (d *Dataset) statsBase() TableI {
 	t := TableI{
 		Start:           d.firstTweet,
 		End:             d.lastTweet,
@@ -44,18 +76,6 @@ func (d *Dataset) Stats() TableI {
 	if d.usTweets > 0 {
 		t.OrgansPerTweet = float64(d.mentionSum) / float64(d.usTweets)
 		t.GeoTagRate = float64(d.geoTagged) / float64(d.usTweets)
-	}
-	if t.Users > 0 {
-		total := 0
-		ments := d.store.Mentions()
-		for r := 0; r < t.Users; r++ {
-			for _, m := range ments[r*organ.Count : (r+1)*organ.Count] {
-				if m > 0 {
-					total++
-				}
-			}
-		}
-		t.OrgansPerUser = float64(total) / float64(t.Users)
 	}
 	return t
 }
@@ -80,11 +100,7 @@ func (d *Dataset) UsersPerOrgan() [organ.Count]int {
 // the number of US users mentioning exactly k distinct organs —
 // Figure 2(b). Index 0 corresponds to k = 1.
 func (d *Dataset) MultiOrganHistogram() (tweets, users [organ.Count]int) {
-	for k, n := range d.organsPerTweet {
-		if k >= 1 && k <= organ.Count {
-			tweets[k-1] = n
-		}
-	}
+	tweets = d.TweetOrganHistogram()
 	ments := d.store.Mentions()
 	for r := 0; r < d.store.Len(); r++ {
 		k := 0

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"testing"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/pipeline"
+)
+
+// The benchmark suite behind BENCH_incremental.{txt,json}: latency of
+// one full-report refresh after a 10k-tweet delta lands on a large
+// store, incremental engine versus from-scratch Analyze (archived as
+// BENCH_incremental_before.*). Both sides run the same config — sweep
+// off, k=12 — so the diff isolates the incremental machinery. The 1M
+// benchmarks are baseline-only (minutes of wall clock); the CI gate
+// reruns the 100k subset.
+
+const benchDeltaTweets = 10_000
+
+// benchEngineConfig mirrors the live collector's refresh config.
+func benchEngineConfig() AnalysisConfig {
+	cfg := DefaultAnalysisConfig()
+	cfg.KUsers = 12
+	cfg.SweepKs = nil
+	cfg.SilhouetteSample = 0
+	cfg.Workers = 0
+	return cfg
+}
+
+// benchSetup fabricates the large store, folds a 5k-tweet warm-up
+// prefix (so the delta's users are established), cold-builds the
+// engine, and returns the closure that lands one 10k-tweet delta.
+func benchSetup(b *testing.B, users int) (*pipeline.Dataset, *Engine, func()) {
+	b.Helper()
+	corpus := gen.Generate(gen.DefaultConfig(0.02))
+	if len(corpus.Tweets) < benchDeltaTweets+5000 {
+		b.Fatalf("generated corpus too small: %d tweets", len(corpus.Tweets))
+	}
+	d := pipeline.SynthDataset(users, 1)
+	for _, tw := range corpus.Tweets[:5000] {
+		d.Process(tw)
+	}
+	e := NewEngine(d, benchEngineConfig())
+	if _, err := e.Refresh(); err != nil { // cold build
+		b.Fatal(err)
+	}
+	deltaTweets := corpus.Tweets[5000 : 5000+benchDeltaTweets]
+	applyDelta := func() {
+		for _, tw := range deltaTweets {
+			d.Process(tw)
+		}
+	}
+	return d, e, applyDelta
+}
+
+func benchIncrementalRefresh(b *testing.B, users int) {
+	_, e, applyDelta := benchSetup(b, users)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		applyDelta()
+		b.StartTimer()
+		if _, err := e.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFromScratchAnalyze(b *testing.B, users int) {
+	d, _, applyDelta := benchSetup(b, users)
+	cfg := benchEngineConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		applyDelta()
+		b.StartTimer()
+		if _, err := Analyze(d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalRefresh100k(b *testing.B) { benchIncrementalRefresh(b, 100_000) }
+func BenchmarkFromScratchAnalyze100k(b *testing.B) { benchFromScratchAnalyze(b, 100_000) }
+func BenchmarkIncrementalRefresh1M(b *testing.B)   { benchIncrementalRefresh(b, 1_000_000) }
+func BenchmarkFromScratchAnalyze1M(b *testing.B)   { benchFromScratchAnalyze(b, 1_000_000) }

@@ -1,0 +1,494 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"donorsense/internal/cluster"
+	"donorsense/internal/core"
+	"donorsense/internal/geo"
+	"donorsense/internal/obs/trace"
+	"donorsense/internal/organ"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/stats"
+)
+
+// Engine is the incremental counterpart of Analyze: it keeps every
+// intermediate of the full analysis alive between calls — the
+// epoch-versioned Û, the integer accumulators behind Table I / Figure 2 /
+// Figure 5, the per-group characterization state, the pairwise-distance
+// cache, and the K-Means warm state — and on each Refresh folds in only
+// the users the dataset changed since the previous one (DESIGN.md §14).
+// Refresh cost is O(users changed) plus the clustering resume, not
+// O(corpus age); the produced *Analysis is bit-identical to what
+// Analyze would compute over the same dataset (with Warm off; warm
+// K-Means is converged-equal, reached through a resumed rather than
+// restarted run).
+//
+// The engine owns the dataset's change feed: NewEngine enables delta
+// tracking and every Refresh drains it. It is single-threaded like the
+// Dataset itself — callers serialize Refresh with dataset mutation.
+type Engine struct {
+	d   *pipeline.Dataset
+	cfg AnalysisConfig
+
+	// Warm resumes K-Means from the previous refresh's converged state
+	// (labels of changed rows invalidated) instead of cold-starting with
+	// restarts. On: refreshes stop paying the dominant clustering cost.
+	// Off: every refresh's clustering is bit-identical to Analyze's.
+	Warm bool
+
+	att *core.Attention
+
+	// Row-aligned shadow of Û: each row's mention mask, geo.StateCodes()
+	// row (-1 unresolvable), and primary-organ group. These are what the
+	// accumulators and the dirty-group recompute need about the previous
+	// state of a changed user.
+	masks     []uint8
+	states    []int16
+	primaries []int16
+
+	// Subtractable group-size counters for the two characterizations.
+	orgSizes []int
+	regSizes []int
+
+	// Integer accumulators: Figure 5 / winner-takes-all cells, and the
+	// Figure 2 / Table I mention-mask statistics.
+	cells *core.StateOrganCells
+	ment  core.MentionAccum
+
+	// Previous characterizations; clean group rows are carried over
+	// bit-for-bit by the dirty-group recompute.
+	organs  *core.OrganCharacterization
+	regions *core.RegionCharacterization
+
+	// Clustering warm state: the keyed pairwise-distance cache (Figure 6)
+	// and the resumable K-Means state (Figure 7).
+	pc     cluster.PairwiseCache
+	kmWarm *cluster.KMeansWarmState
+
+	metrics *EngineMetrics
+	tracer  *trace.Tracer
+
+	refreshes   uint64
+	lastDirty   int
+	lastLatency time.Duration
+	lastCold    bool
+}
+
+// NewEngine wraps a dataset for incremental analysis, enabling its
+// change tracking. The first Refresh is a cold build; subsequent ones
+// consume deltas. Warm-started K-Means is on by default.
+func NewEngine(d *pipeline.Dataset, cfg AnalysisConfig) *Engine {
+	d.EnableDeltaTracking()
+	return &Engine{d: d, cfg: cfg, Warm: true}
+}
+
+// SetMetrics attaches refresh instrumentation (nil disables).
+func (e *Engine) SetMetrics(m *EngineMetrics) { e.metrics = m }
+
+// SetTracer attaches a tracer; each Refresh emits a report.refresh span.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Epoch returns the attention matrix's patch epoch (0 before the first
+// Refresh and right after a cold build).
+func (e *Engine) Epoch() uint64 {
+	if e.att == nil {
+		return 0
+	}
+	return e.att.Epoch()
+}
+
+// Refreshes returns how many Refresh calls have completed successfully.
+func (e *Engine) Refreshes() uint64 { return e.refreshes }
+
+// LastRefresh reports the previous Refresh: rows applied, latency, and
+// whether it was a cold build — the /statusz analytics section's feed.
+func (e *Engine) LastRefresh() (dirtyRows int, latency time.Duration, cold bool) {
+	return e.lastDirty, e.lastLatency, e.lastCold
+}
+
+// Refresh drains the dataset's change delta and returns the analysis of
+// the current state. The first call (and any call after an error
+// poisoned the incremental state) runs a cold build. An empty delta
+// still produces a complete, current *Analysis — the tweet-level Table I
+// scalars can move without any user row changing.
+func (e *Engine) Refresh() (*Analysis, error) {
+	start := time.Now()
+	sp := e.tracer.StartRoot("report.refresh")
+	var (
+		a     *Analysis
+		err   error
+		dirty int
+	)
+	cold := e.att == nil
+	if cold {
+		// A cold build reflects the live store; discard any pending delta.
+		e.d.DrainDelta()
+		a, err = e.coldBuild()
+	} else {
+		delta := e.d.DrainDelta()
+		dirty = delta.Rows.Count() + len(delta.Deleted)
+		a, err = e.incremental(delta.Rows.Each, delta.Deleted)
+		if err != nil {
+			// The partial state is unusable; the next Refresh rebuilds.
+			e.reset()
+		}
+	}
+	e.lastDirty, e.lastLatency, e.lastCold = dirty, time.Since(start), cold
+	if err == nil {
+		e.refreshes++
+	}
+	if m := e.metrics; m != nil {
+		m.refresh.Since(start)
+		m.epoch.Set(float64(e.Epoch()))
+		m.dirty.Set(float64(dirty))
+	}
+	if sp != nil {
+		sp.SetInt("dirty_rows", int64(dirty))
+		sp.SetInt("epoch", int64(e.Epoch()))
+		if cold {
+			sp.SetAttr("cold", "true")
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return a, err
+}
+
+// reset drops all incremental state so the next Refresh cold-builds.
+func (e *Engine) reset() {
+	e.att = nil
+	e.masks, e.states, e.primaries = nil, nil, nil
+	e.orgSizes, e.regSizes = nil, nil
+	e.cells, e.ment = nil, core.MentionAccum{}
+	e.organs, e.regions = nil, nil
+	e.pc = cluster.PairwiseCache{}
+	e.kmWarm = nil
+}
+
+// coldBuild computes everything from scratch — the same work Analyze
+// does, through the cache- and accumulator-aware entry points — and
+// seeds the incremental state from the results.
+func (e *Engine) coldBuild() (*Analysis, error) {
+	att, err := e.d.BuildAttention()
+	if err != nil {
+		return nil, fmt.Errorf("report: attention: %w", err)
+	}
+	e.att = att
+
+	n := att.Users()
+	e.masks = make([]uint8, n)
+	e.states = make([]int16, n)
+	e.primaries = make([]int16, n)
+	e.orgSizes = make([]int, organ.Count)
+	e.regSizes = make([]int, len(geo.StateCodes()))
+	e.cells = core.NewStateOrganCells()
+	e.ment = core.MentionAccum{}
+	stateOf := e.d.StateLookup()
+	for row, id := range att.UserIDs() {
+		mask := core.MentionMask(att, row)
+		prim := int16(att.PrimaryOrgan(row).Index())
+		si := int16(-1)
+		if code, ok := stateOf(id); ok {
+			if s := geo.StateIndex(code); s >= 0 {
+				si = int16(s)
+			}
+		}
+		e.masks[row], e.states[row], e.primaries[row] = mask, si, prim
+		e.orgSizes[prim]++
+		if si >= 0 {
+			e.regSizes[si]++
+			e.cells.AddUser(int(si), mask, 1)
+		}
+		e.ment.AddMask(mask, 1)
+	}
+
+	if e.organs, err = core.CharacterizeOrgans(att); err != nil {
+		return nil, fmt.Errorf("report: figure 3: %w", err)
+	}
+	if e.regions, err = core.CharacterizeRegionsFunc(att, stateOf); err != nil {
+		return nil, fmt.Errorf("report: figure 4: %w", err)
+	}
+	return e.assemble(func(string) bool { return true })
+}
+
+// pendingChange is one user whose Û row changes this refresh.
+type pendingChange struct {
+	id     int64
+	mask   uint8
+	state  int16
+	counts [organ.Count]int32
+	oldRow int // pre-patch att row; -1 = insert
+	// previous shadow values when oldRow >= 0
+	oldMask  uint8
+	oldState int16
+	oldPrim  int16
+}
+
+// incremental folds one drained delta into the cached state. eachRow
+// iterates the dirty store rows (valid against the live store), deleted
+// lists removed user ids — userstore.Delta's contract.
+func (e *Engine) incremental(eachRow func(func(uint32)), deleted []int64) (*Analysis, error) {
+	removed := make(map[int64]bool, len(deleted))
+	for _, id := range deleted {
+		removed[id] = true
+	}
+
+	// Classify dirty rows against the previous Û: nonzero rows are
+	// updates or inserts; rows whose mentions dropped to zero leave Û
+	// through removes, mirroring AttentionFromCounts' zero-row filter.
+	var ups []pendingChange
+	var removes []int64
+	eachRow(func(row uint32) {
+		id, code, ments := e.d.UserAt(row)
+		// A deleted id that is live again nets out to an update/insert.
+		delete(removed, id)
+		var cnt [organ.Count]int32
+		copy(cnt[:], ments)
+		sum := int32(0)
+		mask := uint8(0)
+		for j, v := range cnt {
+			sum += v
+			if v > 0 {
+				mask |= 1 << j
+			}
+		}
+		oldRow := e.att.RowOf(id)
+		if sum == 0 {
+			if oldRow >= 0 {
+				removes = append(removes, id)
+			}
+			return
+		}
+		si := int16(-1)
+		if s := geo.StateIndex(code); s >= 0 {
+			si = int16(s)
+		}
+		ups = append(ups, pendingChange{id: id, mask: mask, state: si, counts: cnt, oldRow: oldRow})
+	})
+	for id := range removed {
+		if e.att.RowOf(id) >= 0 {
+			removes = append(removes, id)
+		}
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i].id < ups[j].id })
+	sort.Slice(removes, func(i, j int) bool { return removes[i] < removes[j] })
+
+	// Capture previous shadow values before the patch invalidates row
+	// indices; accumulators are only touched after Patch succeeds, so an
+	// error leaves nothing half-applied (Refresh resets on error anyway).
+	inserts := 0
+	for i := range ups {
+		up := &ups[i]
+		if up.oldRow < 0 {
+			inserts++
+			continue
+		}
+		up.oldMask = e.masks[up.oldRow]
+		up.oldState = e.states[up.oldRow]
+		up.oldPrim = e.primaries[up.oldRow]
+	}
+	type removal struct {
+		mask  uint8
+		state int16
+		prim  int16
+	}
+	rms := make([]removal, len(removes))
+	for i, id := range removes {
+		row := e.att.RowOf(id)
+		rms[i] = removal{mask: e.masks[row], state: e.states[row], prim: e.primaries[row]}
+	}
+
+	oldIDs := e.att.UserIDs()
+	upIDs := make([]int64, len(ups))
+	upCounts := make([]int32, 0, len(ups)*organ.Count)
+	for i := range ups {
+		upIDs[i] = ups[i].id
+		upCounts = append(upCounts, ups[i].counts[:]...)
+	}
+	if err := e.att.Patch(upIDs, upCounts, removes); err != nil {
+		return nil, fmt.Errorf("report: patch: %w", err)
+	}
+
+	orgDirty := make([]bool, organ.Count)
+	regDirty := make([]bool, len(e.regSizes))
+	sub := func(mask uint8, state, prim int16) {
+		e.ment.AddMask(mask, -1)
+		e.orgSizes[prim]--
+		orgDirty[prim] = true
+		if state >= 0 {
+			e.cells.AddUser(int(state), mask, -1)
+			e.regSizes[state]--
+			regDirty[state] = true
+		}
+	}
+	add := func(mask uint8, state, prim int16) {
+		e.ment.AddMask(mask, 1)
+		e.orgSizes[prim]++
+		orgDirty[prim] = true
+		if state >= 0 {
+			e.cells.AddUser(int(state), mask, 1)
+			e.regSizes[state]++
+			regDirty[state] = true
+		}
+	}
+
+	if inserts == 0 && len(removes) == 0 {
+		// Row set unchanged: Patch renormalized in place, shadow rows and
+		// warm-state rows keep their indices.
+		for i := range ups {
+			up := &ups[i]
+			row := up.oldRow
+			sub(up.oldMask, up.oldState, up.oldPrim)
+			prim := int16(e.att.PrimaryOrgan(row).Index())
+			e.masks[row], e.states[row], e.primaries[row] = up.mask, up.state, prim
+			add(up.mask, up.state, prim)
+			if e.kmWarm != nil && row < len(e.kmWarm.Labels) {
+				e.kmWarm.Labels[row] = -1
+			}
+		}
+	} else {
+		// Membership changed: rebuild the row-aligned shadow (and remap
+		// the K-Means warm state) with one merge over the new id order,
+		// exactly the splice Patch performed.
+		newIDs := e.att.UserIDs()
+		n := len(newIDs)
+		masks := make([]uint8, n)
+		states := make([]int16, n)
+		prims := make([]int16, n)
+		warm := e.kmWarm
+		remapWarm := warm != nil && len(warm.Labels) == len(oldIDs)
+		var wl []int32
+		var wu, wlo []float64
+		if remapWarm {
+			wl = make([]int32, n)
+			wu = make([]float64, n)
+			wlo = make([]float64, n)
+		}
+		oi, ui := 0, 0
+		for r, id := range newIDs {
+			if ui < len(ups) && ups[ui].id == id {
+				up := &ups[ui]
+				if up.oldRow >= 0 {
+					sub(up.oldMask, up.oldState, up.oldPrim)
+				}
+				prim := int16(e.att.PrimaryOrgan(r).Index())
+				masks[r], states[r], prims[r] = up.mask, up.state, prim
+				add(up.mask, up.state, prim)
+				if remapWarm {
+					wl[r] = -1
+				}
+				if oi < len(oldIDs) && oldIDs[oi] == id {
+					oi++
+				}
+				ui++
+				continue
+			}
+			for oldIDs[oi] != id {
+				oi++ // removed ids fall out of the merge
+			}
+			masks[r], states[r], prims[r] = e.masks[oi], e.states[oi], e.primaries[oi]
+			if remapWarm {
+				wl[r], wu[r], wlo[r] = warm.Labels[oi], warm.Upper[oi], warm.Lower[oi]
+			}
+			oi++
+		}
+		for _, rm := range rms {
+			sub(rm.mask, rm.state, rm.prim)
+		}
+		e.masks, e.states, e.primaries = masks, states, prims
+		if remapWarm {
+			e.kmWarm = &cluster.KMeansWarmState{
+				K: warm.K, Dim: warm.Dim, Centroids: warm.Centroids,
+				Labels: wl, Upper: wu, Lower: wlo,
+			}
+		} else {
+			e.kmWarm = nil
+		}
+	}
+
+	var err error
+	if e.organs, err = core.CharacterizeOrgansDelta(e.att, e.organs, e.primaries, e.orgSizes, orgDirty); err != nil {
+		return nil, fmt.Errorf("report: figure 3: %w", err)
+	}
+	if e.regions, err = core.CharacterizeRegionsDelta(e.att, e.regions, e.states, e.regSizes, regDirty); err != nil {
+		return nil, fmt.Errorf("report: figure 4: %w", err)
+	}
+	return e.assemble(func(code string) bool {
+		s := geo.StateIndex(code)
+		return s >= 0 && regDirty[s]
+	})
+}
+
+// assemble turns the cached state into a complete *Analysis: integer
+// accumulators feed Table I, Figure 2, Figure 5, and the baseline; the
+// pairwise cache and warm K-Means state feed the clustering figures.
+// stateDirty tells the distance cache which state rows changed.
+func (e *Engine) assemble(stateDirty func(code string) bool) (*Analysis, error) {
+	d, cfg := e.d, e.cfg
+	a := &Analysis{
+		Stats:      d.StatsFromDistinct(int(e.ment.DistinctPairs)),
+		Popularity: e.ment.UsersPerOrgan(),
+		KUsers:     cfg.KUsers,
+		MultiUsers: e.ment.MultiOrganUsers(),
+	}
+	a.MultiTweets = d.TweetOrganHistogram()
+
+	x := make([]float64, organ.Count)
+	for i, c := range a.Popularity {
+		x[i] = float64(c)
+	}
+	sp, err := stats.Spearman(x, organ.TransplantCounts())
+	if err != nil {
+		return nil, fmt.Errorf("report: popularity correlation: %w", err)
+	}
+	a.Spearman = sp
+
+	a.Attention = e.att
+	a.StateOf = d.StateLookup()
+	a.Organs, a.Regions = e.organs, e.regions
+
+	if a.Highlight, err = e.cells.Highlight(); err != nil {
+		return nil, fmt.Errorf("report: figure 5: %w", err)
+	}
+	if a.Baseline, err = e.cells.WinnerTakesAll(); err != nil {
+		return nil, fmt.Errorf("report: winner-takes-all: %w", err)
+	}
+
+	rows, codes := a.Regions.NonEmptyRows()
+	a.StateCodes = codes
+	if len(rows) >= 2 {
+		if a.StateDist, _, err = e.pc.Refresh(rows, codes, stateDirty, cluster.Bhattacharyya, cfg.Workers); err != nil {
+			return nil, fmt.Errorf("report: figure 6 distances: %w", err)
+		}
+		if a.Dendrogram, err = e.pc.Dendrogram(cluster.AverageLinkage); err != nil {
+			return nil, fmt.Errorf("report: figure 6 clustering: %w", err)
+		}
+	}
+
+	u := e.att.Matrix()
+	if cfg.KUsers > 0 && u.Rows() >= cfg.KUsers {
+		warm := e.kmWarm
+		if !e.Warm {
+			warm = nil
+		}
+		res, ws, _, kerr := cluster.KMeansDenseWarm(u, cluster.KMeansConfig{
+			K: cfg.KUsers, Seed: cfg.Seed, Restarts: 2, Workers: cfg.Workers,
+		}, warm)
+		if kerr != nil {
+			return nil, fmt.Errorf("report: figure 7: %w", kerr)
+		}
+		a.Clusters = res
+		e.kmWarm = ws
+	}
+	if len(cfg.SweepKs) > 0 && u.Rows() > maxInt(cfg.SweepKs) {
+		if a.Sweep, err = cluster.SweepKDense(u, cfg.SweepKs, cfg.Seed, cfg.SilhouetteSample, cfg.Workers); err != nil {
+			return nil, fmt.Errorf("report: k sweep: %w", err)
+		}
+	}
+	return a, nil
+}

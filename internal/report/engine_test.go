@@ -1,0 +1,347 @@
+package report
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/pipeline"
+)
+
+// engineTestConfig keeps the differential runs fast: no sweep, modest k.
+func engineTestConfig() AnalysisConfig {
+	cfg := DefaultAnalysisConfig()
+	cfg.KUsers = 8
+	cfg.SweepKs = nil
+	cfg.SilhouetteSample = 0
+	cfg.Workers = 2
+	return cfg
+}
+
+func floatsIdentical(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %x want %x", what, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// compareAnalyses asserts a refreshed analysis is bit-identical to a
+// from-scratch one: every float through Float64bits, everything else
+// through DeepEqual.
+func compareAnalyses(t *testing.T, got, want *Analysis) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatalf("Table I differs:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+	if got.Popularity != want.Popularity || got.MultiTweets != want.MultiTweets || got.MultiUsers != want.MultiUsers {
+		t.Fatal("figure 2 histograms differ")
+	}
+	if got.Spearman != want.Spearman {
+		t.Fatalf("Spearman %+v want %+v", got.Spearman, want.Spearman)
+	}
+	if !reflect.DeepEqual(got.Attention.UserIDs(), want.Attention.UserIDs()) {
+		t.Fatal("attention user ids differ")
+	}
+	floatsIdentical(t, "attention", got.Attention.Matrix().Data(), want.Attention.Matrix().Data())
+	floatsIdentical(t, "organ K", got.Organs.K.Data(), want.Organs.K.Data())
+	if !reflect.DeepEqual(got.Organs.GroupSizes, want.Organs.GroupSizes) {
+		t.Fatal("organ group sizes differ")
+	}
+	floatsIdentical(t, "region K", got.Regions.K.Data(), want.Regions.K.Data())
+	if !reflect.DeepEqual(got.Regions.GroupSizes, want.Regions.GroupSizes) ||
+		!reflect.DeepEqual(got.Regions.EmptyStates, want.Regions.EmptyStates) {
+		t.Fatal("region group sizes / empty states differ")
+	}
+	if !reflect.DeepEqual(got.Highlight, want.Highlight) {
+		t.Fatal("figure 5 differs")
+	}
+	if !reflect.DeepEqual(got.Baseline, want.Baseline) {
+		t.Fatal("winner-takes-all baseline differs")
+	}
+	if !reflect.DeepEqual(got.StateCodes, want.StateCodes) {
+		t.Fatal("state codes differ")
+	}
+	if len(got.StateDist) != len(want.StateDist) {
+		t.Fatalf("state distance matrix %d rows want %d", len(got.StateDist), len(want.StateDist))
+	}
+	for i := range want.StateDist {
+		floatsIdentical(t, "state distances", got.StateDist[i], want.StateDist[i])
+	}
+	if !reflect.DeepEqual(got.Dendrogram, want.Dendrogram) {
+		t.Fatal("dendrogram differs")
+	}
+	if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+		t.Fatal("user clusters differ")
+	}
+	if !reflect.DeepEqual(got.Sweep, want.Sweep) {
+		t.Fatal("sweep differs")
+	}
+}
+
+// TestEngineDifferential drives a corpus through the pipeline in phases —
+// growth, tweet deletions (including full user removals), a dataset
+// merge, more growth — and after every phase asserts Engine.Refresh is
+// bit-identical to a from-scratch Analyze of the same dataset. Warm
+// K-Means is off so the clustering comparison is exact.
+func TestEngineDifferential(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.05))
+	tweets := corpus.Tweets
+	if len(tweets) < 1000 {
+		t.Fatalf("corpus too small: %d tweets", len(tweets))
+	}
+	cfg := engineTestConfig()
+
+	d := pipeline.NewDataset()
+	d.TrackDeletions()
+	e := NewEngine(d, cfg)
+	e.Warm = false
+	if !d.DeltaTracking() {
+		t.Fatal("NewEngine did not enable delta tracking")
+	}
+
+	// Hold out a slice to arrive via Merge (the associative path).
+	held := tweets[len(tweets)*9/10:]
+	main := tweets[: len(tweets)*9/10 : len(tweets)*9/10]
+
+	checkpointEpochs := []uint64{}
+	check := func() {
+		t.Helper()
+		got, err := e.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Analyze(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareAnalyses(t, got, want)
+		checkpointEpochs = append(checkpointEpochs, e.Epoch())
+	}
+
+	// Phase 1: cold build over the first third.
+	third := len(main) / 3
+	for _, tw := range main[:third] {
+		d.Process(tw)
+	}
+	check()
+	if e.Epoch() != 0 {
+		t.Fatalf("cold build at epoch %d", e.Epoch())
+	}
+
+	// Phase 2: growth — new users appear, old users tweet again.
+	for _, tw := range main[third : 2*third] {
+		d.Process(tw)
+	}
+	check()
+	if e.Epoch() == 0 {
+		t.Fatal("incremental refresh did not advance the epoch")
+	}
+
+	// Phase 3: delete-notice compliance — reverse a swath of retained
+	// tweets; single-tweet users drop out of the store entirely.
+	deleted := 0
+	for _, tw := range main[:third] {
+		if d.Delete(tw.ID) {
+			deleted++
+		}
+		if deleted >= 400 {
+			break
+		}
+	}
+	if deleted == 0 {
+		t.Fatal("no tweets deleted; fixture broken")
+	}
+	check()
+
+	// Phase 4: merge a separately-collected shard.
+	d2 := pipeline.NewDataset()
+	for _, tw := range held {
+		d2.Process(tw)
+	}
+	d.Merge(d2)
+	check()
+
+	// Phase 5: more growth after the merge.
+	for _, tw := range main[2*third:] {
+		d.Process(tw)
+	}
+	check()
+
+	// Phase 6: nothing changed — refresh must still match exactly.
+	check()
+
+	for i := 1; i < len(checkpointEpochs); i++ {
+		if checkpointEpochs[i] < checkpointEpochs[i-1] {
+			t.Fatalf("epoch moved backwards: %v", checkpointEpochs)
+		}
+	}
+}
+
+// TestEngineWarmEquivalence runs warm-on and warm-off engines over the
+// same stream: every non-clustering artifact must be bit-identical, and
+// the warm clustering must behave as a converged fixed point — an
+// unchanged-data refresh reproduces it exactly, including through a
+// MarshalWarm/RestoreWarm checkpoint round-trip.
+func TestEngineWarmEquivalence(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.05))
+	tweets := corpus.Tweets
+	cfg := engineTestConfig()
+
+	build := func(warm bool, upto int) (*pipeline.Dataset, *Engine) {
+		d := pipeline.NewDataset()
+		e := NewEngine(d, cfg)
+		e.Warm = warm
+		for _, tw := range tweets[:upto] {
+			d.Process(tw)
+		}
+		return d, e
+	}
+
+	half := len(tweets) / 2
+	dCold, eCold := build(false, half)
+	dWarm, eWarm := build(true, half)
+	if _, err := eCold.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eWarm.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tw := range tweets[half:] {
+		dCold.Process(tw)
+		dWarm.Process(tw)
+	}
+	aCold, err := eCold.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aWarm, err := eWarm.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything except the K-Means result is float-path independent of
+	// the warm knob.
+	floatsIdentical(t, "attention", aWarm.Attention.Matrix().Data(), aCold.Attention.Matrix().Data())
+	if !reflect.DeepEqual(aWarm.Highlight, aCold.Highlight) {
+		t.Fatal("figure 5 differs under warm clustering")
+	}
+	if !reflect.DeepEqual(aWarm.Dendrogram, aCold.Dendrogram) {
+		t.Fatal("dendrogram differs under warm clustering")
+	}
+
+	// The warm clustering is a converged partition of the same data:
+	// sizes account for every user, and an unchanged-data refresh is a
+	// fixed point.
+	if aWarm.Clusters == nil || aCold.Clusters == nil {
+		t.Fatal("missing clusters")
+	}
+	total := 0
+	for _, s := range aWarm.Clusters.Sizes {
+		total += s
+	}
+	if total != aWarm.Attention.Users() {
+		t.Fatalf("warm cluster sizes cover %d of %d users", total, aWarm.Attention.Users())
+	}
+	again, err := eWarm.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converged-equal, not bit-identical: the resume's convergence check
+	// drifts centroids by sub-tolerance ulps (exactly like the cold
+	// path's last iteration), so the contract is same partition at
+	// indistinguishable inertia.
+	if !reflect.DeepEqual(again.Clusters.Labels, aWarm.Clusters.Labels) ||
+		!reflect.DeepEqual(again.Clusters.Sizes, aWarm.Clusters.Sizes) {
+		t.Fatal("unchanged-data warm refresh moved the partition")
+	}
+	if rel := math.Abs(again.Clusters.Inertia-aWarm.Clusters.Inertia) / aWarm.Clusters.Inertia; rel > 1e-9 {
+		t.Fatalf("unchanged-data warm refresh drifted inertia by %g", rel)
+	}
+
+	// Checkpoint round-trip: a fresh engine restored from the warm blob
+	// resumes instead of re-searching — on unchanged data it converges
+	// immediately to the same partition.
+	blob, err := eWarm.MarshalWarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) == 0 {
+		t.Fatal("empty warm blob after clustering")
+	}
+	eRestored := NewEngine(dWarm, cfg)
+	if err := eRestored.RestoreWarm(blob); err != nil {
+		t.Fatal(err)
+	}
+	aRestored, err := eRestored.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aRestored.Clusters.Iterations > 2 {
+		t.Fatalf("restored warm resume took %d iterations", aRestored.Clusters.Iterations)
+	}
+	if !reflect.DeepEqual(aRestored.Clusters.Labels, aWarm.Clusters.Labels) {
+		t.Fatal("restored warm resume changed the partition")
+	}
+	// Garbage blobs are rejected; nil blobs are ignored.
+	if err := eRestored.RestoreWarm([]byte("not gob")); err == nil {
+		t.Fatal("garbage warm blob accepted")
+	}
+	if err := eRestored.RestoreWarm(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineErrorResets drives the engine into a patch-to-empty error
+// (every user deleted) and asserts it recovers with a cold rebuild once
+// data returns.
+func TestEngineErrorResets(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.01))
+	tweets := corpus.Tweets
+	cfg := engineTestConfig()
+	cfg.KUsers = 4
+
+	d := pipeline.NewDataset()
+	d.TrackDeletions()
+	e := NewEngine(d, cfg)
+	e.Warm = false
+
+	n := len(tweets) / 10
+	for _, tw := range tweets[:n] {
+		d.Process(tw)
+	}
+	if _, err := e.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tw := range tweets[:n] {
+		d.Delete(tw.ID)
+	}
+	if d.Users() != 0 {
+		t.Fatalf("%d users survived full deletion", d.Users())
+	}
+	if _, err := e.Refresh(); err == nil {
+		t.Fatal("refresh of an emptied dataset succeeded")
+	}
+
+	for _, tw := range tweets[n : 2*n] {
+		d.Process(tw)
+	}
+	got, err := e.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAnalyses(t, got, want)
+	if e.Epoch() != 0 {
+		t.Fatalf("recovery was not a cold rebuild (epoch %d)", e.Epoch())
+	}
+}

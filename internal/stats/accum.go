@@ -1,0 +1,118 @@
+package stats
+
+import "fmt"
+
+// Mergeable, subtractable integer accumulators. These are the counting
+// layer behind the incremental analytics engine: every paper artifact
+// whose inputs are integer counts (Table I distinct-organ totals, the
+// Figure 5 relative-risk 2×2 cells, the winner-takes-all grid) is kept
+// in one of these and updated in place as users enter, change, and
+// leave — Add with a negative delta exactly reverses an earlier Add, and
+// Merge is associative and commutative like Dataset.Merge, so sharded
+// collectors stay composable. Because the cells are integers, an
+// accumulator drained through any interleaving of adds, subtracts, and
+// merges is bit-identical to one built from scratch over the final
+// population.
+
+// Counter1D is a fixed-length vector of int64 counters.
+type Counter1D struct {
+	cells []int64
+}
+
+// NewCounter1D returns an n-cell zeroed counter vector.
+func NewCounter1D(n int) *Counter1D {
+	return &Counter1D{cells: make([]int64, n)}
+}
+
+// Len returns the number of cells.
+func (c *Counter1D) Len() int { return len(c.cells) }
+
+// Add adds delta to cell i.
+func (c *Counter1D) Add(i int, delta int64) { c.cells[i] += delta }
+
+// At returns cell i.
+func (c *Counter1D) At(i int) int64 { return c.cells[i] }
+
+// Sum returns the total over all cells.
+func (c *Counter1D) Sum() int64 {
+	t := int64(0)
+	for _, v := range c.cells {
+		t += v
+	}
+	return t
+}
+
+// Merge adds other into c cell-wise. The shapes must match.
+func (c *Counter1D) Merge(other *Counter1D) error {
+	if len(other.cells) != len(c.cells) {
+		return fmt.Errorf("stats: merge of %d-cell counter into %d cells", len(other.cells), len(c.cells))
+	}
+	for i, v := range other.cells {
+		c.cells[i] += v
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (c *Counter1D) Clone() *Counter1D {
+	out := NewCounter1D(len(c.cells))
+	copy(out.cells, c.cells)
+	return out
+}
+
+// Counter2D is a fixed-shape rows×cols grid of int64 counters, stored
+// row-major.
+type Counter2D struct {
+	rows, cols int
+	cells      []int64
+}
+
+// NewCounter2D returns a zeroed rows×cols grid.
+func NewCounter2D(rows, cols int) *Counter2D {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("stats: invalid counter shape %d×%d", rows, cols))
+	}
+	return &Counter2D{rows: rows, cols: cols, cells: make([]int64, rows*cols)}
+}
+
+// Rows returns the row count.
+func (c *Counter2D) Rows() int { return c.rows }
+
+// Cols returns the column count.
+func (c *Counter2D) Cols() int { return c.cols }
+
+// Add adds delta to cell (r, col).
+func (c *Counter2D) Add(r, col int, delta int64) { c.cells[r*c.cols+col] += delta }
+
+// At returns cell (r, col).
+func (c *Counter2D) At(r, col int) int64 { return c.cells[r*c.cols+col] }
+
+// Row returns a borrowed view of row r (do not mutate).
+func (c *Counter2D) Row(r int) []int64 { return c.cells[r*c.cols : (r+1)*c.cols] }
+
+// ColSum returns the total of column col across all rows.
+func (c *Counter2D) ColSum(col int) int64 {
+	t := int64(0)
+	for r := 0; r < c.rows; r++ {
+		t += c.cells[r*c.cols+col]
+	}
+	return t
+}
+
+// Merge adds other into c cell-wise. The shapes must match.
+func (c *Counter2D) Merge(other *Counter2D) error {
+	if other.rows != c.rows || other.cols != c.cols {
+		return fmt.Errorf("stats: merge of %d×%d counter into %d×%d", other.rows, other.cols, c.rows, c.cols)
+	}
+	for i, v := range other.cells {
+		c.cells[i] += v
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (c *Counter2D) Clone() *Counter2D {
+	out := NewCounter2D(c.rows, c.cols)
+	copy(out.cells, c.cells)
+	return out
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCounterMergeAssociative asserts Counter2D/Counter1D merges are
+// associative and order-insensitive: shard a random stream of cell
+// deltas, merge the shards in shuffled orders, and compare against the
+// unsharded accumulation.
+func TestCounterMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const rows, cols, shards = 7, 5, 4
+
+	ref2 := NewCounter2D(rows, cols)
+	ref1 := NewCounter1D(rows)
+	sh2 := make([]*Counter2D, shards)
+	sh1 := make([]*Counter1D, shards)
+	for i := range sh2 {
+		sh2[i] = NewCounter2D(rows, cols)
+		sh1[i] = NewCounter1D(rows)
+	}
+	for op := 0; op < 5000; op++ {
+		r, c := rng.Intn(rows), rng.Intn(cols)
+		d := int64(rng.Intn(7) - 3) // subtractable: negative deltas too
+		ref2.Add(r, c, d)
+		ref1.Add(r, d)
+		s := rng.Intn(shards)
+		sh2[s].Add(r, c, d)
+		sh1[s].Add(r, d)
+	}
+
+	order := rng.Perm(shards)
+	got2 := NewCounter2D(rows, cols)
+	got1 := NewCounter1D(rows)
+	for _, s := range order {
+		if err := got2.Merge(sh2[s]); err != nil {
+			t.Fatal(err)
+		}
+		if err := got1.Merge(sh1[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		if got1.At(r) != ref1.At(r) {
+			t.Fatalf("1D cell %d: %d want %d", r, got1.At(r), ref1.At(r))
+		}
+		for c := 0; c < cols; c++ {
+			if got2.At(r, c) != ref2.At(r, c) {
+				t.Fatalf("2D cell (%d,%d): %d want %d", r, c, got2.At(r, c), ref2.At(r, c))
+			}
+		}
+	}
+	if got1.Sum() != ref1.Sum() {
+		t.Fatalf("Sum %d want %d", got1.Sum(), ref1.Sum())
+	}
+	for c := 0; c < cols; c++ {
+		if got2.ColSum(c) != ref2.ColSum(c) {
+			t.Fatalf("ColSum(%d) %d want %d", c, got2.ColSum(c), ref2.ColSum(c))
+		}
+	}
+
+	// Shape mismatches refuse to merge.
+	if err := got2.Merge(NewCounter2D(rows, cols+1)); err == nil {
+		t.Fatal("shape-mismatched 2D merge accepted")
+	}
+	if err := got1.Merge(NewCounter1D(rows + 1)); err == nil {
+		t.Fatal("length-mismatched 1D merge accepted")
+	}
+
+	// Clone is independent.
+	cl := ref2.Clone()
+	cl.Add(0, 0, 99)
+	if ref2.At(0, 0) == cl.At(0, 0) {
+		t.Fatal("Clone shares backing")
+	}
+}
+
+// TestContinuityRelativeRisk pins the Haldane–Anscombe path: defined on
+// zero cells where the uncorrected RR errors, agreeing error behavior on
+// truly empty exposure groups, and a sanity check of the corrected
+// point estimate.
+func TestContinuityRelativeRisk(t *testing.T) {
+	cases := []struct {
+		name       string
+		a, b, c, d int
+		plainOK    bool
+		contOK     bool
+	}{
+		{"all positive", 5, 10, 20, 100, true, true},
+		{"zero a", 0, 10, 20, 100, false, true},
+		{"zero c", 5, 10, 0, 100, false, true},
+		{"zero a and c", 0, 10, 0, 100, false, true},
+		{"empty inside group", 0, 0, 20, 100, false, false},
+		{"empty outside group", 5, 10, 0, 0, false, false},
+		{"negative cell", -1, 10, 20, 100, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewRelativeRisk(tc.a, tc.b, tc.c, tc.d)
+			if (err == nil) != tc.plainOK {
+				t.Fatalf("NewRelativeRisk err=%v, want ok=%v", err, tc.plainOK)
+			}
+			rr, err := ContinuityRelativeRisk(tc.a, tc.b, tc.c, tc.d)
+			if (err == nil) != tc.contOK {
+				t.Fatalf("ContinuityRelativeRisk err=%v, want ok=%v", err, tc.contOK)
+			}
+			if err != nil {
+				return
+			}
+			if rr.A != tc.a || rr.B != tc.b || rr.C != tc.c || rr.D != tc.d {
+				t.Fatalf("raw counts not preserved: %+v", rr)
+			}
+			if rr.RR <= 0 || rr.SE <= 0 || rr.Lower <= 0 || rr.Upper < rr.Lower {
+				t.Fatalf("degenerate corrected estimate: %+v", rr)
+			}
+			pin := (float64(tc.a) + 0.5) / (float64(tc.a) + float64(tc.b) + 1)
+			pout := (float64(tc.c) + 0.5) / (float64(tc.c) + float64(tc.d) + 1)
+			if got, want := rr.RR, pin/pout; got != want {
+				t.Fatalf("RR = %g want %g", got, want)
+			}
+		})
+	}
+}

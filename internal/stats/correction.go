@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -60,6 +61,41 @@ func BenjaminiHochberg(ps []float64) []float64 {
 		out[i] = math.Min(1, minSoFar)
 	}
 	return out
+}
+
+// ContinuityRelativeRisk computes the relative risk of a 2×2 table with
+// the Haldane–Anscombe continuity correction: 0.5 is added to every
+// cell, which keeps the estimate and its log-scale standard error finite
+// when a zero cell makes the uncorrected ratio undefined. Incremental
+// accumulators hit those tables routinely — a state's last mentioning
+// user deleting their tweets decrements a to 0 mid-stream — and route
+// through this instead of erroring, so a sparse cell degrades to a
+// shrunk estimate rather than a hole in the analysis. The raw counts are
+// preserved in A–D. It errors only on negative counts or when either
+// exposure group is truly absent (a+b == 0 or c+d == 0), where even the
+// corrected ratio would compare against a group that never existed.
+func ContinuityRelativeRisk(a, b, c, d int) (RelativeRisk, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return RelativeRisk{}, fmt.Errorf("stats: negative contingency count (%d,%d,%d,%d)", a, b, c, d)
+	}
+	if a+b == 0 || c+d == 0 {
+		return RelativeRisk{}, fmt.Errorf("%w: empty exposure group", ErrInsufficientData)
+	}
+	fa, fb := float64(a)+0.5, float64(b)+0.5
+	fc, fd := float64(c)+0.5, float64(d)+0.5
+	pin := fa / (fa + fb)
+	pout := fc / (fc + fd)
+	rr := pin / pout
+	logrr := math.Log(rr)
+	se := math.Sqrt(1/fa - 1/(fa+fb) + 1/fc - 1/(fc+fd))
+	return RelativeRisk{
+		RR:    rr,
+		LogRR: logrr,
+		SE:    se,
+		Lower: math.Exp(logrr - Z95*se),
+		Upper: math.Exp(logrr + Z95*se),
+		A:     a, B: b, C: c, D: d,
+	}, nil
 }
 
 // ChiSquare1DF returns the upper-tail p-value of a chi-square statistic

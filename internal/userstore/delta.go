@@ -1,0 +1,103 @@
+package userstore
+
+// Delta tracking: an opt-in record of which rows changed since the last
+// drain, so incremental consumers (the report engine) can re-read only
+// the touched users instead of scanning every column.
+//
+// The contract is row-centric but consumers key by user id: a drained
+// Delta promises that every user whose counters, mentions, or identity
+// changed since the previous drain occupies a set row bit *now*, and
+// every user removed since then appears in Deleted. Swap-last deletes
+// are covered — the moved row's new position is marked dirty (its values
+// did not change, but anything tracking positions must re-read it) and
+// the vacated tail bit is cleared so no bit ever indexes past Len().
+//
+// Tracking is off by default: the hot-path cost when disabled is one
+// nil check per mutator, preserving the committed userstore update
+// benchmarks. MentionsRow hands out a mutable view the store cannot
+// observe writes through; callers that mutate it must pair the write
+// with MarkDirty (the pipeline's fold/delete/merge paths always call
+// AddCounts on the same row, which marks it, but the requirement is
+// part of the MentionsRow contract regardless).
+
+// Delta is the drained change-set: Rows holds the indices (valid
+// against the store at drain time) of rows touched since the previous
+// drain, Deleted the user ids removed since then. A user that was both
+// inserted and removed within one window appears only in Deleted.
+type Delta struct {
+	Rows    Bitset
+	Deleted []int64
+}
+
+// Empty reports whether the delta carries no changes.
+func (d Delta) Empty() bool { return len(d.Deleted) == 0 && d.Rows.Count() == 0 }
+
+// deltaState is the live tracking state; nil means tracking disabled.
+type deltaState struct {
+	dirty   Bitset
+	deleted []int64
+}
+
+// EnableDeltaTracking starts recording row changes. The first drained
+// delta covers mutations from this call on, so callers snapshot or
+// cold-build their view first, then enable. Idempotent.
+func (s *Store) EnableDeltaTracking() {
+	if s.delta == nil {
+		s.delta = &deltaState{}
+	}
+}
+
+// DeltaTracking reports whether delta tracking is enabled.
+func (s *Store) DeltaTracking() bool { return s.delta != nil }
+
+// DirtyRows returns the number of rows currently marked dirty (0 when
+// tracking is disabled) — an observability accessor; it does not drain.
+func (s *Store) DirtyRows() int {
+	if s.delta == nil {
+		return 0
+	}
+	return s.delta.dirty.Count()
+}
+
+// DrainDelta hands the accumulated change-set to the caller and resets
+// tracking for the next window. The returned slices are owned by the
+// caller. Returns a zero Delta when tracking is disabled.
+func (s *Store) DrainDelta() Delta {
+	if s.delta == nil {
+		return Delta{}
+	}
+	d := Delta{Rows: s.delta.dirty, Deleted: s.delta.deleted}
+	s.delta.dirty = nil
+	s.delta.deleted = nil
+	return d
+}
+
+// MarkDirty records that row's data changed. Required after mutating a
+// MentionsRow view; a no-op when tracking is disabled.
+func (s *Store) MarkDirty(row int32) {
+	if s.delta != nil {
+		s.delta.dirty.Set(uint32(row))
+	}
+}
+
+// markInsert, markTouch, and markRemove are the mutator hooks.
+
+func (s *Store) markTouch(row int32) {
+	if s.delta != nil {
+		s.delta.dirty.Set(uint32(row))
+	}
+}
+
+// markRemove records id's removal and fixes up row bits for the
+// swap-last move: the vacated tail bit is cleared (that row index is
+// gone) and, when a row actually moved, its new position is marked.
+func (s *Store) markRemove(id int64, hole, last int32) {
+	if s.delta == nil {
+		return
+	}
+	s.delta.deleted = append(s.delta.deleted, id)
+	s.delta.dirty.Clear(uint32(last))
+	if hole != last {
+		s.delta.dirty.Set(uint32(hole))
+	}
+}

@@ -1,0 +1,249 @@
+package userstore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shadowRec is the oracle's copy of one user's mutable data.
+type shadowRec struct {
+	tweets, clinical, hashtags int32
+	mentions                   [3]int32
+	state                      string
+	flags                      uint8
+	firstSeen, firstTweetID    int64
+}
+
+// TestDeltaOracle drives a store through randomized insert / count /
+// mention / identity / remove sequences against a brute-force shadow
+// map, draining at random points and asserting the delta contract:
+// every live user the oracle saw touched since the last drain sits at a
+// marked row (including users relocated by swap-last deletes), every
+// removal is reported, no bit indexes past Len(), and the drain resets.
+func TestDeltaOracle(t *testing.T) {
+	const nCols = 3
+	rng := rand.New(rand.NewSource(909))
+	states := []string{"OH", "CA", "NY", "TX"}
+
+	s := New(nCols)
+	s.EnableDeltaTracking()
+
+	shadow := map[int64]*shadowRec{} // live users
+	touched := map[int64]bool{}      // ids mutated since last drain
+	var removed []int64              // ids removed since last drain
+
+	drain := func() {
+		d := s.DrainDelta()
+		// Removals: same multiset, order-insensitive.
+		gotDel := map[int64]int{}
+		for _, id := range d.Deleted {
+			gotDel[id]++
+		}
+		wantDel := map[int64]int{}
+		for _, id := range removed {
+			wantDel[id]++
+		}
+		if len(gotDel) != len(wantDel) {
+			t.Fatalf("deleted ids: got %v want %v", d.Deleted, removed)
+		}
+		for id, n := range wantDel {
+			if gotDel[id] != n {
+				t.Fatalf("deleted id %d reported %d times, want %d", id, gotDel[id], n)
+			}
+		}
+		// Every marked row is in range and live.
+		d.Rows.Each(func(b uint32) {
+			if int(b) >= s.Len() {
+				t.Fatalf("dirty bit %d past Len %d", b, s.Len())
+			}
+		})
+		// Every touched live user sits at a marked row with values
+		// matching the shadow.
+		for id := range touched {
+			rec, live := shadow[id]
+			if !live {
+				continue // covered by Deleted
+			}
+			row, ok := s.Find(id)
+			if !ok {
+				t.Fatalf("touched id %d missing from store", id)
+			}
+			if !d.Rows.Test(uint32(row)) {
+				t.Fatalf("touched id %d at row %d not marked dirty", id, row)
+			}
+			checkRow(t, s, row, id, rec)
+		}
+		if s.DirtyRows() != 0 {
+			t.Fatalf("DirtyRows %d after drain", s.DirtyRows())
+		}
+		if !s.DrainDelta().Empty() {
+			t.Fatal("second drain not empty")
+		}
+		touched = map[int64]bool{}
+		removed = nil
+	}
+
+	liveIDs := func() []int64 {
+		ids := make([]int64, 0, len(shadow))
+		for id := range shadow {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(100); {
+		case op < 35: // insert a (possibly recycled) id
+			id := int64(rng.Intn(400) + 1)
+			if _, ok := shadow[id]; ok {
+				break
+			}
+			st := states[rng.Intn(len(states))]
+			fs, ft := rng.Int63n(1000), rng.Int63n(1000)
+			fl := uint8(rng.Intn(2))
+			s.Insert(id, st, fl, fs, ft)
+			shadow[id] = &shadowRec{state: st, flags: fl, firstSeen: fs, firstTweetID: ft}
+			touched[id] = true
+		case op < 65: // count + mention update on a live user
+			ids := liveIDs()
+			if len(ids) == 0 {
+				break
+			}
+			id := ids[rng.Intn(len(ids))]
+			row, _ := s.Find(id)
+			dt, dc, dh := int32(rng.Intn(3)), int32(rng.Intn(2)), int32(rng.Intn(2))
+			s.AddCounts(row, dt, dc, dh)
+			col := rng.Intn(nCols)
+			s.MentionsRow(row)[col]++
+			s.MarkDirty(row)
+			rec := shadow[id]
+			rec.tweets += dt
+			rec.clinical += dc
+			rec.hashtags += dh
+			rec.mentions[col]++
+			touched[id] = true
+		case op < 75: // identity rewrite
+			ids := liveIDs()
+			if len(ids) == 0 {
+				break
+			}
+			id := ids[rng.Intn(len(ids))]
+			row, _ := s.Find(id)
+			st := states[rng.Intn(len(states))]
+			fs, ft := rng.Int63n(1000), rng.Int63n(1000)
+			fl := uint8(rng.Intn(2))
+			s.SetIdentity(row, st, fl, fs, ft)
+			rec := shadow[id]
+			rec.state, rec.flags, rec.firstSeen, rec.firstTweetID = st, fl, fs, ft
+			touched[id] = true
+		case op < 92: // remove (exercises swap-last moves)
+			ids := liveIDs()
+			if len(ids) == 0 {
+				break
+			}
+			id := ids[rng.Intn(len(ids))]
+			if !s.Remove(id) {
+				t.Fatalf("Remove(%d) reported absent", id)
+			}
+			delete(shadow, id)
+			delete(touched, id)
+			removed = append(removed, id)
+		default:
+			drain()
+		}
+	}
+	drain()
+
+	// Final integrity sweep: store equals shadow exactly.
+	if s.Len() != len(shadow) {
+		t.Fatalf("Len %d, shadow %d", s.Len(), len(shadow))
+	}
+	for id, rec := range shadow {
+		row, ok := s.Find(id)
+		if !ok {
+			t.Fatalf("id %d missing", id)
+		}
+		checkRow(t, s, row, id, rec)
+	}
+}
+
+func checkRow(t *testing.T, s *Store, row int32, id int64, rec *shadowRec) {
+	t.Helper()
+	if s.ID(row) != id {
+		t.Fatalf("row %d id %d want %d", row, s.ID(row), id)
+	}
+	if s.Tweets(row) != rec.tweets || s.Clinical(row) != rec.clinical || s.Hashtags(row) != rec.hashtags {
+		t.Fatalf("id %d counters (%d,%d,%d) want (%d,%d,%d)", id,
+			s.Tweets(row), s.Clinical(row), s.Hashtags(row), rec.tweets, rec.clinical, rec.hashtags)
+	}
+	for c, v := range s.MentionsRow(row) {
+		if v != rec.mentions[c] {
+			t.Fatalf("id %d mention col %d = %d want %d", id, c, v, rec.mentions[c])
+		}
+	}
+	if s.StateCode(row) != rec.state || s.Flags(row) != rec.flags ||
+		s.FirstSeen(row) != rec.firstSeen || s.FirstTweetID(row) != rec.firstTweetID {
+		t.Fatalf("id %d identity mismatch", id)
+	}
+}
+
+// TestDeltaDisabled asserts the default store pays no tracking cost and
+// reports empty deltas.
+func TestDeltaDisabled(t *testing.T) {
+	s := New(2)
+	row := s.Insert(1, "OH", 0, 1, 1)
+	s.AddCounts(row, 1, 0, 0)
+	s.MarkDirty(row)
+	s.Remove(1)
+	if s.DeltaTracking() {
+		t.Fatal("tracking enabled by default")
+	}
+	if s.DirtyRows() != 0 {
+		t.Fatal("DirtyRows nonzero while disabled")
+	}
+	if d := s.DrainDelta(); !d.Empty() {
+		t.Fatalf("drain while disabled: %+v", d)
+	}
+}
+
+// TestDeltaSwapLastMove pins the swap-last contract precisely: deleting
+// a clean middle row must mark the relocated tail row dirty and clear
+// the vacated tail bit.
+func TestDeltaSwapLastMove(t *testing.T) {
+	s := New(2)
+	s.Insert(10, "OH", 0, 1, 1)
+	s.Insert(20, "CA", 0, 2, 2)
+	s.Insert(30, "NY", 0, 3, 3)
+	s.DrainDelta() // not yet tracking: empty
+	s.EnableDeltaTracking()
+	if !s.DrainDelta().Empty() {
+		t.Fatal("expected clean store after enable")
+	}
+
+	s.Remove(10) // row 0 vacated; id 30 moves 2 → 0
+	d := s.DrainDelta()
+	if len(d.Deleted) != 1 || d.Deleted[0] != 10 {
+		t.Fatalf("Deleted = %v, want [10]", d.Deleted)
+	}
+	row30, ok := s.Find(30)
+	if !ok || row30 != 0 {
+		t.Fatalf("id 30 at row %d (ok=%v), want 0", row30, ok)
+	}
+	if !d.Rows.Test(0) {
+		t.Fatal("moved row 0 not marked dirty")
+	}
+	if d.Rows.Test(2) {
+		t.Fatal("vacated tail bit 2 still set")
+	}
+
+	// Deleting the tail row itself (id 20 stayed at row 1) moves
+	// nothing: no dirty rows.
+	s.Remove(20)
+	d = s.DrainDelta()
+	if len(d.Deleted) != 1 || d.Deleted[0] != 20 {
+		t.Fatalf("Deleted = %v, want [20]", d.Deleted)
+	}
+	if d.Rows.Count() != 0 {
+		t.Fatalf("tail delete marked %d rows dirty", d.Rows.Count())
+	}
+}

@@ -79,6 +79,9 @@ type Store struct {
 	stateCodes  []string
 	stateByCode map[string]uint8
 	members     []Bitset
+
+	// Dirty-row tracking (delta.go); nil means disabled.
+	delta *deltaState
 }
 
 // New returns an empty store with nCols mention columns per user.
@@ -170,6 +173,7 @@ func (s *Store) Insert(id int64, stateCode string, flags uint8, firstSeen, first
 	s.flags = append(s.flags, flags)
 	s.mentions = append(s.mentions, make([]int32, s.nCols)...)
 	s.members[st].Set(uint32(row))
+	s.markTouch(row)
 	return row
 }
 
@@ -228,6 +232,7 @@ func (s *Store) Remove(id int64) bool {
 	s.used--
 
 	last := int32(len(s.ids) - 1)
+	s.markRemove(id, row, last)
 	s.members[s.stateIdx[row]].Clear(uint32(row))
 	if row != last {
 		// Move the last row into the hole.
@@ -337,6 +342,7 @@ func (s *Store) AddCounts(row, tweets, clinical, hashtags int32) {
 	s.tweets[row] += tweets
 	s.clinical[row] += clinical
 	s.hashtags[row] += hashtags
+	s.markTouch(row)
 }
 
 // SetIdentity rewrites row's identity fields (the merge tie-break
@@ -352,6 +358,7 @@ func (s *Store) SetIdentity(row int32, stateCode string, flags uint8, firstSeen,
 	s.flags[row] = flags
 	s.firstSeen[row] = firstSeen
 	s.firstTweetID[row] = firstTweetID
+	s.markTouch(row)
 }
 
 // StateCount returns the number of interned states.
