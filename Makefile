@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-userstore bench-userstore-baseline bench-incremental bench-incremental-baseline bench-paper fuzz fmt
+.PHONY: all build vet test race check chaos-shards trace-smoke vulncheck bench benchcmp bench-userstore bench-userstore-baseline bench-incremental bench-incremental-baseline bench-serve bench-serve-baseline serve-smoke bench-paper fuzz fmt
 
 # Packages on the ingest hot path whose benchmarks are archived and gated.
 BENCH_PKGS = ./internal/pipeline/ ./internal/text/ ./internal/geo/
@@ -28,7 +28,7 @@ test:
 # -short skips the scale-1.0 end of the suite; the concurrency paths are
 # fully exercised.
 race:
-	$(GO) test -race -short ./internal/obs/... ./internal/twitter/ ./internal/pipeline/ ./internal/userstore/ ./internal/cluster/ ./cmd/...
+	$(GO) test -race -short ./internal/obs/... ./internal/twitter/ ./internal/pipeline/ ./internal/userstore/ ./internal/cluster/ ./internal/serve/ ./cmd/...
 
 check: build vet test race
 
@@ -85,6 +85,7 @@ benchcmp:
 	$(GO) run ./cmd/benchjson -compare BENCH_wire.json /tmp/benchcmp_wire_new.json
 	$(MAKE) bench-userstore
 	$(MAKE) bench-incremental
+	$(MAKE) bench-serve
 
 # Columnar user-store benchmarks: the userstore package measuring memory
 # footprint (bytes/user at 1M and 10M rows), update latency, and
@@ -136,6 +137,38 @@ bench-incremental:
 	$(GO) test -run '^$$' -bench '^BenchmarkIncrementalRefresh100k$$' -benchmem -count 3 $(REPORT_PKG) > /tmp/benchcmp_incremental_new.txt
 	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_incremental_new.txt -out /tmp/benchcmp_incremental_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_incremental.json /tmp/benchcmp_incremental_new.json
+
+# Query-API serving benchmarks: the epoch-cached read path (cached hit,
+# 304 revalidation, cold parameterized render, concurrent readers with
+# and without refresh churn). ns/op and allocs/op are gated — the cached
+# hit and 304 paths must hold 0 allocs/op — and the churn pair's
+# p99-ns/op columns carry the readers-never-stall-on-publish claim.
+SERVE_PKG = ./internal/serve/
+
+bench-serve-baseline:
+	$(GO) test -run '^$$' -bench '^BenchmarkServe' -benchmem -count 3 $(SERVE_PKG) | tee BENCH_serve.txt
+	$(GO) run ./cmd/benchjson -in BENCH_serve.txt -out BENCH_serve.json
+
+# CI gate: rerun the serving benchmarks fresh against the committed
+# baseline. The serving ops sit at ~100 ns where scheduler jitter on
+# virtualized runners is ±15%, so the ns/op threshold is 25% — wide
+# enough not to flap, far below the cost of any structural regression
+# (a lock, a map lookup, or an allocation on the hot path is +50% or
+# more). The allocs/op gate is exact regardless: 0 → anything is an
+# unbounded regression at every threshold.
+bench-serve:
+	$(GO) test -run '^$$' -bench '^BenchmarkServe' -benchmem -count 3 $(SERVE_PKG) > /tmp/benchcmp_serve_new.txt
+	$(GO) run ./cmd/benchjson -in /tmp/benchcmp_serve_new.txt -out /tmp/benchcmp_serve_new.json
+	$(GO) run ./cmd/benchjson -threshold 25 -compare BENCH_serve.json /tmp/benchcmp_serve_new.json
+
+# Live serving smoke: build the binaries, start a replayed stream and a
+# collect -serve consumer, poll the query API to 200, assert a 304
+# revalidation, then drive cmd/queryload against it for 5 seconds in
+# strict mode (any transport error or non-200/304 status fails).
+serve-smoke:
+	$(GO) build -o /tmp/donorsense ./cmd/donorsense
+	$(GO) build -o /tmp/queryload ./cmd/queryload
+	sh scripts/serve_smoke.sh /tmp/donorsense /tmp/queryload
 
 # Differential fuzz of the wire codec against the encoding/json oracle
 # (CI runs the same target for 30s on every push).

@@ -39,6 +39,7 @@ import (
 	"donorsense/internal/organ"
 	"donorsense/internal/pipeline"
 	"donorsense/internal/report"
+	"donorsense/internal/serve"
 	"donorsense/internal/temporal"
 	"donorsense/internal/text"
 	"donorsense/internal/twitter"
@@ -61,6 +62,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "keywords":
 		err = cmdKeywords(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
 	case "-version", "--version", "version":
@@ -88,6 +91,7 @@ commands:
   merge      merge the shard checkpoints of a sharded run and analyze
   keywords   print the Figure 1 keyword product (Stream API track syntax)
   replay     serve an NDJSON corpus over the Stream API protocol
+  serve      expose a checkpoint's analysis as the /api query endpoints
   version    print build identity (module version, go version, VCS revision)
 `)
 }
@@ -307,6 +311,8 @@ func cmdCollect(args []string) error {
 	backoff := fs.Duration("backoff", 250*time.Millisecond, "initial reconnect delay (doubles per failure, full jitter)")
 	rlBackoff := fs.Duration("ratelimit-backoff", 60*time.Second, "initial delay after a 420/429 rate limit (doubles per repeat)")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /healthz, /statusz, /debug/traces, /debug/pprof, /debug/vars on this address (empty = off)")
+	serveAPI := fs.Bool("serve", false, "expose the live analysis as /api/... query endpoints on the telemetry server (requires -telemetry-addr and -report-every)")
+	serveTop := fs.Int("serve-top", 250, "top mentioning users retained per published snapshot for /api/top")
 	progressEvery := fs.Duration("progress-every", 10*time.Second, "interval between progress log lines (0 = silent)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	logJSON := fs.Bool("log-json", false, "emit logs as single-line JSON instead of text")
@@ -319,6 +325,16 @@ func cmdCollect(args []string) error {
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		return err
+	}
+	if *serveAPI {
+		switch {
+		case *telemetryAddr == "":
+			return fmt.Errorf("-serve requires -telemetry-addr (the /api endpoints ride the telemetry mux)")
+		case *reportEvery <= 0:
+			return fmt.Errorf("-serve requires -report-every > 0 (snapshots publish after each refresh)")
+		case *shards > 1:
+			return fmt.Errorf("-serve is single-shard only (the incremental engine does not run under -shards)")
+		}
 	}
 	// Tee warn-or-worse records into the /statusz error ring on the way to
 	// stderr, so the page can show recent trouble without log scraping.
@@ -424,6 +440,10 @@ func cmdCollect(args []string) error {
 	// Telemetry: registry + instrumented client/pipeline + HTTP endpoint.
 	var streamMetrics *twitter.StreamMetrics
 	var analyzeMetrics *report.Metrics
+	// pub, when -serve is on, owns the RCU snapshot behind /api/...; the
+	// collect goroutine publishes after each refresh, request goroutines
+	// only load the pointer.
+	var pub *serve.Publisher
 	if *telemetryAddr != "" {
 		reg := obs.NewRegistry()
 		d.SetMetrics(pipeline.NewMetrics(reg))
@@ -488,6 +508,17 @@ func cmdCollect(args []string) error {
 		}
 		srv.AddStatus("checkpoint", checkpointStatus(*checkpoint, &lastSaveUnixNano))
 		srv.AddStatus("analytics", analyticsStatus(probe))
+		if *serveAPI {
+			pub = serve.NewPublisher()
+			handler := serve.NewHandler(pub)
+			handler.SetMetrics(serve.NewMetrics(reg, pub))
+			srv.SetQueryAPI(handler)
+			// On shutdown the server flips the publisher into drain mode
+			// first (new requests 503+Retry-After), then Shutdown finishes
+			// the reads already in flight.
+			srv.OnShutdown(pub.BeginDrain)
+			srv.AddStatus("serve", serveStatus(pub))
+		}
 		srv.AddStatus("memory", obs.MemStatsStatusSection(func(sec *obs.StatusSection) {
 			rows, bytes := d.StoreFootprint()
 			sec.Field("userstore_rows", rows)
@@ -536,9 +567,22 @@ func cmdCollect(args []string) error {
 		if engine == nil || d.Users() == 0 {
 			return
 		}
-		if _, err := engine.Refresh(); err != nil {
+		a, err := engine.Refresh()
+		if err != nil {
 			logger.Warn("analysis refresh failed", "err", err)
 			return
+		}
+		if pub != nil {
+			// Publish while this goroutine holds the quiescent dataset:
+			// the snapshot build deep-copies everything the next refresh
+			// will mutate in place.
+			if _, err := pub.Publish(a, serve.Meta{
+				Epoch:     engine.Epoch(),
+				Refreshes: engine.Refreshes(),
+				Top:       report.TopMentioners(d, *serveTop),
+			}); err != nil {
+				logger.Warn("snapshot publish failed", "err", err)
+			}
 		}
 		dirty, latency, cold := engine.LastRefresh()
 		probe.refreshes.Store(engine.Refreshes())

@@ -13,7 +13,40 @@ import (
 	"donorsense/internal/obs"
 	"donorsense/internal/obs/trace"
 	"donorsense/internal/pipeline"
+	"donorsense/internal/serve"
 )
+
+// serveStatus reports the query-API publisher: what epoch readers see
+// and how traffic split across the hit/miss/304 paths.
+func serveStatus(p *serve.Publisher) func() obs.StatusSection {
+	return func() obs.StatusSection {
+		var sec obs.StatusSection
+		if p == nil {
+			sec.Field("enabled", false)
+			return sec
+		}
+		st := p.Stats()
+		sec.Field("enabled", true)
+		sec.Field("epoch", st.Epoch)
+		sec.Field("seq", st.Seq)
+		if st.LastPublish.IsZero() {
+			sec.Field("published", "never this run")
+		} else {
+			sec.Field("published", time.Since(st.LastPublish).Round(time.Second).String()+" ago")
+		}
+		sec.Field("hits", st.Hits)
+		sec.Field("not_modified", st.NotModified)
+		sec.Field("misses", st.Misses())
+		sec.Field("renders", st.Renders)
+		sec.Field("coalesced", st.Coalesced)
+		sec.Field("cached_renders", st.CacheSize)
+		sec.Field("bad_request", st.BadRequest)
+		sec.Field("not_found", st.NotFound)
+		sec.Field("rejected_503", st.Rejected)
+		sec.Field("draining", st.Draining)
+		return sec
+	}
+}
 
 // checkpointStatus reports checkpoint freshness and on-disk size.
 // lastSave holds the UnixNano of the last successful save (0 = never).

@@ -15,6 +15,7 @@ import (
 	"donorsense/internal/organ"
 	"donorsense/internal/pipeline"
 	"donorsense/internal/report"
+	"donorsense/internal/serve"
 	"donorsense/internal/twitter"
 )
 
@@ -107,8 +108,22 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 	ecfg.Workers = 1
 	eng := report.NewEngine(d, ecfg)
 	eng.SetMetrics(report.NewEngineMetrics(reg))
-	if _, err := eng.Refresh(); err != nil {
+	a, err := eng.Refresh()
+	if err != nil {
 		t.Fatalf("engine Refresh: %v", err)
+	}
+
+	// One snapshot publish behind the query API so the serve families are
+	// live in the same exposition.
+	pub := serve.NewPublisher()
+	apiHandler := serve.NewHandler(pub)
+	apiHandler.SetMetrics(serve.NewMetrics(reg, pub))
+	if _, err := pub.Publish(a, serve.Meta{
+		Epoch:     eng.Epoch(),
+		Refreshes: eng.Refreshes(),
+		Top:       report.TopMentioners(d, 25),
+	}); err != nil {
+		t.Fatalf("snapshot publish: %v", err)
 	}
 
 	// A minimal sharded run + merge so the supervisor and merge families
@@ -129,8 +144,43 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 		t.Fatalf("Merged: %v", err)
 	}
 
-	ts := httptest.NewServer(obs.NewServer(reg).Handler())
+	osrv := obs.NewServer(reg)
+	osrv.SetQueryAPI(apiHandler)
+	ts := httptest.NewServer(osrv.Handler())
 	defer ts.Close()
+
+	// Drive each serve result class once — a cached hit, a 304
+	// revalidation, and a cold parameterized render — so the per-result
+	// series carry exact, assertable values.
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := resp.Header.Get("Etag")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("GET /api/stats: status %d etag %q", resp.StatusCode, etag)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/stats", nil)
+	req.Header.Set("If-None-Match", etag)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation GET: status %d, want 304", resp.StatusCode)
+	}
+	if resp, err = http.Get(ts.URL + "/api/top?k=3"); err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/top?k=3: status %d", resp.StatusCode)
+	}
+
 	series, body := scrapeMetrics(t, ts.URL)
 
 	injected := cs.Stats()
@@ -203,6 +253,9 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 		"donorsense_analytics_refresh_seconds",
 		"donorsense_analytics_epoch",
 		"donorsense_analytics_dirty_rows",
+		"donorsense_serve_requests_total",
+		"donorsense_serve_render_seconds",
+		"donorsense_serve_cache_size",
 	} {
 		if !strings.Contains(body, must) {
 			t.Errorf("family %s missing from exposition", must)
@@ -222,6 +275,21 @@ func TestTelemetryMatchesInjectedChaosFaults(t *testing.T) {
 	if series["donorsense_analytics_epoch"] != 0 {
 		t.Errorf("analytics_epoch = %g, want 0 after a cold build",
 			series["donorsense_analytics_epoch"])
+	}
+
+	// The serve layer counted exactly what the three API requests did:
+	// one cached hit, one 304, one cold render that landed in the cache.
+	serveExact := map[string]float64{
+		`donorsense_serve_requests_total{endpoint="stats",result="hit"}`:          1,
+		`donorsense_serve_requests_total{endpoint="stats",result="not_modified"}`: 1,
+		`donorsense_serve_requests_total{endpoint="top",result="render"}`:         1,
+		"donorsense_serve_render_seconds_count":                                   1,
+		"donorsense_serve_cache_size":                                             1,
+	}
+	for name, want := range serveExact {
+		if got := series[name]; got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
 	}
 
 	// Histogram quantiles must be derivable: the stage histogram's +Inf

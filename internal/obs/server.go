@@ -31,19 +31,28 @@ type Server struct {
 	reg   *Registry
 	start time.Time
 
-	mu     sync.RWMutex
-	checks map[string]HealthCheck
-	status []statusEntry
+	mu         sync.RWMutex
+	checks     map[string]HealthCheck
+	status     []statusEntry
+	onShutdown []func()
 
 	traceRing atomic.Pointer[trace.Ring]
+	queryAPI  atomic.Pointer[apiHolder]
 
 	// requests counts handled requests by normalized path; scrapes and
 	// served feed the final "telemetry server stopped" log line so a
 	// run's exit record says how observed the run actually was.
-	requests *CounterVec
-	scrapes  atomic.Int64
-	served   atomic.Int64
+	// apiRequests is the "/api" series resolved once at construction so
+	// the query-API hot path never touches the vec's family lock.
+	requests    *CounterVec
+	apiRequests *Counter
+	scrapes     atomic.Int64
+	served      atomic.Int64
 }
+
+// apiHolder wraps the attached query-API handler so it can live behind
+// one atomic pointer (mirroring the trace-ring attach pattern).
+type apiHolder struct{ h http.Handler }
 
 // HealthCheck reports one component's health: a JSON-serializable detail
 // value and an error when the component is unhealthy.
@@ -54,6 +63,7 @@ func NewServer(reg *Registry) *Server {
 	s := &Server{reg: reg, start: time.Now(), checks: make(map[string]HealthCheck)}
 	s.requests = reg.CounterVec("donorsense_telemetry_requests_total",
 		"Telemetry HTTP requests handled, by normalized path.", "path")
+	s.apiRequests = s.requests.With("/api")
 	bridgeExpvar(reg)
 	return s
 }
@@ -70,6 +80,38 @@ func (s *Server) AddHealthCheck(name string, fn HealthCheck) {
 // set (or when nil), the route answers 404.
 func (s *Server) SetTraceRing(r *trace.Ring) { s.traceRing.Store(r) }
 
+// SetQueryAPI attaches the handler served under /api/. Until set (or
+// when set to nil), the route answers 404 — the same gating /debug/traces
+// uses, so a mux whose snapshot source has not started yet degrades to a
+// clean "not enabled" instead of a nil-handler panic.
+func (s *Server) SetQueryAPI(h http.Handler) {
+	if h == nil {
+		s.queryAPI.Store(nil)
+		return
+	}
+	s.queryAPI.Store(&apiHolder{h: h})
+}
+
+// OnShutdown registers a hook run when ListenAndServe begins its graceful
+// shutdown, before in-flight requests are drained — the place a query API
+// flips into 503-with-Retry-After drain mode.
+func (s *Server) OnShutdown(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onShutdown = append(s.onShutdown, fn)
+}
+
+// runShutdownHooks runs the registered shutdown hooks once, in
+// registration order.
+func (s *Server) runShutdownHooks() {
+	s.mu.RLock()
+	hooks := append([]func(){}, s.onShutdown...)
+	s.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // Handler returns the telemetry mux wrapped in the access-log and
 // request-counting middleware.
 func (s *Server) Handler() http.Handler {
@@ -78,6 +120,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/statusz", s.statusz)
 	mux.HandleFunc("/debug/traces", s.traces)
+	mux.HandleFunc("/api/", s.api)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -85,6 +128,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s.instrument(mux)
+}
+
+// api serves the attached query API, or 404 when none is attached.
+func (s *Server) api(w http.ResponseWriter, r *http.Request) {
+	qa := s.queryAPI.Load()
+	if qa == nil {
+		http.Error(w, "query API disabled (run with -serve)", http.StatusNotFound)
+		return
+	}
+	qa.h.ServeHTTP(w, r)
 }
 
 // traces serves the attached span ring, or 404 when tracing is off.
@@ -113,6 +166,9 @@ func normalizePath(p string) string {
 	if strings.HasPrefix(p, "/debug/pprof") {
 		return "/debug/pprof"
 	}
+	if strings.HasPrefix(p, "/api/") {
+		return "/api"
+	}
 	return "other"
 }
 
@@ -134,7 +190,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	logger := Logger("telemetry")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		path := normalizePath(r.URL.Path)
-		s.requests.With(path).Inc()
+		if path == "/api" {
+			// Pre-resolved series: the query-API hot path skips the vec's
+			// family lock entirely.
+			s.apiRequests.Inc()
+		} else {
+			s.requests.With(path).Inc()
+		}
 		s.served.Add(1)
 		if path == "/metrics" {
 			s.scrapes.Add(1)
@@ -208,6 +270,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
+		// Flip drain-mode consumers (query API) to 503 first, then let
+		// Shutdown finish the requests already in flight.
+		s.runShutdownHooks()
 		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shCtx)

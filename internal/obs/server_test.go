@@ -65,6 +65,34 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerQueryAPIGating: /api/ follows the /debug/traces attach
+// pattern — 404 with a hint until a handler is attached, live once it
+// is, and 404 again after detaching. No nil-handler panic at any point.
+func TestServerQueryAPIGating(t *testing.T) {
+	s := NewServer(NewRegistry())
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	code, body := get(t, hs.URL+"/api/stats")
+	if code != http.StatusNotFound || !strings.Contains(body, "query API disabled") {
+		t.Errorf("unattached /api/stats = %d %q, want 404 with hint", code, body)
+	}
+
+	s.SetQueryAPI(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "api:%s", r.URL.Path)
+	}))
+	code, body = get(t, hs.URL+"/api/stats")
+	if code != http.StatusOK || body != "api:/api/stats" {
+		t.Errorf("attached /api/stats = %d %q", code, body)
+	}
+
+	s.SetQueryAPI(nil)
+	code, _ = get(t, hs.URL+"/api/stats")
+	if code != http.StatusNotFound {
+		t.Errorf("detached /api/stats = %d, want 404", code)
+	}
+}
+
 func TestServerHealthzDegraded(t *testing.T) {
 	s := NewServer(NewRegistry())
 	s.AddHealthCheck("broken", func() (any, error) { return nil, fmt.Errorf("on fire") })

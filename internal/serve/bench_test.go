@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"donorsense/internal/obs"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/report"
+)
+
+// benchAnalysis runs one real engine refresh over a synthetic dataset,
+// returning the analysis and publish metadata so benchmarks can build
+// snapshots directly.
+func benchAnalysis(b *testing.B, users int, seed uint64) (*report.Analysis, Meta) {
+	b.Helper()
+	d := pipeline.SynthDataset(users, seed)
+	cfg := report.DefaultAnalysisConfig()
+	cfg.KUsers = 8
+	cfg.SweepKs = nil
+	cfg.SilhouetteSample = 0
+	cfg.Workers = 2
+	e := report.NewEngine(d, cfg)
+	a, err := e.Refresh()
+	if err != nil {
+		b.Fatalf("refresh: %v", err)
+	}
+	return a, Meta{
+		Epoch:     e.Epoch(),
+		Refreshes: e.Refreshes(),
+		Top:       report.TopMentioners(d, 100),
+	}
+}
+
+// benchHandler is a fully wired handler (metrics attached, one snapshot
+// published) matching the production collect -serve configuration.
+func benchHandler(b *testing.B) (*Publisher, *Handler, *Snapshot) {
+	b.Helper()
+	p, snap := testPublisher(b, 2000, 1)
+	h := NewHandler(p)
+	h.SetMetrics(NewMetrics(obs.NewRegistry(), p))
+	return p, h, snap
+}
+
+// BenchmarkServeCachedHit is the hot path the acceptance gate watches:
+// a fixed-endpoint 200 served from the pre-rendered snapshot body.
+// Must stay at 0 allocs/op.
+func BenchmarkServeCachedHit(b *testing.B) {
+	_, h, _ := benchHandler(b)
+	w := &nullResponseWriter{h: make(http.Header)}
+	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+	h.ServeHTTP(w, req) // warm the recycled header map
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	if w.status != 0 && w.status != http.StatusOK {
+		b.Fatalf("unexpected status %d", w.status)
+	}
+}
+
+// BenchmarkServeNotModified measures the revalidation answer: ETag
+// compare, 304, no body. Must stay at 0 allocs/op.
+func BenchmarkServeNotModified(b *testing.B) {
+	_, h, snap := benchHandler(b)
+	w := &nullResponseWriter{h: make(http.Header)}
+	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+	req.Header.Set("If-None-Match", snap.ETag())
+	h.ServeHTTP(w, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	if w.status != http.StatusNotModified {
+		b.Fatalf("unexpected status %d", w.status)
+	}
+}
+
+// BenchmarkServeColdParam measures a first-touch parameterized render:
+// every iteration uses a never-seen query key, so the singleflight cache
+// never hits and the full parse+build+marshal cost is on the clock.
+func BenchmarkServeColdParam(b *testing.B) {
+	_, h, _ := benchHandler(b)
+	w := &nullResponseWriter{h: make(http.Header)}
+	req := httptest.NewRequest(http.MethodGet, "/api/top", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.URL.RawQuery = "k=" + strconv.Itoa(i)
+		h.ServeHTTP(w, req)
+	}
+	if w.status != 0 && w.status != http.StatusOK {
+		b.Fatalf("unexpected status %d", w.status)
+	}
+}
+
+// runConcurrentReaders drives RunParallel over the cached-hit path,
+// recording per-request wall time and reporting the merged p99 so the
+// churn and no-churn variants are directly comparable.
+func runConcurrentReaders(b *testing.B, h *Handler) {
+	var mu sync.Mutex
+	var all []int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &nullResponseWriter{h: make(http.Header)}
+		req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+		h.ServeHTTP(w, req) // warm this goroutine's header map
+		lat := make([]int64, 0, 1<<16)
+		for pb.Next() {
+			start := time.Now()
+			h.ServeHTTP(w, req)
+			lat = append(lat, int64(time.Since(start)))
+		}
+		mu.Lock()
+		all = append(all, lat...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns/op")
+}
+
+// BenchmarkServeConcurrentReaders is the quiet baseline for the churn
+// comparison: many readers, no publishes.
+func BenchmarkServeConcurrentReaders(b *testing.B) {
+	_, h, _ := benchHandler(b)
+	runConcurrentReaders(b, h)
+}
+
+// BenchmarkServeConcurrentReadersRefreshChurn runs the same reader load
+// while a publisher goroutine swaps pre-built snapshots in at a hard
+// 5 kHz — far above any real refresh cadence. The acceptance gate is
+// p99 ≤ 1.2× the no-churn baseline: publication must not stall readers.
+func BenchmarkServeConcurrentReadersRefreshChurn(b *testing.B) {
+	a, meta := benchAnalysis(b, 2000, 1)
+	const rotation = 8
+	snaps := make([]*Snapshot, rotation)
+	for i := range snaps {
+		s, err := BuildSnapshot(a, meta, uint64(i+1))
+		if err != nil {
+			b.Fatalf("BuildSnapshot: %v", err)
+		}
+		snaps[i] = s
+	}
+	p := NewPublisher()
+	p.cur.Store(snaps[0])
+	h := NewHandler(p)
+	h.SetMetrics(NewMetrics(obs.NewRegistry(), p))
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				p.cur.Store(snaps[i%rotation])
+			}
+		}
+	}()
+	runConcurrentReaders(b, h)
+	close(stop)
+	churn.Wait()
+}

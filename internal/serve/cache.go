@@ -1,0 +1,97 @@
+package serve
+
+import "sync"
+
+// defaultCacheLimit bounds the parameterized render cache per snapshot.
+// The parameter space is tiny (≤51 states, 6 organs, a handful of useful
+// k values), so the bound exists to survive adversarial query strings,
+// not to evict: when full, renders still succeed but are not stored.
+const defaultCacheLimit = 512
+
+// renderCache memoizes parameterized renders for one snapshot, keyed by
+// the verbatim RawQuery so a repeat hit never parses the query. A
+// homegrown singleflight coalesces concurrent cold renders of the same
+// key into a single execution. Both live and die with their Snapshot —
+// publishing a new epoch abandons the whole cache at once, which is the
+// "per-epoch" invalidation story: there isn't any.
+type renderCache struct {
+	limit int
+
+	mu      sync.RWMutex
+	entries [numEndpoints]map[string][]byte
+	flight  map[flightKey]*flightCall
+	size    int
+}
+
+type flightKey struct {
+	ep  endpoint
+	raw string
+}
+
+// flightCall is one in-progress render; done is closed after body/err
+// are set, so waiters read them without further synchronization.
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newRenderCache(limit int) renderCache {
+	return renderCache{limit: limit}
+}
+
+// get returns the cached body for (ep, raw) if present. Hit path takes
+// only the read lock.
+func (c *renderCache) get(ep endpoint, raw string) ([]byte, bool) {
+	c.mu.RLock()
+	body, ok := c.entries[ep][raw]
+	c.mu.RUnlock()
+	return body, ok
+}
+
+// size reports the number of cached rendered bodies.
+func (c *renderCache) cached() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.size
+}
+
+// do returns the body for (ep, raw), rendering at most once across
+// concurrent callers. shared reports whether this caller piggybacked on
+// another's render (for the coalesced counter). Failed renders (4xx) are
+// never cached, so errors cannot be pinned into the snapshot.
+func (c *renderCache) do(ep endpoint, raw string, render func() ([]byte, error)) (body []byte, shared bool, err error) {
+	k := flightKey{ep: ep, raw: raw}
+	c.mu.Lock()
+	if body, ok := c.entries[ep][raw]; ok {
+		// Lost a race with a completed render — a cache hit after all.
+		c.mu.Unlock()
+		return body, true, nil
+	}
+	if fc, ok := c.flight[k]; ok {
+		c.mu.Unlock()
+		<-fc.done
+		return fc.body, true, fc.err
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	if c.flight == nil {
+		c.flight = make(map[flightKey]*flightCall)
+	}
+	c.flight[k] = fc
+	c.mu.Unlock()
+
+	fc.body, fc.err = render()
+
+	c.mu.Lock()
+	delete(c.flight, k)
+	if fc.err == nil && c.size < c.limit {
+		if c.entries[ep] == nil {
+			c.entries[ep] = make(map[string][]byte)
+		}
+		c.entries[ep][raw] = fc.body
+		c.size++
+	}
+	c.mu.Unlock()
+	close(fc.done)
+	return fc.body, false, fc.err
+}

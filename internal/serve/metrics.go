@@ -1,0 +1,49 @@
+package serve
+
+import "donorsense/internal/obs"
+
+// Metrics exports the serve layer into an obs.Registry. Every counter on
+// the request hot path is pre-resolved at construction — the handler
+// increments a *obs.Counter directly (lock-free CAS) and never touches a
+// vec's family lock while serving.
+type Metrics struct {
+	// hit/notModified/render are indexed by endpoint.
+	hit         [numEndpoints]*obs.Counter
+	notModified [numEndpoints]*obs.Counter
+	render      [numEndpoints]*obs.Counter
+
+	coalesced  *obs.Counter
+	badRequest *obs.Counter
+	notFound   *obs.Counter
+	rejected   *obs.Counter
+
+	renderSeconds *obs.Histogram
+}
+
+// NewMetrics registers the donorsense_serve_* families and pre-resolves
+// the hot-path series. The cache-size gauge reads through the publisher
+// so it always reflects the snapshot currently served.
+func NewMetrics(reg *obs.Registry, p *Publisher) *Metrics {
+	m := &Metrics{}
+	requests := reg.CounterVec("donorsense_serve_requests_total",
+		"Query-API requests handled, by endpoint and result.",
+		"endpoint", "result")
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		name := endpointNames[ep]
+		m.hit[ep] = requests.With(name, "hit")
+		m.notModified[ep] = requests.With(name, "not_modified")
+		m.render[ep] = requests.With(name, "render")
+	}
+	m.coalesced = requests.With("any", "coalesced")
+	m.badRequest = requests.With("any", "bad_request")
+	m.notFound = requests.With("any", "not_found")
+	m.rejected = requests.With("any", "draining")
+
+	m.renderSeconds = reg.Histogram("donorsense_serve_render_seconds",
+		"Latency of cold parameterized renders (cache hits never observe).",
+		obs.DefBuckets)
+	reg.GaugeFunc("donorsense_serve_cache_size",
+		"Rendered bodies cached in the currently served snapshot.",
+		func() float64 { return float64(p.CacheSize()) })
+	return m
+}

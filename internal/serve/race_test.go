@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"donorsense/internal/gen"
+	"donorsense/internal/pipeline"
+	"donorsense/internal/report"
+)
+
+// TestReadersNeverTearUnderRefreshChurn hammers the handler from many
+// goroutines while the real Engine.Refresh publishes new epochs, and
+// asserts every observed response is internally consistent (header ETag
+// == body ETag — all bytes from one snapshot) and that each reader's
+// view moves monotonically forward (seq never decreases; no resurrected
+// epochs). Run under -race this also proves the pointer-swap publication
+// has no synchronization holes.
+func TestReadersNeverTearUnderRefreshChurn(t *testing.T) {
+	corpus := gen.Generate(gen.DefaultConfig(0.01))
+	tweets := corpus.Tweets
+	if len(tweets) < 2000 {
+		t.Fatalf("corpus too small: %d", len(tweets))
+	}
+
+	d := pipeline.NewDataset()
+	cfg := report.DefaultAnalysisConfig()
+	cfg.KUsers = 8
+	cfg.SweepKs = nil
+	cfg.SilhouetteSample = 0
+	cfg.Workers = 2
+	e := report.NewEngine(d, cfg)
+
+	// Seed enough data for a first analysis, publish epoch 0.
+	const chunk = 200
+	for _, tw := range tweets[:chunk] {
+		d.Process(tw)
+	}
+	p := NewPublisher()
+	publish := func() {
+		a, err := e.Refresh()
+		if err != nil {
+			t.Errorf("refresh: %v", err)
+			return
+		}
+		if _, err := p.Publish(a, Meta{
+			Epoch:     e.Epoch(),
+			Refreshes: e.Refreshes(),
+			Top:       report.TopMentioners(d, 50),
+		}); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+	}
+	publish()
+
+	h := NewHandler(p)
+	stop := make(chan struct{})
+	paths := []string{"/api/epoch", "/api/stats", "/api/top?k=5", "/api/states", "/api/rr"}
+
+	const readers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lastSeq := uint64(0)
+			lastEpoch := uint64(0)
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := paths[(n+i)%len(paths)]
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("reader %d: %s → %d: %s", i, path, rec.Code, rec.Body.String())
+					return
+				}
+				var m docMeta
+				if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+					t.Errorf("reader %d: torn body on %s: %v", i, path, err)
+					return
+				}
+				if hdr := rec.Header().Get("Etag"); hdr != m.ETag {
+					t.Errorf("reader %d: header ETag %q != body ETag %q on %s — torn response",
+						i, hdr, m.ETag, path)
+					return
+				}
+				if m.Seq < lastSeq || m.Epoch < lastEpoch {
+					t.Errorf("reader %d: view moved backwards: seq %d→%d epoch %d→%d",
+						i, lastSeq, m.Seq, lastEpoch, m.Epoch)
+					return
+				}
+				lastSeq, lastEpoch = m.Seq, m.Epoch
+			}
+		}(i)
+	}
+
+	// Publisher: keep folding tweets and republishing new epochs.
+	for off := chunk; off+chunk <= len(tweets) && off < 20*chunk; off += chunk {
+		for _, tw := range tweets[off : off+chunk] {
+			d.Process(tw)
+		}
+		publish()
+	}
+	finalSeq := p.Seq()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// After the last publish every new read serves the final snapshot —
+	// nobody can observe a stale-beyond-current view.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/epoch", nil))
+	var m docMeta
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != finalSeq {
+		t.Fatalf("post-churn read sees seq %d, final published is %d", m.Seq, finalSeq)
+	}
+	if finalSeq < 5 {
+		t.Fatalf("churn too weak: only %d publishes", finalSeq)
+	}
+}
